@@ -1,0 +1,80 @@
+// Reproduces the paper's Section V-C / Fig. 9 mapping claim: the custom
+// placement of the 13-core autofocus pipeline "avoids transactions with
+// distant cores", and the 64x on-chip:off-chip bandwidth ratio absorbs the
+// 6-way fan-in at the correlation core. Compares the compact placement
+// against a deliberately scattered one.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "core/autofocus_epiphany.hpp"
+#include "autofocus/workload.hpp"
+
+int main() {
+  using namespace esarp;
+  af::AfParams p;
+  Rng rng(99);
+  std::vector<af::BlockPair> pairs;
+  const std::size_t n_pairs = bench::fast_mode() ? 16 : 48;
+  for (std::size_t i = 0; i < n_pairs; ++i)
+    pairs.push_back(
+        af::synthetic_block_pair(rng, p, rng.uniform_f(-0.5f, 0.5f)));
+
+  std::cerr << "simulating compact (paper Fig. 9) placement...\n";
+  core::AfMapOptions compact;
+  const auto a = core::run_autofocus_mpmd(pairs, p, compact);
+
+  std::cerr << "simulating scattered placement...\n";
+  core::AfMapOptions scattered;
+  scattered.placement = core::AfPlacement::kScattered;
+  const auto b = core::run_autofocus_mpmd(pairs, p, scattered);
+
+  std::cerr << "simulating auto-placed process network...\n";
+  const auto g = core::run_autofocus_graph(pairs, p);
+
+  const auto& an = a.perf.noc_write_onchip;
+  const auto& bn = b.perf.noc_write_onchip;
+  const auto& gn = g.sim.perf.noc_write_onchip;
+
+  Table t("Autofocus pipeline placement (13 cores, 4x4 mesh)");
+  t.header({"Metric", "Compact (Fig. 9)", "Scattered", "Auto (graph)"});
+  t.row({"throughput (px/s)", format_rate(a.pixels_per_second, "px"),
+         format_rate(b.pixels_per_second, "px"),
+         format_rate(g.sim.pixels_per_second, "px")});
+  t.row({"makespan (cycles)", format_cycles(a.cycles), format_cycles(b.cycles),
+         format_cycles(g.sim.cycles)});
+  t.row({"cMesh byte-hops", format_cycles(an.byte_hops),
+         format_cycles(bn.byte_hops), format_cycles(gn.byte_hops)});
+  t.row({"cMesh transfers", format_cycles(an.transfers),
+         format_cycles(bn.transfers), format_cycles(gn.transfers)});
+  t.row({"NoC energy (uJ)",
+         Table::num(a.energy.noc_j * 1e6, 1),
+         Table::num(b.energy.noc_j * 1e6, 1),
+         Table::num(g.sim.energy.noc_j * 1e6, 1)});
+  t.note("identical criterion results in all three placements; only time "
+         "and NoC work differ");
+  t.note("'Auto' is the declarative process-network (occam-pi-style) "
+         "version: nodes+channels declared, mesh placement computed "
+         "automatically — the paper's future-work direction");
+  t.note("the throughput penalty is small because on-chip bandwidth is "
+         "64x the off-chip bandwidth (paper Section VI) — the cost shows "
+         "up mainly as NoC energy and link occupancy");
+  t.print(std::cout);
+
+  CsvWriter csv(bench::out_dir() / "ablation_mapping.csv",
+                {"placement", "px_per_s", "cycles", "byte_hops", "noc_uj"});
+  csv.row({"compact", Table::num(a.pixels_per_second, 1),
+           std::to_string(a.cycles), std::to_string(an.byte_hops),
+           Table::num(a.energy.noc_j * 1e6, 3)});
+  csv.row({"scattered", Table::num(b.pixels_per_second, 1),
+           std::to_string(b.cycles), std::to_string(bn.byte_hops),
+           Table::num(b.energy.noc_j * 1e6, 3)});
+  csv.row({"auto_graph", Table::num(g.sim.pixels_per_second, 1),
+           std::to_string(g.sim.cycles), std::to_string(gn.byte_hops),
+           Table::num(g.sim.energy.noc_j * 1e6, 3)});
+
+  std::cout << "\nautomatic placement:\n" << g.placement_description;
+  return 0;
+}

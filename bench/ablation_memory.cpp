@@ -1,0 +1,75 @@
+// Reproduces the paper's Section VI memory-system analysis with synthetic
+// kernels on the simulated chip:
+//   "writing has a single cycle throughput whereas the memory read
+//    operation is more expensive due to stalling."
+// Measures per-8-byte-access cost for: local-store access, posted external
+// write, blocking external read, and DMA-streamed external read.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "epiphany/machine.hpp"
+
+int main() {
+  using namespace esarp;
+  using namespace esarp::ep;
+  constexpr std::uint64_t kWords = 8192; // 64 KB in 8-byte accesses
+
+  auto run = [&](auto&& body) {
+    Machine m;
+    m.launch(0, std::forward<decltype(body)>(body));
+    const Cycles c = m.run();
+    return static_cast<double>(c) / kWords;
+  };
+
+  // Local-store traffic: one load + one store slot per 8-byte word.
+  const double local = run([](CoreCtx& ctx) -> Task {
+    co_await ctx.compute({.load = 2 * kWords, .store = 2 * kWords});
+  });
+
+  // Posted external writes, 8 bytes each.
+  const double posted = run([](CoreCtx& ctx) -> Task {
+    auto dst = ctx.ext().alloc<double>(kWords);
+    const double v = 1.0;
+    for (std::uint64_t i = 0; i < kWords; ++i)
+      co_await ctx.write_ext(&dst[i], &v, 8);
+  });
+
+  // Blocking external reads, 8 bytes each (the sequential-FFBP pattern).
+  const double blocking = run([](CoreCtx& ctx) -> Task {
+    co_await ctx.read_ext_gather(kWords, 8);
+  });
+
+  // DMA bulk read of the same volume into local memory, in row-sized
+  // chunks (the SPMD-FFBP prefetch pattern).
+  const double dma = run([](CoreCtx& ctx) -> Task {
+    auto src = ctx.ext().alloc<double>(kWords);
+    auto buf = ctx.local().alloc<double>(1024);
+    for (std::uint64_t i = 0; i < kWords; i += 1024) {
+      DmaJob j = ctx.dma_read_ext(buf.data(), &src[i], 1024 * 8);
+      co_await ctx.wait(j);
+    }
+  });
+
+  Table t("External-memory access cost (cycles per 8-byte word)");
+  t.header({"Access pattern", "Cycles/word", "vs posted write"});
+  t.row({"local store (dual-issue load+store)", Table::num(local, 2),
+         Table::num(local / posted, 1) + "x"});
+  t.row({"posted external write", Table::num(posted, 2), "1.0x"});
+  t.row({"blocking external read", Table::num(blocking, 2),
+         Table::num(blocking / posted, 1) + "x"});
+  t.row({"DMA-streamed external read", Table::num(dma, 2),
+         Table::num(dma / posted, 1) + "x"});
+  t.note("paper: posted writes retire at one per cycle; blocking reads "
+         "stall for the full SDRAM round trip — the asymmetry that makes "
+         "sequential FFBP 3x slower on Epiphany and prefetching essential");
+  t.print(std::cout);
+
+  CsvWriter csv(bench::out_dir() / "ablation_memory.csv",
+                {"pattern", "cycles_per_word"});
+  csv.row({"local", Table::num(local, 4)});
+  csv.row({"posted_write", Table::num(posted, 4)});
+  csv.row({"blocking_read", Table::num(blocking, 4)});
+  csv.row({"dma_read", Table::num(dma, 4)});
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces the paper's prefetch analysis (Section VI): the parallel FFBP
+// speedup comes not only from using 16 cores but from DMA-prefetching the
+// contributing subaperture rows into local memory; and "during the first
+// merge iteration the prefetched data is sufficient, but in the later
+// iterations it still requires contributing data to be read from the
+// external memory" — visible here as the per-level prefetch hit rate.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "core/ffbp_epiphany.hpp"
+
+int main() {
+  using namespace esarp;
+  const auto w = bench::make_paper_workload();
+
+  std::cerr << "16-core FFBP with DMA prefetch...\n";
+  core::FfbpMapOptions with;
+  with.n_cores = 16;
+  const auto a = core::run_ffbp_epiphany(w.data, w.params, with);
+
+  std::cerr << "16-core FFBP without prefetch (all reads blocking)...\n";
+  core::FfbpMapOptions without = with;
+  without.prefetch = false;
+  const auto b = core::run_ffbp_epiphany(w.data, w.params, without);
+
+  Table t("FFBP SPMD: DMA prefetch ablation (16 cores)");
+  t.header({"Configuration", "Time (ms)", "Ext-read stall (Mcycles)",
+            "Ext bytes read", "Speedup from prefetch"});
+  t.row({"prefetch into local banks", bench::ms(a.seconds),
+         Table::num(static_cast<double>(a.perf.total_ext_stall()) / 1e6, 1),
+         format_bytes(a.perf.ext.read_bytes), "-"});
+  t.row({"no prefetch (blocking reads)", bench::ms(b.seconds),
+         Table::num(static_cast<double>(b.perf.total_ext_stall()) / 1e6, 1),
+         format_bytes(b.perf.ext.read_bytes),
+         Table::num(b.seconds / a.seconds, 2) + "x"});
+  // Double buffering needs two rows per 8 KB data bank: only possible up
+  // to 512 range bins — NOT at the paper's 1001 (the bank-budget finding).
+  if (w.params.n_range * sizeof(cf32) * 2 <= 8192) {
+    core::FfbpMapOptions dbl = with;
+    dbl.double_buffer = true;
+    const auto c = core::run_ffbp_epiphany(w.data, w.params, dbl);
+    t.row({"double-buffered prefetch", bench::ms(c.seconds),
+           Table::num(static_cast<double>(c.perf.total_ext_stall()) / 1e6,
+                      1),
+           format_bytes(c.perf.ext.read_bytes),
+           Table::num(b.seconds / c.seconds, 2) + "x"});
+  } else {
+    t.note("double-buffered prefetch is impossible at this row size: two "
+           "8,008-byte rows do not fit one 8 KB bank — the four-bank "
+           "budget forces the paper's single-buffered scheme");
+  }
+  t.print(std::cout);
+
+  Table h("Per-level prefetch hit rate (prefetching configuration)");
+  h.header({"Merge level", "Local hits", "Ext misses", "Hit rate"});
+  CsvWriter csv(bench::out_dir() / "ablation_prefetch.csv",
+                {"level", "hits", "misses", "hit_rate"});
+  for (const auto& ls : a.prefetch_stats) {
+    h.row({std::to_string(ls.level), format_cycles(ls.local_hits),
+           format_cycles(ls.ext_misses),
+           Table::num(ls.hit_rate() * 100.0, 1) + " %"});
+    csv.row_numeric({static_cast<double>(ls.level),
+                     static_cast<double>(ls.local_hits),
+                     static_cast<double>(ls.ext_misses), ls.hit_rate()});
+  }
+  h.note("level 1 children are single rows: prefetch is sufficient "
+         "(100 %); at later levels the contributing angular bins spread "
+         "beyond the two prefetched rows, forcing blocking SDRAM reads — "
+         "exactly the paper's description");
+  h.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Azimuth presummation ablation: the front-end data-rate reduction of the
+// paper's Fig. 1 chain. Each factor-k presum cuts the back-projection
+// work (and the chip time) by ~k while gaining SNR against thermal noise,
+// valid up to the processed sector's Nyquist bound.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/ffbp_epiphany.hpp"
+#include "sar/ffbp.hpp"
+#include "sar/metrics.hpp"
+#include "sar/presum.hpp"
+#include "sar/scene.hpp"
+
+int main() {
+  using namespace esarp;
+  const auto p = sar::test_params(64, 201);
+  sar::Scene s;
+  s.targets = {{0.0, p.near_range_m + 100.0 * p.range_bin_m, 1.0f}};
+  auto data = sar::simulate_compressed(p, s);
+  Rng rng(7);
+  sar::add_noise(data, rng, 0.05f);
+
+  std::cerr << "nyquist-limited presum factor for this geometry: "
+            << sar::max_presum_factor(p) << "\n";
+
+  Table t("Azimuth presummation: data rate vs image quality (FFBP, 16 cores)");
+  t.header({"Presum", "Pulses", "Chip time (ms)", "Image SNR (peak/median)"});
+  CsvWriter csv(bench::out_dir() / "ablation_presum.csv",
+                {"factor", "pulses", "chip_ms", "snr"});
+
+  for (std::size_t factor : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                             std::size_t{8}}) {
+    std::cerr << "presum x" << factor << "...\n";
+    const auto ps = factor == 1
+                        ? sar::PresumResult{data, p, {}}
+                        : sar::presum(data, p, factor);
+    core::FfbpMapOptions opt;
+    opt.n_cores = 16;
+    const auto sim = core::run_ffbp_epiphany(ps.data, ps.params, opt);
+
+    t.row({std::to_string(factor), std::to_string(ps.params.n_pulses),
+           bench::ms(sim.seconds),
+           Table::num(sar::peak_to_median(sim.image), 0)});
+    csv.row_numeric({static_cast<double>(factor),
+                     static_cast<double>(ps.params.n_pulses),
+                     sim.seconds * 1e3, sar::peak_to_median(sim.image)});
+  }
+  t.note("image SNR is roughly presum-invariant (coherent target gain "
+         "balances the reduced integration) while the sampling satisfies "
+         "the sector Nyquist rate (factor <= " +
+         std::to_string(sar::max_presum_factor(p)) +
+         " here); chip time falls ~linearly with the data rate — the "
+         "purpose of the Fig. 1 preprocessing stage");
+  t.print(std::cout);
+  return 0;
+}

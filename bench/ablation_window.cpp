@@ -1,0 +1,78 @@
+// Pulse-compression window ablation through the full imaging chain:
+// chirp echoes -> windowed matched filter -> FFBP image. Tapering trades
+// peak SNR and resolution for range-sidelobe suppression in the final SAR
+// image (the standard knob real systems expose; complements the paper's
+// interpolation-kernel quality discussion).
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "fft/window.hpp"
+#include "sar/ffbp.hpp"
+#include "sar/scene.hpp"
+
+int main() {
+  using namespace esarp;
+  const auto p = sar::test_params(128, 257);
+  sar::Scene s;
+  s.targets = {{0.0, p.near_range_m + 128.0 * p.range_bin_m, 1.0f}};
+
+  struct V {
+    const char* name;
+    fft::WindowKind kind;
+  };
+  const V variants[] = {
+      {"rectangular", fft::WindowKind::kRectangular},
+      {"Hann", fft::WindowKind::kHann},
+      {"Hamming", fft::WindowKind::kHamming},
+      {"Blackman", fft::WindowKind::kBlackman},
+      {"Taylor (nbar=4, -35dB)", fft::WindowKind::kTaylor},
+  };
+
+  Table t("Pulse-compression window vs final image quality (FFBP)");
+  t.header({"Window", "Image peak", "Peak/avg (dB)", "Range PSLR (dB)",
+            "Entropy", "Noise BW (bins)"});
+  CsvWriter csv(bench::out_dir() / "ablation_window.csv",
+                {"window", "peak", "peak_avg_db", "pslr_db", "entropy"});
+
+  for (const auto& v : variants) {
+    std::cerr << "window: " << v.name << "...\n";
+    const auto data = sar::simulate_via_chirp(p, s, {}, v.kind);
+    const auto img = sar::ffbp(data, p);
+
+    // Range cut through the image peak for the sidelobe ratio.
+    std::size_t pi = 0, pj = 0;
+    double peak = -1.0;
+    for (std::size_t i = 0; i < img.image.n_theta(); ++i)
+      for (std::size_t j = 0; j < img.image.n_range(); ++j)
+        if (std::abs(img.image.data(i, j)) > peak) {
+          peak = std::abs(img.image.data(i, j));
+          pi = i;
+          pj = j;
+        }
+    double sidelobe = 0.0;
+    for (std::size_t j = 0; j < img.image.n_range(); ++j) {
+      if (j + 4 > pj && j < pj + 4) continue; // exclude the mainlobe
+      sidelobe =
+          std::max(sidelobe, (double)std::abs(img.image.data(pi, j)));
+    }
+    const double pslr_db = 20.0 * std::log10(sidelobe / peak);
+    const auto w = fft::make_window(v.kind, 64);
+
+    t.row({v.name, Table::num(peak, 1),
+           Table::num(peak_to_average_db(img.image.data), 1),
+           Table::num(pslr_db, 1),
+           Table::num(image_entropy(img.image.data), 2),
+           Table::num(fft::noise_bandwidth_bins(w), 2)});
+    csv.row({v.name, Table::num(peak, 3),
+             Table::num(peak_to_average_db(img.image.data), 3),
+             Table::num(pslr_db, 3),
+             Table::num(image_entropy(img.image.data), 4)});
+  }
+  t.note("PSLR measured on the range cut through the image peak; tapers "
+         "suppress sidelobes at the cost of peak gain and mainlobe width");
+  t.print(std::cout);
+  return 0;
+}

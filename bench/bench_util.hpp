@@ -1,0 +1,65 @@
+// Shared helpers for the benchmark harness (one binary per reproduced
+// table/figure; see DESIGN.md §4 and EXPERIMENTS.md).
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "common/array2d.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+#include "sar/params.hpp"
+#include "sar/scene.hpp"
+
+namespace esarp::bench {
+
+/// Directory that benches drop CSV/PGM artefacts into (created on demand).
+inline std::filesystem::path out_dir() {
+  const char* env = std::getenv("ESARP_BENCH_OUT");
+  std::filesystem::path dir = env ? env : "bench_out";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// True when the harness should run a reduced-size configuration
+/// (ESARP_BENCH_FAST=1). Full paper-size runs are the default.
+inline bool fast_mode() {
+  const char* env = std::getenv("ESARP_BENCH_FAST");
+  return env != nullptr && env[0] == '1';
+}
+
+/// The paper's evaluation input: 1024 x 1001 pulse-compressed samples of
+/// the six-point-target scene (Fig. 7(a)). In fast mode a 256 x 251
+/// geometrically-scaled configuration is used instead.
+struct PaperWorkload {
+  sar::RadarParams params;
+  Array2D<cf32> data;
+};
+
+inline PaperWorkload make_paper_workload() {
+  PaperWorkload w;
+  if (fast_mode()) {
+    w.params = sar::test_params(256, 251);
+  } else {
+    w.params = sar::paper_params();
+  }
+  std::cerr << "generating " << w.params.n_pulses << "x" << w.params.n_range
+            << " six-target raw data...\n";
+  w.data = sar::simulate_compressed(w.params, sar::six_target_scene(w.params));
+  return w;
+}
+
+/// Format a speedup ratio like the paper's Table I ("4.25").
+inline std::string speedup(double ref_time, double time) {
+  return Table::num(ref_time / time, 2);
+}
+
+inline std::string ms(double seconds) {
+  return Table::num(seconds * 1e3, 1);
+}
+
+} // namespace esarp::bench

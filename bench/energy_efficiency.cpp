@@ -1,0 +1,85 @@
+// Reproduces Section VI-A: energy efficiency (throughput per watt) of the
+// parallel Epiphany implementations versus the sequential Intel reference.
+// Paper figures: 38x for FFBP, 78x for the autofocus criterion.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "core/autofocus_epiphany.hpp"
+#include "core/ffbp_epiphany.hpp"
+#include "hostmodel/host_model.hpp"
+#include "autofocus/criterion.hpp"
+#include "autofocus/workload.hpp"
+#include "sar/ffbp.hpp"
+
+int main() {
+  using namespace esarp;
+  const host::HostModel intel;
+
+  // ---------- FFBP ----------
+  const auto w = bench::make_paper_workload();
+  std::cerr << "FFBP: reference + 16-core simulation...\n";
+  const auto host_res = sar::ffbp(w.data, w.params);
+  const double intel_s = intel.seconds(host_res.host_work);
+  const double intel_j = intel.joules(host_res.host_work);
+
+  core::FfbpMapOptions opt;
+  opt.n_cores = 16;
+  const auto par = core::run_ffbp_epiphany(w.data, w.params, opt);
+
+  // Throughput per watt: images/s/W, normalised to the Intel reference.
+  const double ffbp_intel_tpw = (1.0 / intel_s) / intel.params().watts;
+  const double ffbp_epi_tpw =
+      (1.0 / par.seconds) / par.energy.avg_watts;
+  const double ffbp_ratio = ffbp_epi_tpw / ffbp_intel_tpw;
+
+  // ---------- Autofocus ----------
+  std::cerr << "autofocus: reference + 13-core pipeline simulation...\n";
+  af::AfParams p;
+  Rng rng(7);
+  std::vector<af::BlockPair> pairs;
+  const std::size_t n_pairs = bench::fast_mode() ? 16 : 64;
+  for (std::size_t i = 0; i < n_pairs; ++i)
+    pairs.push_back(
+        af::synthetic_block_pair(rng, p, rng.uniform_f(-0.6f, 0.6f)));
+
+  host::HostWork af_work;
+  for (const auto& bp : pairs)
+    af_work += af::criterion_sweep(bp.minus, bp.plus, p).host_work;
+  const double af_intel_s = intel.seconds(af_work);
+  const double pixels = static_cast<double>(n_pairs * p.pixels());
+  const auto mpmd = core::run_autofocus_mpmd(pairs, p);
+
+  const double af_intel_tpw =
+      (pixels / af_intel_s) / intel.params().watts;
+  const double af_epi_tpw =
+      mpmd.pixels_per_second / mpmd.energy.avg_watts;
+  const double af_ratio = af_epi_tpw / af_intel_tpw;
+
+  Table t("Section VI-A: energy efficiency (throughput per watt)");
+  t.header({"Case study", "Intel i7 (ref)", "Epiphany parallel",
+            "Efficiency ratio", "Paper ratio"});
+  t.row({"FFBP (images/s/W)", Table::num(ffbp_intel_tpw, 5),
+         Table::num(ffbp_epi_tpw, 5), Table::num(ffbp_ratio, 1) + "x",
+         "38x"});
+  t.row({"Autofocus (px/s/W)", Table::num(af_intel_tpw, 1),
+         Table::num(af_epi_tpw, 1), Table::num(af_ratio, 1) + "x", "78x"});
+  t.note("Intel power: 17.5 W (half the 35 W TDP, per the paper);"
+         " Epiphany power: energy model average over the run");
+  t.note("FFBP energy per image: Intel " + Table::num(intel_j, 2) +
+         " J vs Epiphany " + Table::num(par.energy.total_j(), 3) + " J");
+  t.note("Epiphany avg power: FFBP " +
+         Table::num(par.energy.avg_watts, 2) + " W, autofocus " +
+         Table::num(mpmd.energy.avg_watts, 2) + " W (chip max ~2 W)");
+  t.print(std::cout);
+
+  CsvWriter csv(bench::out_dir() / "energy_efficiency.csv",
+                {"case", "intel_tpw", "epiphany_tpw", "ratio"});
+  csv.row({"ffbp", Table::num(ffbp_intel_tpw, 6),
+           Table::num(ffbp_epi_tpw, 6), Table::num(ffbp_ratio, 2)});
+  csv.row({"autofocus", Table::num(af_intel_tpw, 3),
+           Table::num(af_epi_tpw, 3), Table::num(af_ratio, 2)});
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Native micro-benchmarks (google-benchmark) of the inner kernels: the
+// cosine-theorem index calculation (paper eqs. 1-4), child sampling with
+// each interpolation kernel, Neville interpolation, the criterion term,
+// the fastmath primitives vs libm, and the FFT plan.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/fastmath.hpp"
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+#include "autofocus/criterion.hpp"
+#include "autofocus/workload.hpp"
+#include "sar/ffbp.hpp"
+#include "sar/interp.hpp"
+#include "sar/merge_kernel.hpp"
+
+namespace {
+
+using namespace esarp;
+
+void BM_MergeGeometry(benchmark::State& state) {
+  float r = 4500.0f;
+  const float cr = 2.0f * 8.0f * 0.1f;
+  for (auto _ : state) {
+    const sar::MergeGeom g = sar::merge_geometry(r, cr, 64.0f, 1.0f / 16.0f);
+    benchmark::DoNotOptimize(g);
+    r += 0.5f;
+    if (r > 5000.0f) r = 4500.0f;
+  }
+}
+BENCHMARK(BM_MergeGeometry);
+
+void BM_SampleChild(benchmark::State& state) {
+  const auto interp = static_cast<sar::Interp>(state.range(0));
+  Array2D<cf32> child(32, 256);
+  Rng rng(1);
+  for (auto& px : child.flat())
+    px = {rng.uniform_f(-1, 1), rng.uniform_f(-1, 1)};
+  const auto p = sar::test_params(64, 256);
+  const sar::ChildGrid grid = sar::make_child_grid(p, 32);
+  const auto view = child.view();
+  const auto fetch = [&](int it, int ir) -> cf32 {
+    return view(static_cast<std::size_t>(it), static_cast<std::size_t>(ir));
+  };
+  float rr = grid.r0 + 10.0f;
+  for (auto _ : state) {
+    const cf32 v = sar::sample_child(grid, rr, 1.5707f, interp, false, fetch);
+    benchmark::DoNotOptimize(v);
+    rr += 0.37f;
+    if (rr > grid.r0 + 100.0f) rr = grid.r0 + 10.0f;
+  }
+}
+BENCHMARK(BM_SampleChild)
+    ->Arg(static_cast<int>(sar::Interp::kNearest))
+    ->Arg(static_cast<int>(sar::Interp::kLinear))
+    ->Arg(static_cast<int>(sar::Interp::kCubic));
+
+void BM_Neville4(benchmark::State& state) {
+  cf32 y[4] = {{1, 2}, {3, -1}, {-2, 0.5f}, {0.25f, 1}};
+  float t = 1.0f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sar::neville4(y, t));
+    t += 0.01f;
+    if (t > 2.0f) t = 1.0f;
+  }
+}
+BENCHMARK(BM_Neville4);
+
+void BM_CriterionSweep(benchmark::State& state) {
+  af::AfParams p;
+  Rng rng(3);
+  const af::BlockPair bp = af::synthetic_block_pair(rng, p, 0.2f);
+  for (auto _ : state) {
+    const auto res = af::criterion_sweep(bp.minus, bp.plus, p);
+    benchmark::DoNotOptimize(res.criteria.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p.pixels()));
+}
+BENCHMARK(BM_CriterionSweep);
+
+void BM_FastSqrt(benchmark::State& state) {
+  float x = 1.0f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fastmath::fast_sqrt(x));
+    x += 1.37f;
+    if (x > 1e6f) x = 1.0f;
+  }
+}
+BENCHMARK(BM_FastSqrt);
+
+void BM_StdSqrt(benchmark::State& state) {
+  float x = 1.0f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(std::sqrt(x));
+    x += 1.37f;
+    if (x > 1e6f) x = 1.0f;
+  }
+}
+BENCHMARK(BM_StdSqrt);
+
+void BM_PolyAcos(benchmark::State& state) {
+  float x = -0.99f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fastmath::poly_acos(x));
+    x += 0.013f;
+    if (x > 0.99f) x = -0.99f;
+  }
+}
+BENCHMARK(BM_PolyAcos);
+
+void BM_StdAcos(benchmark::State& state) {
+  float x = -0.99f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(std::acos(x));
+    x += 0.013f;
+    if (x > 0.99f) x = -0.99f;
+  }
+}
+BENCHMARK(BM_StdAcos);
+
+void BM_Fft(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  fft::Fft plan(n);
+  Rng rng(5);
+  std::vector<cf32> sig(n);
+  for (auto& s : sig) s = {rng.uniform_f(-1, 1), rng.uniform_f(-1, 1)};
+  for (auto _ : state) {
+    plan.forward(sig);
+    benchmark::DoNotOptimize(sig.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_MergePairLevel1(benchmark::State& state) {
+  const auto p = sar::test_params(16, 256);
+  Array2D<cf32> data(16, 256);
+  Rng rng(9);
+  for (auto& px : data.flat())
+    px = {rng.uniform_f(-1, 1), rng.uniform_f(-1, 1)};
+  const auto subs = sar::initial_subapertures(data, p);
+  sar::FfbpOptions opt;
+  for (auto _ : state) {
+    const auto parent = sar::merge_pair(subs[0], subs[1], p, opt);
+    benchmark::DoNotOptimize(parent.data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2 * 256);
+}
+BENCHMARK(BM_MergePairLevel1);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Quantifies the paper's Section-I motivation for time-domain processing:
+// the frequency-domain (Range-Doppler / FFT) technique "is computationally
+// efficient but requires that the flight trajectory is linear"; time-domain
+// back-projection "can compensate for non-linear flight tracks" — at a
+// higher computational cost that FFBP then factorises down.
+//
+// Sweeps a smooth cross-track path error and reports image peak retention
+// for RDA, FFBP, and FFBP with the integrated autofocus loop, plus the
+// modelled single-core i7 cost of each processor.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "hostmodel/host_model.hpp"
+#include "autofocus/integrated.hpp"
+#include "sar/ffbp.hpp"
+#include "sar/rda.hpp"
+#include "sar/scene.hpp"
+
+int main() {
+  using namespace esarp;
+  const auto p = sar::test_params(64, 161);
+  sar::Scene s;
+  s.targets = {{0.0, p.near_range_m + 80.0 * p.range_bin_m, 1.0f}};
+  const host::HostModel intel;
+  const af::IntegratedOptions af_opt;
+
+  // Clean-track peaks (the 100 % reference per processor).
+  const auto clean = sar::simulate_compressed(p, s);
+  const double rda100 =
+      peak_magnitude(sar::range_doppler(clean, p).image);
+  const double ffbp100 =
+      peak_magnitude(sar::ffbp(clean, p, af_opt.ffbp).image.data);
+
+  // Non-constant platform speed: a smooth ALONG-track deviation, so the
+  // slow-time samples are no longer uniform. The FFT-based processor has
+  // no way to use the recorded positions; back-projection honours them in
+  // its geometry (and autofocus handles the case where even the recording
+  // is missing).
+  Table t("Non-uniform flight track: frequency domain vs time domain");
+  t.header({"Speed error (m)", "RDA peak", "FFBP nominal track",
+            "FFBP recorded track", "FFBP + autofocus"});
+  CsvWriter csv(bench::out_dir() / "motivation_timedomain.csv",
+                {"error_m", "rda", "ffbp_nominal", "ffbp_recorded",
+                 "ffbp_af"});
+
+  for (double amp_m : {0.0, 4.0, 8.0, 12.0}) {
+    sar::FlightPathError err;
+    err.dx.resize(p.n_pulses);
+    for (std::size_t i = 0; i < p.n_pulses; ++i)
+      err.dx[i] = amp_m * std::sin(2.0 * kPi * static_cast<double>(i) /
+                                   static_cast<double>(p.n_pulses));
+    const auto data = sar::simulate_compressed(p, s, err);
+
+    const double rda =
+        peak_magnitude(sar::range_doppler(data, p).image) / rda100;
+    const double bp_nom =
+        peak_magnitude(sar::ffbp(data, p, af_opt.ffbp).image.data) /
+        ffbp100;
+    const double bp_rec =
+        peak_magnitude(
+            sar::ffbp(data, p, af_opt.ffbp, &err).image.data) /
+        ffbp100;
+    const double bp_af =
+        peak_magnitude(af::ffbp_with_autofocus(data, p, af_opt).image.data) /
+        ffbp100;
+
+    t.row({Table::num(amp_m, 1), Table::num(rda * 100, 0) + " %",
+           Table::num(bp_nom * 100, 0) + " %",
+           Table::num(bp_rec * 100, 0) + " %",
+           Table::num(bp_af * 100, 0) + " %"});
+    csv.row_numeric({amp_m, rda, bp_nom, bp_rec, bp_af});
+  }
+
+  // Arithmetic cost comparison on the clean run.
+  const auto rda_res = sar::range_doppler(clean, p);
+  const auto ffbp_res = sar::ffbp(clean, p);
+  t.note("modelled single-core i7 time: RDA " +
+         format_seconds(intel.seconds(rda_res.host_work)) + ", FFBP " +
+         format_seconds(intel.seconds(ffbp_res.host_work)) + " (" +
+         Table::num(static_cast<double>(ffbp_res.ops.flops()) /
+                        static_cast<double>(rda_res.ops.flops()),
+                    1) +
+         "x the flops) — the efficiency edge frequency-domain processing "
+         "gives up under non-linear tracks");
+  t.note("peaks as % of each processor's own clean-track peak; sinusoidal "
+         "along-track (speed) error; FFBP/autofocus use cubic merges");
+  t.note("'recorded track' feeds the actual pulse positions into the "
+         "back-projection geometry — the compensation the paper says only "
+         "time-domain processing can do (Section I)");
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces the paper's Section V-A scalability claim: coarse-grained
+// data partitioning of the FFBP output "gives us natural scalability by
+// increasing the number of compute nodes". Sweeps the SPMD mapping over
+// 1..16 cores on the paper-size workload.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "core/ffbp_epiphany.hpp"
+
+int main() {
+  using namespace esarp;
+  const auto w = bench::make_paper_workload();
+
+  Table t("FFBP SPMD scaling over Epiphany cores");
+  t.header({"Cores", "Time (ms)", "Speedup vs 1 core", "Efficiency",
+            "Avg power (W)", "Energy (mJ)"});
+  CsvWriter csv(bench::out_dir() / "scaling_cores.csv",
+                {"cores", "time_ms", "speedup", "efficiency", "power_w",
+                 "energy_mj"});
+
+  double t1 = 0.0;
+  for (int cores : {1, 2, 4, 8, 16}) {
+    std::cerr << "simulating " << cores << "-core FFBP...\n";
+    core::FfbpMapOptions opt;
+    opt.n_cores = cores;
+    const auto res = core::run_ffbp_epiphany(w.data, w.params, opt);
+    if (cores == 1) t1 = res.seconds;
+    const double sp = t1 / res.seconds;
+    const double eff = sp / cores;
+    t.row({std::to_string(cores), bench::ms(res.seconds),
+           Table::num(sp, 2), Table::num(eff * 100.0, 0) + " %",
+           Table::num(res.energy.avg_watts, 2),
+           Table::num(res.energy.total_j() * 1e3, 1)});
+    csv.row_numeric({static_cast<double>(cores), res.seconds * 1e3, sp, eff,
+                     res.energy.avg_watts, res.energy.total_j() * 1e3});
+  }
+  t.note("all configurations DMA-prefetch child rows; the 1-core row is "
+         "the prefetching mapping, not the naive sequential version of "
+         "Table I");
+  t.note("sub-linear scaling at high core counts reflects the shared "
+         "8 GB/s eLink and prefetch misses at late merge levels");
+  t.print(std::cout);
+  return 0;
+}

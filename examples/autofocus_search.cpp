@@ -1,0 +1,103 @@
+// Autofocus in action: apply a known flight-path error to the raw data,
+// then use the focus-criterion sweep (paper Section II-A, eq. 6) to find
+// the compensation — first on synthetic block pairs, then on blocks cut
+// from real FFBP child subapertures.
+//
+// Build & run:  ./examples/autofocus_search
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "common/format.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "autofocus/criterion.hpp"
+#include "autofocus/workload.hpp"
+#include "core/autofocus_epiphany.hpp"
+#include "sar/ffbp.hpp"
+#include "sar/scene.hpp"
+
+int main() {
+  using namespace esarp;
+
+  // --- Part 1: controlled shifts on synthetic blocks. -------------------
+  af::AfParams params;
+  // Use a dense candidate grid for a fine estimate.
+  params.shift_candidates.clear();
+  for (int i = -9; i <= 9; ++i)
+    params.shift_candidates.push_back(0.1f * static_cast<float>(i));
+
+  Table t1("shift recovery on synthetic block pairs");
+  t1.header({"True shift (bins)", "Recovered", "Error"});
+  Rng rng(2024);
+  for (float true_shift : {-0.6f, -0.3f, 0.0f, 0.3f, 0.6f}) {
+    const af::BlockPair bp =
+        af::synthetic_block_pair(rng, params, true_shift);
+    const af::CriterionResult res =
+        af::criterion_sweep(bp.minus, bp.plus, params);
+    const float got = res.best_shift(params);
+    t1.row({Table::num(true_shift, 2), Table::num(got, 2),
+            Table::num(std::abs(got - true_shift), 2)});
+  }
+  t1.print(std::cout);
+
+  // --- Part 2: blocks from real subaperture images. ---------------------
+  // Form subapertures of a single-target scene, cut the area of interest
+  // around the target from two children of the next merge, and sweep.
+  const auto p = sar::test_params(64, 161);
+  sar::Scene scene;
+  scene.targets = {{0.0, p.near_range_m + 80.0 * p.range_bin_m, 1.0f}};
+  const auto data = sar::simulate_compressed(p, scene);
+
+  auto subs = sar::initial_subapertures(data, p);
+  sar::FfbpOptions algo;
+  for (std::size_t level = 1; level <= 4; ++level) {
+    std::vector<sar::SubapertureImage> next;
+    for (std::size_t i = 0; i + 1 < subs.size(); i += 2)
+      next.push_back(sar::merge_pair(subs[i], subs[i + 1], p, algo));
+    subs = std::move(next);
+  }
+
+  // Find the target in the first child and cut 6x6 blocks there.
+  const auto& a = subs[1];
+  const auto& b = subs[2];
+  std::size_t ti = 0, tj = 0;
+  double best = -1.0;
+  for (std::size_t i = 0; i < a.n_theta(); ++i)
+    for (std::size_t j = 0; j < a.n_range(); ++j)
+      if (std::abs(a.data(i, j)) > best) {
+        best = std::abs(a.data(i, j));
+        ti = i;
+        tj = j;
+      }
+  af::AfParams ap; // default candidate set
+  const std::size_t bi =
+      std::min(ti > 2 ? ti - 2 : 0, a.n_theta() - ap.block_rows);
+  const std::size_t bj =
+      std::min(tj > 2 ? tj - 2 : 0, a.n_range() - ap.block_cols);
+  const auto blocks = af::blocks_from_subapertures(a, b, ap, bi, bj);
+  const auto sweep = af::criterion_sweep(blocks.minus, blocks.plus, ap);
+
+  Table t2("criterion sweep on real subaperture blocks (no path error)");
+  t2.header({"Candidate shift", "Criterion"});
+  for (std::size_t s = 0; s < ap.shift_candidates.size(); ++s) {
+    const bool is_best = s == sweep.best_index;
+    t2.row({Table::num(ap.shift_candidates[s], 2) + (is_best ? " <== best" : ""),
+            Table::num(sweep.criteria[s], 4)});
+  }
+  t2.note("with an error-free path the best compensation is near zero");
+  t2.print(std::cout);
+
+  // --- Part 3: the same sweep on the simulated 13-core pipeline. --------
+  std::vector<af::BlockPair> pairs;
+  pairs.push_back(blocks);
+  const auto sim = core::run_autofocus_mpmd(pairs, ap);
+  std::cout << "\n13-core MPMD pipeline agrees with the host sweep: "
+            << (sim.criteria[0][sweep.best_index] ==
+                        sweep.criteria[sweep.best_index]
+                    ? "yes (bit-exact)"
+                    : "no")
+            << "; pipeline throughput "
+            << format_rate(sim.pixels_per_second, "px") << "\n";
+  return 0;
+}

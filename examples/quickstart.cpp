@@ -1,0 +1,49 @@
+// Quickstart: form a SAR image with FFBP in ~30 lines of user code.
+//
+//   1. define the radar geometry,
+//   2. simulate pulse-compressed echoes of a few point targets,
+//   3. run fast factorized back-projection,
+//   4. write the image as a PGM and print a terminal preview.
+//
+// Build & run:  ./examples/quickstart [out.pgm]
+#include <iostream>
+
+#include "common/pgm.hpp"
+#include "sar/ffbp.hpp"
+#include "sar/scene.hpp"
+
+int main(int argc, char** argv) {
+  using namespace esarp;
+
+  // A small geometry (128 pulses x 201 range bins) that runs in well under
+  // a second; sar::paper_params() gives the paper's full 1024x1001 setup.
+  const sar::RadarParams params = sar::test_params(128, 201);
+
+  // Three point scatterers in the imaged area.
+  sar::Scene scene;
+  scene.targets = {
+      {-20.0, params.near_range_m + 30.0 * params.range_bin_m, 1.0f},
+      {0.0, params.near_range_m + 50.0 * params.range_bin_m, 0.8f},
+      {25.0, params.near_range_m + 70.0 * params.range_bin_m, 1.0f},
+  };
+
+  // Simulate the pulse-compressed raw data the back-projection block of
+  // the SAR chain receives (paper Fig. 1).
+  const Array2D<cf32> data = sar::simulate_compressed(params, scene);
+
+  // Image formation: merge base 2, nearest-neighbour interpolation — the
+  // paper's configuration. FfbpOptions selects cubic interpolation or
+  // residual-phase compensation for higher quality.
+  const sar::FfbpResult result = sar::ffbp(data, params);
+
+  std::cout << "formed a " << result.image.n_theta() << " x "
+            << result.image.n_range() << " image in "
+            << result.levels.size() << " merge iterations ("
+            << result.ops.flops() / 1000000 << " Mflop counted)\n\n";
+  std::cout << ascii_render(result.image.data, 64, 30.0) << "\n";
+
+  const char* path = argc > 1 ? argv[1] : "quickstart.pgm";
+  write_pgm(path, result.image.data, {.dynamic_range_db = 40.0});
+  std::cout << "image written to " << path << "\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Stripmap imaging end to end, through the physical signal chain:
+//
+//   chirp transmission -> point-target echoes -> matched-filter pulse
+//   compression -> GBP and FFBP image formation -> quality comparison.
+//
+// Unlike quickstart.cpp (which injects ideal compressed responses), this
+// example exercises the fft substrate for range compression, then shows
+// the paper's Fig. 7 quality ordering: GBP sharpest, FFBP slightly noisier
+// due to the simplified interpolation, both far sharper than raw data.
+//
+// Build & run:  ./examples/stripmap_imaging [output_dir]
+#include <filesystem>
+#include <iostream>
+
+#include "common/format.hpp"
+#include "common/pgm.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "sar/ffbp.hpp"
+#include "sar/gbp.hpp"
+#include "sar/scene.hpp"
+
+int main(int argc, char** argv) {
+  using namespace esarp;
+  const std::filesystem::path dir = argc > 1 ? argv[1] : ".";
+  std::filesystem::create_directories(dir);
+
+  const sar::RadarParams params = sar::test_params(128, 257);
+  const sar::Scene scene = sar::six_target_scene(params);
+
+  std::cout << "simulating echoes through the chirp + matched-filter chain"
+            << " (" << params.n_pulses << " pulses)...\n";
+  WallTimer timer;
+  const Array2D<cf32> data = sar::simulate_via_chirp(params, scene);
+  std::cout << "  pulse compression done in "
+            << format_seconds(timer.elapsed_s()) << "\n";
+
+  timer.reset();
+  const auto g = sar::gbp(data, params);
+  const double gbp_s = timer.elapsed_s();
+
+  timer.reset();
+  const auto f_nn = sar::ffbp(data, params);
+  const double ffbp_s = timer.elapsed_s();
+
+  sar::FfbpOptions cubic;
+  cubic.interp = sar::Interp::kCubic;
+  const auto f_cubic = sar::ffbp(data, params, cubic);
+
+  Table t("stripmap imaging: GBP vs FFBP");
+  t.header({"Image", "Entropy", "Contrast", "Wall time", "Counted flops"});
+  t.row({"raw (compressed) data", Table::num(image_entropy(data), 2),
+         Table::num(image_contrast(data), 2), "-", "-"});
+  t.row({"GBP", Table::num(image_entropy(g.image.data), 2),
+         Table::num(image_contrast(g.image.data), 2),
+         format_seconds(gbp_s), format_cycles(g.ops.flops())});
+  t.row({"FFBP nearest", Table::num(image_entropy(f_nn.image.data), 2),
+         Table::num(image_contrast(f_nn.image.data), 2),
+         format_seconds(ffbp_s), format_cycles(f_nn.ops.flops())});
+  t.row({"FFBP cubic", Table::num(image_entropy(f_cubic.image.data), 2),
+         Table::num(image_contrast(f_cubic.image.data), 2), "-",
+         format_cycles(f_cubic.ops.flops())});
+  t.note("FFBP needs O(N log N) back-projection work vs GBP's O(N^2): "
+         "counted flops ratio " +
+         Table::num(static_cast<double>(g.ops.flops()) /
+                        static_cast<double>(f_nn.ops.flops()),
+                    1) +
+         "x for this geometry");
+  t.print(std::cout);
+
+  write_pgm(dir / "stripmap_raw.pgm", data);
+  write_pgm(dir / "stripmap_gbp.pgm", g.image.data);
+  write_pgm(dir / "stripmap_ffbp.pgm", f_nn.image.data);
+  std::cout << "\nimages written to " << dir.string() << "\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Autofocus criterion-calculation workload definition.
+//
+// Before each FFBP subaperture merge, candidate flight-path compensations
+// are tested; a path error is approximated as a linear shift of one child
+// subimage against the other (paper Section II-A). For each candidate the
+// two contributing 6x6 pixel blocks are resampled with cubic (Neville)
+// interpolation along tilted paths — range direction first, then beam
+// direction — and scored with the correlation criterion of eq. 6. Three
+// sliding 4-column range windows ("three iterations" in the paper's
+// dataflow) cover the 6x6 block.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace esarp::af {
+
+struct AfParams {
+  std::size_t block_rows = 6; ///< paper: 6x6 pixel blocks
+  std::size_t block_cols = 6;
+  std::size_t windows = 3;    ///< sliding 4-column range windows
+  std::size_t beams = 3;      ///< sliding 4-row beam windows per sample
+  std::size_t samples_per_row = 12; ///< interpolation positions per window
+  float tilt = 0.30f; ///< beam drift per normalised range position (the
+                      ///< "tilted paths in memory" the kernels sweep)
+  std::vector<float> shift_candidates = default_shifts();
+
+  /// Default candidate compensations: +-0.9 range bins in 8 steps.
+  [[nodiscard]] static std::vector<float> default_shifts() {
+    std::vector<float> s;
+    for (int i = 0; i < 8; ++i)
+      s.push_back(-0.9f + 0.257143f * static_cast<float>(i));
+    return s;
+  }
+
+  [[nodiscard]] std::size_t pixels() const { return block_rows * block_cols; }
+
+  void validate() const {
+    ESARP_EXPECTS(block_rows >= 6 && block_cols >= 6);
+    ESARP_EXPECTS(windows >= 1 && windows + 3 <= block_cols);
+    ESARP_EXPECTS(beams >= 1 && beams + 3 <= block_rows);
+    ESARP_EXPECTS(samples_per_row >= 1);
+    ESARP_EXPECTS(!shift_candidates.empty());
+  }
+};
+
+} // namespace esarp::af

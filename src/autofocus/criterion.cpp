@@ -1,0 +1,69 @@
+#include "autofocus/criterion.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/fastmath.hpp"
+#include "autofocus/criterion_kernel.hpp"
+
+namespace esarp::af {
+
+OpCounts per_sample_ops(const AfParams& p) {
+  // Geometry, 2 blocks x block_rows range interpolations, 2 x beams beam
+  // outputs, and `beams` correlation terms.
+  return kSampleGeomOps + 2 * range_stage_ops(p.block_rows) +
+         2 * static_cast<std::uint64_t>(p.beams) * kBeamOutputOps +
+         static_cast<std::uint64_t>(p.beams) * kCorrTermOps;
+}
+
+CriterionResult criterion_sweep(const Array2D<cf32>& block_minus,
+                                const Array2D<cf32>& block_plus,
+                                const AfParams& p) {
+  p.validate();
+  ESARP_EXPECTS(block_minus.rows() == p.block_rows &&
+                block_minus.cols() == p.block_cols);
+  ESARP_EXPECTS(block_plus.rows() == p.block_rows &&
+                block_plus.cols() == p.block_cols);
+
+  CriterionResult res;
+  res.criteria.reserve(p.shift_candidates.size());
+
+  const auto vm = block_minus.view();
+  const auto vp = block_plus.view();
+  std::vector<cf32> col_m(p.block_rows);
+  std::vector<cf32> col_p(p.block_rows);
+
+  for (float delta : p.shift_candidates) {
+    // eq. 6 accumulated in float to mirror the 32-bit on-chip pipeline.
+    float criterion = 0.0f;
+    for (std::size_t w = 0; w < p.windows; ++w) {
+      for (std::size_t s = 0; s < p.samples_per_row; ++s) {
+        const SampleGeom g = af_sample_geom(p, s, delta);
+        if (!g.valid) continue;
+        range_interp_column(vm, w, g.t_minus, col_m.data(), p.block_rows);
+        range_interp_column(vp, w, g.t_plus, col_p.data(), p.block_rows);
+        for (std::size_t b = 0; b < p.beams; ++b) {
+          const cf32 gm = beam_interp(col_m.data(), b, g.u);
+          const cf32 gp = beam_interp(col_p.data(), b, g.u);
+          const float mm = fastmath::norm2(gm.real(), gm.imag());
+          const float mp = fastmath::norm2(gp.real(), gp.imag());
+          criterion += mm * mp;
+        }
+      }
+    }
+    res.criteria.push_back(static_cast<double>(criterion));
+  }
+
+  res.best_index = static_cast<std::size_t>(
+      std::max_element(res.criteria.begin(), res.criteria.end()) -
+      res.criteria.begin());
+
+  const std::uint64_t steps = p.shift_candidates.size() *
+                              static_cast<std::uint64_t>(p.windows) *
+                              p.samples_per_row;
+  res.ops = steps * per_sample_ops(p);
+  res.host_work.ops = res.ops; // 6x6 blocks live in L1: no memory traffic
+  return res;
+}
+
+} // namespace esarp::af

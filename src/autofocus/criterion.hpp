@@ -1,0 +1,42 @@
+// Sequential autofocus criterion calculation (the reference both Table-I
+// sequential rows execute, and the ground truth for the MPMD pipeline).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/array2d.hpp"
+#include "common/opcounts.hpp"
+#include "common/types.hpp"
+#include "autofocus/af_params.hpp"
+#include "hostmodel/host_model.hpp"
+
+namespace esarp::af {
+
+struct CriterionResult {
+  /// Criterion value per shift candidate (same order as the params list).
+  std::vector<double> criteria;
+  /// Index of the maximising candidate.
+  std::size_t best_index = 0;
+  /// Counted work of the sweep.
+  OpCounts ops;
+  /// Same work in host-model form (working set fits on-die: no ext traffic).
+  host::HostWork host_work;
+
+  [[nodiscard]] float best_shift(const AfParams& p) const {
+    return p.shift_candidates[best_index];
+  }
+};
+
+/// Evaluate the focus criterion (eq. 6) for every candidate shift between
+/// the two contributing 6x6 blocks. Accumulation order: shift -> window ->
+/// sample -> beam (the simulated pipeline reproduces this order exactly).
+[[nodiscard]] CriterionResult criterion_sweep(const Array2D<cf32>& block_minus,
+                                              const Array2D<cf32>& block_plus,
+                                              const AfParams& p);
+
+/// Counted work of one (shift, window, sample) step — used by the Epiphany
+/// kernels to charge per-packet compute.
+[[nodiscard]] OpCounts per_sample_ops(const AfParams& p);
+
+} // namespace esarp::af

@@ -1,0 +1,121 @@
+// Autofocus integrated into the FFBP factorisation — the complete loop the
+// paper's Fig. 4 illustrates: before each subaperture merge, several
+// flight-path compensations are tested on area-of-interest blocks of the
+// two contributing images; the one maximising the correlation criterion
+// (eq. 6) is applied to the merge. Used when GPS-based motion compensation
+// is insufficient or missing (paper Section II-A; Hellsten et al. [6]).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/array2d.hpp"
+#include "common/opcounts.hpp"
+#include "common/types.hpp"
+#include "autofocus/af_params.hpp"
+#include "autofocus/workload.hpp"
+#include "hostmodel/host_model.hpp"
+#include "sar/ffbp.hpp"
+#include "sar/params.hpp"
+#include "sar/polar.hpp"
+
+namespace esarp::af {
+
+struct IntegratedOptions {
+  /// Criterion workload per tested compensation.
+  AfParams criterion = default_criterion();
+  /// First merge level at which autofocus runs (earlier subapertures are
+  /// too small to carry a measurable shift; merges below this level are
+  /// plain eq.-5 merges).
+  std::size_t first_level = 3;
+  /// Area-of-interest blocks sampled per merge pair; the estimated shifts
+  /// are combined by criterion-weighted averaging.
+  std::size_t blocks_per_merge = 3;
+  /// FFBP kernel options for the merges themselves. Autofocus estimates
+  /// sub-bin shifts, so it needs subaperture images free of
+  /// nearest-neighbour quantisation artifacts: the cubic (Neville) kernel
+  /// is the default here even though plain FFBP defaults to NN.
+  sar::FfbpOptions ffbp{.interp = sar::Interp::kCubic};
+  /// Minimum criterion gain (best / zero-shift) required before a
+  /// correction is applied; below it the path is assumed error-free and
+  /// the merge runs uncompensated. Guards against the small estimator
+  /// bias on already-focused data.
+  double min_gain = 1.25;
+
+  [[nodiscard]] static AfParams default_criterion() {
+    AfParams p;
+    p.shift_candidates.clear();
+    for (int i = -6; i <= 6; ++i)
+      p.shift_candidates.push_back(0.25f * static_cast<float>(i));
+    // For shift *estimation* the beam path is kept level: a tilted path
+    // converts angular quantisation offsets between the children into
+    // apparent range shifts and biases the estimate.
+    p.tilt = 0.0f;
+    return p;
+  }
+};
+
+/// One applied correction (for diagnostics / the bench table).
+struct MergeCorrection {
+  std::size_t level = 0;      ///< merge level the correction applied to
+  std::size_t pair_index = 0; ///< which subaperture pair within the level
+  float shift_bins = 0.0f;    ///< applied compensation [range bins]
+  double criterion_gain = 1.0; ///< best criterion / zero-shift criterion
+};
+
+struct IntegratedResult {
+  sar::SubapertureImage image;
+  std::vector<MergeCorrection> corrections;
+  OpCounts ops;                ///< merges + criterion sweeps
+  host::HostWork host_work;
+  std::size_t sweeps_run = 0;  ///< total criterion sweeps executed
+};
+
+/// Run FFBP with per-merge autofocus. With an error-free flight path the
+/// estimated shifts are ~0 and the output approaches the plain ffbp()
+/// image; with a path error it recovers most of the lost focus.
+[[nodiscard]] IntegratedResult
+ffbp_with_autofocus(const Array2D<cf32>& data, const sar::RadarParams& p,
+                    const IntegratedOptions& opt = {});
+
+/// Select up to `count` bright, non-overlapping area-of-interest block
+/// origins (theta_bin, range_bin) in a subaperture image. Exposed for
+/// tests and for the MPMD pipeline driver.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
+select_aoi_blocks(const sar::SubapertureImage& img, const AfParams& p,
+                  std::size_t count);
+
+/// Shift estimate for one merge pair (exposed so the on-chip integrated
+/// pipeline runs the identical estimator).
+struct PairEstimate {
+  float shift_bins = 0.0f;     ///< raw criterion-weighted estimate
+  double gain = 1.0;           ///< best criterion / zero-shift criterion
+  /// The compensation actually applied under the confidence gate.
+  [[nodiscard]] float applied(double min_gain) const {
+    return gain >= min_gain ? shift_bins : 0.0f;
+  }
+};
+
+/// Estimate the inter-child shift for a merge pair from AOI blocks of the
+/// trailing child (selection, world-coordinate mapping, projection,
+/// criterion sweeps, gating — the full estimator of ffbp_with_autofocus).
+/// `ops`/`sweeps` accumulate the counted work when non-null.
+[[nodiscard]] PairEstimate estimate_pair_shift(
+    const sar::SubapertureImage& a, const sar::SubapertureImage& b,
+    const sar::RadarParams& p, const IntegratedOptions& opt,
+    OpCounts* ops = nullptr, std::size_t* sweeps = nullptr);
+
+/// Back-project the two children's *contributions* onto a block of the
+/// parent polar grid (origin `parent_theta_bin`, `parent_range_bin`, size
+/// from `p_af`). The resulting f- / f+ subimages are aligned when the
+/// flight path is error-free and relatively shifted in range by a path
+/// error — exactly the pair the focus criterion (eq. 6) compares ("the
+/// images to correlate ... are assumed to be only small subimages" of the
+/// contributing subapertures). `tally` gets the projection work.
+[[nodiscard]] BlockPair project_contribution_blocks(
+    const sar::SubapertureImage& a, const sar::SubapertureImage& b,
+    const sar::RadarParams& p, const AfParams& p_af,
+    std::size_t parent_theta_bin, std::size_t parent_range_bin,
+    OpCounts* tally = nullptr);
+
+} // namespace esarp::af

@@ -1,0 +1,96 @@
+#include "autofocus/workload.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace esarp::af {
+
+namespace {
+
+/// Smooth band-limited complex field: a few Gaussian blobs with linear
+/// phase ramps. Band-limited enough that cubic interpolation is accurate,
+/// structured enough that the correlation criterion has a sharp peak.
+struct Field {
+  struct Blob {
+    double x, y, sigma, amp, phase, wx, wy;
+  };
+  std::vector<Blob> blobs;
+
+  [[nodiscard]] cf32 operator()(double x, double y) const {
+    cf64 acc{};
+    for (const auto& b : blobs) {
+      const double dx = x - b.x;
+      const double dy = y - b.y;
+      const double env =
+          b.amp * std::exp(-(dx * dx + dy * dy) / (2.0 * b.sigma * b.sigma));
+      const double ph = b.phase + b.wx * x + b.wy * y;
+      acc += cf64{env * std::cos(ph), env * std::sin(ph)};
+    }
+    return {static_cast<float>(acc.real()), static_cast<float>(acc.imag())};
+  }
+};
+
+Field random_field(Rng& rng, double cols, double rows) {
+  Field f;
+  const int n_blobs = 5;
+  for (int i = 0; i < n_blobs; ++i) {
+    Field::Blob b;
+    b.x = rng.uniform(0.5, cols - 0.5);
+    b.y = rng.uniform(0.5, rows - 0.5);
+    b.sigma = rng.uniform(0.8, 1.6); // >= pixel scale: resolvable by cubic
+    b.amp = rng.uniform(0.4, 1.0);
+    b.phase = rng.uniform(0.0, 2.0 * kPi);
+    b.wx = rng.uniform(-0.6, 0.6); // < Nyquist phase slope
+    b.wy = rng.uniform(-0.6, 0.6);
+    f.blobs.push_back(b);
+  }
+  return f;
+}
+
+} // namespace
+
+BlockPair synthetic_block_pair(Rng& rng, const AfParams& p,
+                               float true_shift) {
+  p.validate();
+  const Field field = random_field(rng, static_cast<double>(p.block_cols),
+                                   static_cast<double>(p.block_rows));
+  BlockPair bp;
+  bp.minus = Array2D<cf32>(p.block_rows, p.block_cols);
+  bp.plus = Array2D<cf32>(p.block_rows, p.block_cols);
+  for (std::size_t r = 0; r < p.block_rows; ++r) {
+    for (std::size_t c = 0; c < p.block_cols; ++c) {
+      const double x = static_cast<double>(c);
+      const double y = static_cast<double>(r);
+      bp.minus(r, c) = field(x, y);
+      // The leading subimage is displaced by the path-error shift along
+      // range; criterion_sweep samples it at +delta/2, so the peak lands
+      // at delta == true_shift.
+      bp.plus(r, c) = field(x - static_cast<double>(true_shift), y);
+    }
+  }
+  return bp;
+}
+
+BlockPair blocks_from_subapertures(const sar::SubapertureImage& child_minus,
+                                   const sar::SubapertureImage& child_plus,
+                                   const AfParams& p, std::size_t theta_bin,
+                                   std::size_t range_bin) {
+  p.validate();
+  ESARP_EXPECTS(theta_bin + p.block_rows <= child_minus.n_theta());
+  ESARP_EXPECTS(range_bin + p.block_cols <= child_minus.n_range());
+  ESARP_EXPECTS(theta_bin + p.block_rows <= child_plus.n_theta());
+  ESARP_EXPECTS(range_bin + p.block_cols <= child_plus.n_range());
+  BlockPair bp;
+  bp.minus = Array2D<cf32>(p.block_rows, p.block_cols);
+  bp.plus = Array2D<cf32>(p.block_rows, p.block_cols);
+  for (std::size_t r = 0; r < p.block_rows; ++r)
+    for (std::size_t c = 0; c < p.block_cols; ++c) {
+      bp.minus(r, c) = child_minus.data(theta_bin + r, range_bin + c);
+      bp.plus(r, c) = child_plus.data(theta_bin + r, range_bin + c);
+    }
+  return bp;
+}
+
+} // namespace esarp::af

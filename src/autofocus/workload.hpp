@@ -1,0 +1,34 @@
+// Input-block generators for autofocus experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "common/array2d.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "autofocus/af_params.hpp"
+#include "sar/polar.hpp"
+
+namespace esarp::af {
+
+struct BlockPair {
+  Array2D<cf32> minus; ///< block from the trailing child subaperture
+  Array2D<cf32> plus;  ///< block from the leading child subaperture
+};
+
+/// Synthesise a pair of blocks sampled from the same smooth complex field,
+/// with `true_shift` (range bins) of relative displacement — the linear
+/// data shift a flight-path error induces between the two contributing
+/// subimages. criterion_sweep's maximum should land on the candidate
+/// closest to `true_shift`.
+[[nodiscard]] BlockPair synthetic_block_pair(Rng& rng, const AfParams& p,
+                                             float true_shift);
+
+/// Cut a pair of 6x6 blocks at (theta_bin, range_bin) out of two child
+/// subaperture images (area-of-interest extraction used before a merge).
+[[nodiscard]] BlockPair blocks_from_subapertures(
+    const sar::SubapertureImage& child_minus,
+    const sar::SubapertureImage& child_plus, const AfParams& p,
+    std::size_t theta_bin, std::size_t range_bin);
+
+} // namespace esarp::af

@@ -1,0 +1,132 @@
+// Owning 2-D array and non-owning strided 2-D view.
+//
+// Row-major storage. Rows correspond to the slow dimension (for SAR data:
+// pulses / azimuth), columns to the fast dimension (range bins), matching
+// the layout the paper streams through Epiphany local memory banks.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace esarp {
+
+/// Non-owning view of a (possibly strided) 2-D block of T.
+/// Cheap to copy; never allocates. Mutability follows T's constness.
+template <typename T>
+class View2D {
+public:
+  View2D() = default;
+  View2D(T* data, std::size_t rows, std::size_t cols, std::size_t row_stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(row_stride) {
+    ESARP_EXPECTS(row_stride >= cols);
+  }
+  View2D(T* data, std::size_t rows, std::size_t cols)
+      : View2D(data, rows, cols, cols) {}
+
+  /// Implicit view-of-const conversion (View2D<T> -> View2D<const T>).
+  operator View2D<const T>() const
+    requires(!std::is_const_v<T>)
+  {
+    return {data_, rows_, cols_, stride_};
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t row_stride() const { return stride_; }
+  [[nodiscard]] std::size_t size() const { return rows_ * cols_; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] T* data() const { return data_; }
+
+  T& operator()(std::size_t r, std::size_t c) const {
+    ESARP_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * stride_ + c];
+  }
+
+  /// One row as a contiguous span.
+  [[nodiscard]] std::span<T> row(std::size_t r) const {
+    ESARP_EXPECTS(r < rows_);
+    return {data_ + r * stride_, cols_};
+  }
+
+  /// Rectangular sub-view [r0, r0+nr) x [c0, c0+nc).
+  [[nodiscard]] View2D subview(std::size_t r0, std::size_t c0, std::size_t nr,
+                               std::size_t nc) const {
+    ESARP_EXPECTS(r0 + nr <= rows_ && c0 + nc <= cols_);
+    return {data_ + r0 * stride_ + c0, nr, nc, stride_};
+  }
+
+private:
+  T* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;
+};
+
+/// Owning, contiguous, row-major 2-D array.
+template <typename T>
+class Array2D {
+public:
+  Array2D() = default;
+  Array2D(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), store_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return store_.size(); }
+  [[nodiscard]] bool empty() const { return store_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    ESARP_EXPECTS(r < rows_ && c < cols_);
+    return store_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    ESARP_EXPECTS(r < rows_ && c < cols_);
+    return store_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<T> row(std::size_t r) {
+    ESARP_EXPECTS(r < rows_);
+    return {store_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const T> row(std::size_t r) const {
+    ESARP_EXPECTS(r < rows_);
+    return {store_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] T* data() { return store_.data(); }
+  [[nodiscard]] const T* data() const { return store_.data(); }
+  [[nodiscard]] std::span<T> flat() { return {store_.data(), store_.size()}; }
+  [[nodiscard]] std::span<const T> flat() const {
+    return {store_.data(), store_.size()};
+  }
+
+  [[nodiscard]] View2D<T> view() { return {store_.data(), rows_, cols_}; }
+  [[nodiscard]] View2D<const T> view() const {
+    return {store_.data(), rows_, cols_};
+  }
+  [[nodiscard]] View2D<T> subview(std::size_t r0, std::size_t c0,
+                                  std::size_t nr, std::size_t nc) {
+    return view().subview(r0, c0, nr, nc);
+  }
+  [[nodiscard]] View2D<const T> subview(std::size_t r0, std::size_t c0,
+                                        std::size_t nr, std::size_t nc) const {
+    return view().subview(r0, c0, nr, nc);
+  }
+
+  void fill(const T& v) { std::fill(store_.begin(), store_.end(), v); }
+
+  friend bool operator==(const Array2D& a, const Array2D& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.store_ == b.store_;
+  }
+
+private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> store_;
+};
+
+} // namespace esarp

@@ -1,0 +1,39 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines'
+// Expects/Ensures. Violations throw (they are programmer errors surfaced to
+// tests) rather than abort, so property tests can assert on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace esarp {
+
+/// Thrown when a precondition/postcondition/invariant check fails.
+class ContractViolation : public std::logic_error {
+public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  throw ContractViolation(os.str());
+}
+} // namespace detail
+
+} // namespace esarp
+
+/// Precondition check: argument/state requirements at function entry.
+#define ESARP_EXPECTS(cond)                                                    \
+  ((cond) ? void(0)                                                            \
+          : ::esarp::detail::contract_fail("Precondition", #cond, __FILE__,    \
+                                           __LINE__))
+
+/// Postcondition / internal invariant check.
+#define ESARP_ENSURES(cond)                                                    \
+  ((cond) ? void(0)                                                            \
+          : ::esarp::detail::contract_fail("Postcondition", #cond, __FILE__,   \
+                                           __LINE__))

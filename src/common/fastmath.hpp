@@ -1,0 +1,113 @@
+// Reduced-precision math kernels and their operation-count metadata.
+//
+// The Epiphany has no hardware divide, sqrt, or transcendentals; the paper
+// explicitly uses a "less compute-intensive implementation of the square
+// root" and accepts the resulting image-quality loss, and applies the same
+// optimisation to the Intel reference ("applied in the case of both
+// architectures"). These functions are that shared numeric path. Each one
+// carries a documented OpCounts constant so the cost models charge exactly
+// the work the function performs.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "common/opcounts.hpp"
+
+namespace esarp::fastmath {
+
+/// Fast reciprocal square root: integer seed + two Newton iterations.
+/// Relative error < 5e-6 after two iterations.
+inline float fast_rsqrt(float x) {
+  const float xhalf = 0.5f * x;
+  auto bits = std::bit_cast<std::uint32_t>(x);
+  bits = 0x5f375a86u - (bits >> 1); // Lomont's improved magic constant
+  float y = std::bit_cast<float>(bits);
+  y = y * (1.5f - xhalf * y * y); // Newton iteration 1
+  y = y * (1.5f - xhalf * y * y); // Newton iteration 2
+  return y;
+}
+/// Work of one fast_rsqrt call (see function body): 1 halving mul, two
+/// Newton iterations of 2 mul + 1 fma-shaped op each, 3 integer ops for the
+/// bit trick.
+inline constexpr OpCounts kRsqrtOps{.fmul = 5, .fma = 2, .ialu = 3};
+
+/// Fast square root via x * rsqrt(x); returns 0 for x <= 0.
+inline float fast_sqrt(float x) {
+  if (x <= 0.0f) return 0.0f;
+  return x * fast_rsqrt(x);
+}
+inline constexpr OpCounts kSqrtOps = kRsqrtOps + OpCounts{.fmul = 1, .fcmp = 1};
+
+/// Fast reciprocal via rsqrt(x)^2 (x > 0). Used for the divisions in the
+/// cosine-theorem angle equations (paper eqs. 3-4).
+inline float fast_recip_pos(float x) {
+  const float r = fast_rsqrt(x);
+  return r * r;
+}
+inline constexpr OpCounts kRecipOps = kRsqrtOps + OpCounts{.fmul = 1};
+
+namespace detail {
+inline constexpr float kPiF = 3.14159265358979f;
+inline constexpr float kHalfPiF = 1.57079632679490f;
+} // namespace detail
+
+/// Polynomial cosine on [-pi, pi]; max abs error < 1e-6.
+/// Quadrant reduction to [0, pi/2] followed by a degree-10 even Taylor
+/// polynomial (whose truncation error at pi/2 is ~5e-7).
+inline float poly_cos(float x) {
+  float a = x < 0.0f ? -x : x;
+  const bool flip = a > detail::kHalfPiF;
+  if (flip) a = detail::kPiF - a;
+  constexpr float c1 = -1.0f / 2.0f;
+  constexpr float c2 = 1.0f / 24.0f;
+  constexpr float c3 = -1.0f / 720.0f;
+  constexpr float c4 = 1.0f / 40320.0f;
+  constexpr float c5 = -1.0f / 3628800.0f;
+  const float u = a * a;
+  const float c =
+      1.0f + u * (c1 + u * (c2 + u * (c3 + u * (c4 + u * c5))));
+  return flip ? -c : c;
+}
+inline constexpr OpCounts kCosOps{.fadd = 1, .fmul = 2, .fma = 5, .fcmp = 2};
+
+/// Polynomial arccos on [-1, 1]; max abs error ~7e-5 (Abramowitz & Stegun
+/// 4.4.45 form: acos(x) = sqrt(1-x) * P3(x), mirrored for x < 0).
+inline float poly_acos(float x) {
+  constexpr float a0 = 1.5707288f;
+  constexpr float a1 = -0.2121144f;
+  constexpr float a2 = 0.0742610f;
+  constexpr float a3 = -0.0187293f;
+  const bool neg = x < 0.0f;
+  const float ax = neg ? -x : x;
+  const float poly = a0 + ax * (a1 + ax * (a2 + ax * a3));
+  const float r = fast_sqrt(1.0f - ax) * poly;
+  constexpr float pi = 3.14159265358979f;
+  return neg ? pi - r : r;
+}
+inline constexpr OpCounts kAcosOps =
+    kSqrtOps + OpCounts{.fadd = 2, .fmul = 1, .fma = 3, .fcmp = 2};
+
+/// Polynomial sine on [-pi, pi]; max abs error < 1e-6.
+/// Quadrant reduction to [0, pi/2] followed by a degree-9 odd Taylor
+/// polynomial.
+inline float poly_sin(float x) {
+  const bool neg = x < 0.0f;
+  float a = neg ? -x : x;
+  if (a > detail::kHalfPiF) a = detail::kPiF - a; // sin(pi - a) == sin(a)
+  constexpr float s3 = -1.0f / 6.0f;
+  constexpr float s5 = 1.0f / 120.0f;
+  constexpr float s7 = -1.0f / 5040.0f;
+  constexpr float s9 = 1.0f / 362880.0f;
+  const float u = a * a;
+  const float s = a * (1.0f + u * (s3 + u * (s5 + u * (s7 + u * s9))));
+  return neg ? -s : s;
+}
+inline constexpr OpCounts kSinOps{.fadd = 1, .fmul = 2, .fma = 4, .fcmp = 2};
+
+/// |z|^2 for a complex value given as (re, im): 1 mul + 1 fma.
+inline float norm2(float re, float im) { return re * re + im * im; }
+inline constexpr OpCounts kNorm2Ops{.fmul = 1, .fma = 1};
+
+} // namespace esarp::fastmath

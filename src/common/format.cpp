@@ -1,0 +1,66 @@
+#include "common/format.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace esarp {
+
+std::string format_seconds(double seconds, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision);
+  const double a = std::abs(seconds);
+  if (a < 1e-6)
+    os << seconds * 1e9 << " ns";
+  else if (a < 1e-3)
+    os << seconds * 1e6 << " us";
+  else if (a < 1.0)
+    os << seconds * 1e3 << " ms";
+  else
+    os << seconds << " s";
+  return os.str();
+}
+
+std::string format_cycles(std::uint64_t cycles) {
+  std::string digits = std::to_string(cycles);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+std::string format_bytes(std::uint64_t bytes, int precision) {
+  static constexpr const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int idx = 0;
+  while (v >= 1024.0 && idx < 4) {
+    v /= 1024.0;
+    ++idx;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(idx == 0 ? 0 : precision) << v << ' '
+     << units[idx];
+  return os.str();
+}
+
+std::string format_rate(double per_second, const std::string& unit,
+                        int precision) {
+  static constexpr const char* prefixes[] = {"", "k", "M", "G", "T"};
+  double v = per_second;
+  int idx = 0;
+  while (std::abs(v) >= 1000.0 && idx < 4) {
+    v /= 1000.0;
+    ++idx;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v << ' ' << prefixes[idx]
+     << unit << "/s";
+  return os.str();
+}
+
+} // namespace esarp

@@ -1,0 +1,22 @@
+// Human-readable formatting helpers shared by benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace esarp {
+
+/// Format a duration given in seconds, choosing ns/us/ms/s automatically.
+std::string format_seconds(double seconds, int precision = 2);
+
+/// Format a cycle count with thousands separators.
+std::string format_cycles(std::uint64_t cycles);
+
+/// Format a byte count (B/KB/MB/GB, powers of 1024).
+std::string format_bytes(std::uint64_t bytes, int precision = 1);
+
+/// Format a rate in <unit>/s with engineering prefixes (powers of 1000).
+std::string format_rate(double per_second, const std::string& unit,
+                        int precision = 2);
+
+} // namespace esarp

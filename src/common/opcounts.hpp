@@ -1,0 +1,73 @@
+// Architecture-neutral accounting of the work a kernel performs.
+//
+// Kernels tally the arithmetic/memory operations of each compute block; the
+// Epiphany cost model (src/epiphany/cost_model.hpp) and the Intel host model
+// (src/hostmodel/host_model.hpp) translate the *same* counts into cycles for
+// their respective micro-architectures. This makes the paper's cross-
+// architecture speedup comparison a deterministic function of counted work.
+#pragma once
+
+#include <cstdint>
+
+namespace esarp {
+
+struct OpCounts {
+  // Floating-point (32-bit) operations.
+  std::uint64_t fadd = 0; ///< additions/subtractions
+  std::uint64_t fmul = 0; ///< multiplications
+  std::uint64_t fma = 0;  ///< fused multiply-adds (1 instruction on Epiphany,
+                          ///< mul+add pair on pre-AVX2 Intel: Westmere has no FMA)
+  std::uint64_t fdiv = 0; ///< divisions (no HW divide on Epiphany -> expanded)
+  std::uint64_t fcmp = 0; ///< compares / min / max / abs
+  // Integer / address arithmetic and control.
+  std::uint64_t ialu = 0;   ///< integer ALU ops incl. address arithmetic
+  std::uint64_t branch = 0; ///< taken-branch estimate
+  // Local (on-core / L1-resident) memory accesses, in 32-bit words.
+  std::uint64_t load = 0;
+  std::uint64_t store = 0;
+
+  constexpr OpCounts& operator+=(const OpCounts& o) {
+    fadd += o.fadd;
+    fmul += o.fmul;
+    fma += o.fma;
+    fdiv += o.fdiv;
+    fcmp += o.fcmp;
+    ialu += o.ialu;
+    branch += o.branch;
+    load += o.load;
+    store += o.store;
+    return *this;
+  }
+  friend constexpr OpCounts operator+(OpCounts a, const OpCounts& b) {
+    return a += b;
+  }
+  /// Scale all counts by n (e.g. per-pixel counts times pixel count).
+  friend constexpr OpCounts operator*(OpCounts a, std::uint64_t n) {
+    a.fadd *= n;
+    a.fmul *= n;
+    a.fma *= n;
+    a.fdiv *= n;
+    a.fcmp *= n;
+    a.ialu *= n;
+    a.branch *= n;
+    a.load *= n;
+    a.store *= n;
+    return a;
+  }
+  friend constexpr OpCounts operator*(std::uint64_t n, const OpCounts& a) {
+    return a * n;
+  }
+
+  /// Total FP operations, counting an FMA as two flops (reporting convention).
+  [[nodiscard]] constexpr std::uint64_t flops() const {
+    return fadd + fmul + 2 * fma + fdiv + fcmp;
+  }
+  /// Total FP *instructions* (FMA as one issue slot).
+  [[nodiscard]] constexpr std::uint64_t fp_issues() const {
+    return fadd + fmul + fma + fdiv + fcmp;
+  }
+
+  friend constexpr bool operator==(const OpCounts&, const OpCounts&) = default;
+};
+
+} // namespace esarp

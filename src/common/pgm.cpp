@@ -1,0 +1,122 @@
+#include "common/pgm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace esarp {
+
+namespace {
+
+/// Map a complex image to display values in [0,1] with the given options.
+Array2D<float> to_display(const Array2D<cf32>& img, const PgmOptions& opts) {
+  Array2D<float> out(img.rows(), img.cols());
+  double peak = 0.0;
+  for (const auto& px : img.flat())
+    peak = std::max(peak, static_cast<double>(std::abs(px)));
+  if (peak <= 0.0) return out;
+
+  const double floor_db = -opts.dynamic_range_db;
+  for (std::size_t r = 0; r < img.rows(); ++r) {
+    for (std::size_t c = 0; c < img.cols(); ++c) {
+      const double mag = std::abs(img(r, c)) / peak;
+      double v;
+      if (opts.log_scale) {
+        const double db = mag > 0.0 ? 20.0 * std::log10(mag)
+                                    : -std::numeric_limits<double>::infinity();
+        v = (db - floor_db) / -floor_db; // floor_db -> 0, 0 dB -> 1
+      } else {
+        v = mag;
+      }
+      v = std::clamp(v, 0.0, 1.0);
+      if (opts.invert) v = 1.0 - v;
+      out(r, c) = static_cast<float>(v);
+    }
+  }
+  return out;
+}
+
+std::size_t write_pgm_bytes(const std::filesystem::path& path,
+                            const Array2D<float>& norm01) {
+  std::ofstream f(path, std::ios::binary);
+  ESARP_EXPECTS(f.is_open());
+  f << "P5\n" << norm01.cols() << ' ' << norm01.rows() << "\n255\n";
+  std::vector<unsigned char> row(norm01.cols());
+  for (std::size_t r = 0; r < norm01.rows(); ++r) {
+    for (std::size_t c = 0; c < norm01.cols(); ++c) {
+      row[c] = static_cast<unsigned char>(
+          std::lround(std::clamp(norm01(r, c), 0.0f, 1.0f) * 255.0f));
+    }
+    f.write(reinterpret_cast<const char*>(row.data()),
+            static_cast<std::streamsize>(row.size()));
+  }
+  f.flush();
+  ESARP_ENSURES(f.good());
+  return norm01.size() + 15; // header is ~15 bytes; exact size unimportant
+}
+
+} // namespace
+
+std::size_t write_pgm(const std::filesystem::path& path,
+                      const Array2D<cf32>& img, const PgmOptions& opts) {
+  return write_pgm_bytes(path, to_display(img, opts));
+}
+
+std::size_t write_pgm(const std::filesystem::path& path,
+                      const Array2D<float>& img, bool invert) {
+  float lo = std::numeric_limits<float>::max();
+  float hi = std::numeric_limits<float>::lowest();
+  for (float v : img.flat()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  Array2D<float> norm(img.rows(), img.cols());
+  const float span = hi > lo ? hi - lo : 1.0f;
+  for (std::size_t r = 0; r < img.rows(); ++r)
+    for (std::size_t c = 0; c < img.cols(); ++c) {
+      float v = (img(r, c) - lo) / span;
+      norm(r, c) = invert ? 1.0f - v : v;
+    }
+  return write_pgm_bytes(path, norm);
+}
+
+std::string ascii_render(const Array2D<cf32>& img, std::size_t cols,
+                         double dynamic_range_db) {
+  static constexpr char ramp[] = " .:-=+*#%@";
+  constexpr std::size_t levels = sizeof(ramp) - 2;
+  if (img.empty() || cols == 0) return {};
+
+  PgmOptions opts;
+  opts.dynamic_range_db = dynamic_range_db;
+  const Array2D<float> disp = to_display(img, opts);
+
+  cols = std::min(cols, img.cols());
+  // Terminal cells are ~2x taller than wide; halve row density.
+  const std::size_t rows =
+      std::max<std::size_t>(1, img.rows() * cols / img.cols() / 2);
+
+  std::string out;
+  out.reserve(rows * (cols + 1));
+  for (std::size_t rr = 0; rr < rows; ++rr) {
+    for (std::size_t cc = 0; cc < cols; ++cc) {
+      // Max-pool the source cell so point targets stay visible.
+      const std::size_t r0 = rr * img.rows() / rows;
+      const std::size_t r1 = std::max(r0 + 1, (rr + 1) * img.rows() / rows);
+      const std::size_t c0 = cc * img.cols() / cols;
+      const std::size_t c1 = std::max(c0 + 1, (cc + 1) * img.cols() / cols);
+      float v = 0.0f;
+      for (std::size_t r = r0; r < r1 && r < disp.rows(); ++r)
+        for (std::size_t c = c0; c < c1 && c < disp.cols(); ++c)
+          v = std::max(v, disp(r, c));
+      out += ramp[static_cast<std::size_t>(v * static_cast<float>(levels))];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+} // namespace esarp

@@ -1,0 +1,37 @@
+// Grayscale image output (binary PGM, P5) for reproducing the paper's
+// Figure 7 panels. Complex SAR images are rendered as log-magnitude with a
+// configurable dynamic range, the standard display convention for SAR.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "common/array2d.hpp"
+#include "common/types.hpp"
+
+namespace esarp {
+
+struct PgmOptions {
+  /// Displayed dynamic range below the image peak [dB].
+  double dynamic_range_db = 40.0;
+  /// If true, apply 20*log10(|x|) before scaling; otherwise linear magnitude.
+  bool log_scale = true;
+  /// Invert (targets dark on light background) to match printed figures.
+  bool invert = false;
+};
+
+/// Write |img| as an 8-bit binary PGM. Returns bytes written.
+std::size_t write_pgm(const std::filesystem::path& path,
+                      const Array2D<cf32>& img, const PgmOptions& opts = {});
+
+/// Write a real-valued image (already scaled by caller) as PGM,
+/// normalising [min,max] -> [0,255].
+std::size_t write_pgm(const std::filesystem::path& path,
+                      const Array2D<float>& img, bool invert = false);
+
+/// Render |img| to an ASCII-art string (for quick terminal inspection in
+/// benches/examples; `cols` output characters wide, aspect-corrected).
+std::string ascii_render(const Array2D<cf32>& img, std::size_t cols = 72,
+                         double dynamic_range_db = 30.0);
+
+} // namespace esarp

@@ -1,0 +1,106 @@
+// Deterministic pseudo-random generation for reproducible experiments.
+//
+// All workloads in the benchmark harness are seeded explicitly so that every
+// table/figure regenerates identically across runs and machines (std::mt19937
+// distributions are not guaranteed identical across standard libraries, so we
+// implement the generator and the distributions we need ourselves).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace esarp {
+
+/// SplitMix64: used to seed Xoshiro and for cheap one-off hashing.
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality, fully deterministic PRNG.
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    ESARP_EXPECTS(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform_f(float lo, float hi) {
+    return static_cast<float>(uniform(lo, hi));
+  }
+
+  /// Uniform integer in [0, n). Unbiased via rejection.
+  std::uint64_t below(std::uint64_t n) {
+    ESARP_EXPECTS(n > 0);
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Standard normal via Marsaglia polar method (deterministic given seed).
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    have_spare_ = true;
+    return u * m;
+  }
+
+private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+} // namespace esarp

@@ -1,0 +1,109 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace esarp {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  mean_ = (na * mean_ + nb * other.mean_) / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double rmse(std::span<const float> a, std::span<const float> b) {
+  ESARP_EXPECTS(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+double rmse(std::span<const cf32> a, std::span<const cf32> b) {
+  ESARP_EXPECTS(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double dr =
+        static_cast<double>(a[i].real()) - static_cast<double>(b[i].real());
+    const double di =
+        static_cast<double>(a[i].imag()) - static_cast<double>(b[i].imag());
+    acc += dr * dr + di * di;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+double peak_magnitude(const Array2D<cf32>& img) {
+  double peak = 0.0;
+  for (const auto& px : img.flat())
+    peak = std::max(peak, static_cast<double>(std::abs(px)));
+  return peak;
+}
+
+double relative_rmse(const Array2D<cf32>& a, const Array2D<cf32>& b) {
+  const double peak = peak_magnitude(b);
+  if (peak == 0.0) return 0.0;
+  return rmse(a.flat(), b.flat()) / peak;
+}
+
+double image_entropy(const Array2D<cf32>& img) {
+  // Entropy of the energy distribution p_i = |x_i|^2 / sum |x|^2.
+  double total = 0.0;
+  for (const auto& px : img.flat()) total += std::norm(px);
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (const auto& px : img.flat()) {
+    const double p = std::norm(px) / total;
+    if (p > 0.0) h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double image_contrast(const Array2D<cf32>& img) {
+  RunningStats st;
+  for (const auto& px : img.flat()) st.add(std::abs(px));
+  return st.mean() > 0.0 ? st.stddev() / st.mean() : 0.0;
+}
+
+double peak_to_average_db(const Array2D<cf32>& img) {
+  RunningStats st;
+  for (const auto& px : img.flat()) st.add(std::abs(px));
+  if (st.mean() <= 0.0 || st.max() <= 0.0) return 0.0;
+  return 20.0 * std::log10(st.max() / st.mean());
+}
+
+} // namespace esarp

@@ -1,0 +1,55 @@
+// Streaming statistics and image-error metrics used by tests and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/array2d.hpp"
+#include "common/types.hpp"
+
+namespace esarp {
+
+/// Welford's online mean/variance accumulator.
+class RunningStats {
+public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const; ///< population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Root-mean-square error between two equally sized spans.
+double rmse(std::span<const float> a, std::span<const float> b);
+double rmse(std::span<const cf32> a, std::span<const cf32> b);
+
+/// Peak (max-magnitude) value of a complex image.
+double peak_magnitude(const Array2D<cf32>& img);
+
+/// Relative RMSE: rmse(a,b) / peak(|b|); 0 means identical.
+double relative_rmse(const Array2D<cf32>& a, const Array2D<cf32>& b);
+
+/// Shannon entropy of the normalised magnitude image. Sharper (better
+/// focused) SAR images have lower entropy — the classic autofocus-quality
+/// scalar, used to quantify Fig. 7's FFBP-vs-GBP degradation.
+double image_entropy(const Array2D<cf32>& img);
+
+/// Image contrast: stddev(|img|) / mean(|img|). Higher = sharper targets.
+double image_contrast(const Array2D<cf32>& img);
+
+/// Peak-to-average magnitude ratio in dB.
+double peak_to_average_db(const Array2D<cf32>& img);
+
+} // namespace esarp

@@ -1,0 +1,112 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace esarp {
+
+void Table::header(std::vector<std::string> cols, std::string alignment) {
+  header_ = std::move(cols);
+  align_ = std::move(alignment);
+}
+
+void Table::row(std::vector<std::string> cols) {
+  if (!header_.empty()) ESARP_EXPECTS(cols.size() == header_.size());
+  rows_.push_back({std::move(cols), false});
+}
+
+void Table::separator() { rows_.push_back({{}, true}); }
+
+void Table::note(std::string line) { notes_.push_back(std::move(line)); }
+
+void Table::print(std::ostream& os) const { os << str(); }
+
+std::string Table::str() const {
+  // Compute column widths.
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+  std::vector<std::size_t> w(ncols, 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    w[c] = std::max(w[c], header_[c].size());
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.cells.size(); ++c)
+      w[c] = std::max(w[c], r.cells[c].size());
+
+  auto align_of = [&](std::size_t c) -> char {
+    if (c < align_.size()) return align_[c];
+    return c == 0 ? 'l' : 'r';
+  };
+  auto emit_cell = [&](std::ostringstream& os2, const std::string& s,
+                       std::size_t c) {
+    const std::size_t pad = w[c] - s.size();
+    if (align_of(c) == 'l')
+      os2 << s << std::string(pad, ' ');
+    else
+      os2 << std::string(pad, ' ') << s;
+  };
+  auto rule = [&](std::ostringstream& os2) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      os2 << std::string(w[c] + 2, '-');
+      if (c + 1 < ncols) os2 << '+';
+    }
+    os2 << '\n';
+  };
+
+  std::ostringstream out;
+  out << "\n== " << title_ << " ==\n";
+  if (!header_.empty()) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      out << ' ';
+      std::ostringstream cell;
+      emit_cell(cell, header_[c], c);
+      out << cell.str() << ' ';
+      if (c + 1 < ncols) out << '|';
+    }
+    out << '\n';
+    rule(out);
+  }
+  for (const auto& r : rows_) {
+    if (r.is_separator) {
+      rule(out);
+      continue;
+    }
+    for (std::size_t c = 0; c < ncols; ++c) {
+      out << ' ';
+      std::ostringstream cell;
+      emit_cell(cell, c < r.cells.size() ? r.cells[c] : std::string{}, c);
+      out << cell.str() << ' ';
+      if (c + 1 < ncols) out << '|';
+    }
+    out << '\n';
+  }
+  for (const auto& n : notes_) out << "  * " << n << '\n';
+  return out.str();
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::eng(double v, const std::string& unit, int precision) {
+  static constexpr const char* prefixes[] = {"", "k", "M", "G", "T"};
+  int idx = 0;
+  double mag = std::abs(v);
+  while (mag >= 1000.0 && idx < 4) {
+    mag /= 1000.0;
+    v /= 1000.0;
+    ++idx;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v << ' ' << prefixes[idx]
+     << unit;
+  return os.str();
+}
+
+} // namespace esarp

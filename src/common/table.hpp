@@ -1,0 +1,49 @@
+// Console table printer used by the benchmark harness to render
+// paper-style result tables (Table I and the ablation tables).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace esarp {
+
+/// Simple fixed-grid table with a title, header row, and left/right aligned
+/// columns. Column widths auto-fit the content.
+class Table {
+public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Set the header row; alignment: 'l' or 'r' per column (defaults right,
+  /// first column left).
+  void header(std::vector<std::string> cols, std::string alignment = "");
+
+  /// Append a data row; must match header width if a header was set.
+  void row(std::vector<std::string> cols);
+
+  /// Append a horizontal separator between row groups.
+  void separator();
+
+  /// Free-form footnote lines printed under the table.
+  void note(std::string line);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string str() const;
+
+  /// Helpers for consistent numeric formatting.
+  static std::string num(double v, int precision = 2);
+  static std::string eng(double v, const std::string& unit, int precision = 2);
+
+private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator = false;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::string align_;
+  std::vector<Row> rows_;
+  std::vector<std::string> notes_;
+};
+
+} // namespace esarp

@@ -1,0 +1,25 @@
+// Wall-clock timing for the native (measured) runs reported alongside the
+// modelled times in the benchmark tables.
+#pragma once
+
+#include <chrono>
+
+namespace esarp {
+
+class WallTimer {
+public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Seconds since construction or the last reset().
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+} // namespace esarp

@@ -1,0 +1,28 @@
+// Fundamental scalar and complex types shared across the whole project.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <numbers>
+
+namespace esarp {
+
+/// Single-precision complex sample. The Epiphany FPU is 32-bit single
+/// precision only, so every on-"chip" pixel and radar sample uses this type.
+/// It is exactly 8 bytes, matching the paper's "two 32-bit floating-point
+/// numbers" per pixel (and the 64-bit MOV optimisation it describes).
+using cf32 = std::complex<float>;
+
+/// Double-precision complex, used only by host-side reference math
+/// (e.g. geometry validation in tests), never by the simulated kernels.
+using cf64 = std::complex<double>;
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr float kPiF = std::numbers::pi_v<float>;
+
+/// Speed of light [m/s]; used by SAR geometry to convert delays to ranges.
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+static_assert(sizeof(cf32) == 8, "cf32 must be 8 bytes (paper: 64-bit pixel)");
+
+} // namespace esarp

@@ -1,0 +1,402 @@
+#include "core/autofocus_epiphany.hpp"
+
+#include <array>
+#include <memory>
+
+#include "common/assert.hpp"
+#include "common/fastmath.hpp"
+#include "epiphany/graph.hpp"
+#include "autofocus/criterion.hpp"
+#include "autofocus/criterion_kernel.hpp"
+
+namespace esarp::core {
+
+namespace {
+
+/// Streaming message: one range-interpolated column (all block rows at one
+/// sample position). Sized for the paper's 6-row blocks (up to 8 rows).
+struct RangePacket {
+  std::array<cf32, 8> col;
+  std::uint8_t rows = 0;
+  std::uint8_t valid = 0;
+};
+
+/// Streaming message: squared magnitudes of the beam outputs at one sample
+/// position (up to 4 beam windows).
+struct BeamPacket {
+  std::array<float, 4> mags;
+  std::uint8_t count = 0;
+  std::uint8_t valid = 0;
+};
+
+/// Core ids of the 13-core pipeline on the 4x4 mesh.
+struct Placement {
+  int range[2][3]; ///< [block][window]
+  int beam[2][3];
+  int corr;
+};
+
+Placement make_placement(AfPlacement kind) {
+  if (kind == AfPlacement::kCompact) {
+    // Paper Fig. 9 style: each window pipeline occupies one mesh row;
+    // range -> beam are horizontal neighbours, beams flank the columns
+    // next to the correlator's column.
+    //   block 0: range col 0 -> beam col 1; block 1: range col 3 -> beam
+    //   col 2; correlator at (3,1), adjacent to the last beam row.
+    return Placement{{{0, 4, 8}, {3, 7, 11}},
+                     {{1, 5, 9}, {2, 6, 10}},
+                     13};
+  }
+  // Scattered: every producer-consumer pair is several hops apart.
+  return Placement{{{0, 1, 2}, {4, 8, 12}},
+                   {{15, 14, 13}, {3, 7, 11}},
+                   5};
+}
+
+struct AfShared {
+  std::span<const cf32> blocks_ext; ///< [pair][block(2)][rows*cols]
+  std::span<float> out_ext;         ///< criterion results [pair][shift]
+  std::vector<std::vector<double>> criteria;
+  std::unique_ptr<ep::Channel<RangePacket>> range_to_beam[2][3];
+  std::unique_ptr<ep::Channel<BeamPacket>> beam_to_corr[2][3];
+};
+
+/// Per-sample work charged on a range core: the sample geometry plus one
+/// Neville evaluation per block row.
+OpCounts range_core_sample_ops(const af::AfParams& p) {
+  return af::kSampleGeomOps + af::range_stage_ops(p.block_rows);
+}
+/// Per-sample work charged on a beam core.
+OpCounts beam_core_sample_ops(const af::AfParams& p) {
+  return af::kSampleGeomOps +
+         static_cast<std::uint64_t>(p.beams) * af::kBeamOutputOps;
+}
+/// Per-sample work charged on the correlation core.
+OpCounts corr_sample_ops(const af::AfParams& p) {
+  return static_cast<std::uint64_t>(p.beams) * af::kCorrTermOps +
+         OpCounts{.ialu = 4, .branch = 1};
+}
+
+template <typename OutChan>
+ep::Task range_program(ep::CoreCtx& ctx, const af::AfParams& p,
+                       std::span<const cf32> blocks_ext, std::size_t n_pairs,
+                       int block, int window, OutChan& chan) {
+  const std::size_t block_px = p.block_rows * p.block_cols;
+  auto local_block = ctx.local().alloc_in_bank<cf32>(block_px, 2);
+  const OpCounts sample_ops = range_core_sample_ops(p);
+
+  for (std::size_t pair = 0; pair < n_pairs; ++pair) {
+    // Fetch this pair's contributing block (the paper DMAs the area of
+    // interest into each interpolator's local memory).
+    const cf32* src =
+        blocks_ext.data() + (2 * pair + static_cast<std::size_t>(block)) *
+                                block_px;
+    ep::DmaJob job = ctx.dma_read_ext(
+        local_block.data(), src, block_px * sizeof(cf32));
+    co_await ctx.wait(job);
+    const View2D<const cf32> view(local_block.data(), p.block_rows,
+                                  p.block_cols);
+
+    for (std::size_t sh = 0; sh < p.shift_candidates.size(); ++sh) {
+      const float delta = p.shift_candidates[sh];
+      for (std::size_t s = 0; s < p.samples_per_row; ++s) {
+        const af::SampleGeom g = af::af_sample_geom(p, s, delta);
+        RangePacket pkt;
+        pkt.rows = static_cast<std::uint8_t>(p.block_rows);
+        pkt.valid = g.valid ? 1 : 0;
+        if (g.valid) {
+          const float t = block == 0 ? g.t_minus : g.t_plus;
+          af::range_interp_column(view, static_cast<std::size_t>(window), t,
+                                  pkt.col.data(), p.block_rows);
+        }
+        co_await ctx.compute(sample_ops);
+        co_await chan.send(ctx, pkt);
+      }
+    }
+  }
+}
+
+template <typename InChan, typename OutChan>
+ep::Task beam_program(ep::CoreCtx& ctx, const af::AfParams& p,
+                      std::size_t n_pairs, int block, int window,
+                      InChan& in, OutChan& out) {
+  (void)block;
+  (void)window;
+  const OpCounts sample_ops = beam_core_sample_ops(p);
+
+  for (std::size_t pair = 0; pair < n_pairs; ++pair) {
+    for (std::size_t sh = 0; sh < p.shift_candidates.size(); ++sh) {
+      const float delta = p.shift_candidates[sh];
+      for (std::size_t s = 0; s < p.samples_per_row; ++s) {
+        RangePacket pkt = co_await in.recv(ctx);
+        const af::SampleGeom g = af::af_sample_geom(p, s, delta);
+        BeamPacket bp;
+        bp.count = static_cast<std::uint8_t>(p.beams);
+        bp.valid = pkt.valid;
+        if (pkt.valid) {
+          for (std::size_t b = 0; b < p.beams; ++b) {
+            const cf32 v = af::beam_interp(pkt.col.data(), b, g.u);
+            bp.mags[b] = fastmath::norm2(v.real(), v.imag());
+          }
+        }
+        co_await ctx.compute(sample_ops);
+        co_await out.send(ctx, bp);
+      }
+    }
+  }
+}
+
+template <typename InChan>
+ep::Task corr_program(ep::CoreCtx& ctx, const af::AfParams& p,
+                      InChan* (&inputs)[2][3], std::span<float> out_ext,
+                      std::vector<std::vector<double>>& criteria,
+                      std::size_t n_pairs) {
+  const OpCounts sample_ops = corr_sample_ops(p);
+  const std::size_t n_shifts = p.shift_candidates.size();
+  std::vector<float> row(n_shifts);
+
+  for (std::size_t pair = 0; pair < n_pairs; ++pair) {
+    criteria[pair].assign(n_shifts, 0.0);
+    for (std::size_t sh = 0; sh < n_shifts; ++sh) {
+      // Accumulate in float, window-major then sample — the exact order of
+      // the sequential af::criterion_sweep, so results match bit-for-bit.
+      float criterion = 0.0f;
+      for (std::size_t w = 0; w < p.windows; ++w) {
+        for (std::size_t s = 0; s < p.samples_per_row; ++s) {
+          const BeamPacket bm = co_await inputs[0][w]->recv(ctx);
+          const BeamPacket bp = co_await inputs[1][w]->recv(ctx);
+          if (bm.valid && bp.valid) {
+            for (std::size_t b = 0; b < p.beams; ++b)
+              criterion += bm.mags[b] * bp.mags[b];
+          }
+          co_await ctx.compute(sample_ops);
+        }
+      }
+      criteria[pair][sh] = static_cast<double>(criterion);
+      row[sh] = criterion;
+    }
+    // Post the pair's criterion row to SDRAM (paper: the correlation core
+    // "provides the final ... result to be written to the off-chip SDRAM").
+    co_await ctx.write_ext(out_ext.data() + pair * n_shifts, row.data(),
+                           n_shifts * sizeof(float));
+  }
+}
+
+ep::Task af_sequential_program(ep::CoreCtx& ctx, const af::AfParams& p,
+                               std::span<const af::BlockPair> pairs,
+                               std::span<const cf32> blocks,
+                               std::span<float> out,
+                               std::vector<std::vector<double>>& criteria) {
+  const std::size_t block_px = p.block_rows * p.block_cols;
+  const std::size_t n_shifts = p.shift_candidates.size();
+  auto local = ctx.local().alloc_in_bank<cf32>(2 * block_px, 2);
+
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    ep::DmaJob job =
+        ctx.dma_read_ext(local.data(), blocks.data() + 2 * i * block_px,
+                         2 * block_px * sizeof(cf32));
+    co_await ctx.wait(job);
+
+    // The sweep itself: the same reference code path as the host run,
+    // charged as one counted compute block per pair.
+    Array2D<cf32> bm(p.block_rows, p.block_cols);
+    Array2D<cf32> bp(p.block_rows, p.block_cols);
+    std::copy(local.begin(), local.begin() + block_px, bm.data());
+    std::copy(local.begin() + block_px, local.end(), bp.data());
+    const af::CriterionResult cr = af::criterion_sweep(bm, bp, p);
+    co_await ctx.compute(cr.ops);
+
+    criteria[i] = cr.criteria;
+    std::vector<float> row(cr.criteria.begin(), cr.criteria.end());
+    co_await ctx.write_ext(out.data() + i * n_shifts, row.data(),
+                           n_shifts * sizeof(float));
+  }
+}
+
+/// Pack all pairs into SDRAM; returns the span.
+std::span<cf32> pack_blocks(ep::Machine& m, std::span<const af::BlockPair> pairs,
+                            const af::AfParams& p) {
+  const std::size_t block_px = p.block_rows * p.block_cols;
+  auto ext = m.ext().alloc<cf32>(2 * pairs.size() * block_px);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    std::copy(pairs[i].minus.flat().begin(), pairs[i].minus.flat().end(),
+              ext.begin() + static_cast<std::ptrdiff_t>(2 * i * block_px));
+    std::copy(pairs[i].plus.flat().begin(), pairs[i].plus.flat().end(),
+              ext.begin() +
+                  static_cast<std::ptrdiff_t>((2 * i + 1) * block_px));
+  }
+  return ext;
+}
+
+} // namespace
+
+AfSimResult run_autofocus_sequential_epiphany(
+    std::span<const af::BlockPair> pairs, const af::AfParams& p,
+    ep::ChipConfig cfg) {
+  p.validate();
+  ESARP_EXPECTS(!pairs.empty());
+  ep::Machine m(cfg, 16u << 20);
+  const std::span<cf32> blocks = pack_blocks(m, pairs, p);
+  auto out = m.ext().alloc<float>(pairs.size() * p.shift_candidates.size());
+
+  AfSimResult res;
+  res.criteria.resize(pairs.size());
+  res.cores_used = 1;
+
+  m.launch(0, [&p, pairs, blocks, out, &res](ep::CoreCtx& ctx) {
+    return af_sequential_program(ctx, p, pairs, blocks, out, res.criteria);
+  });
+
+  res.cycles = m.run();
+  res.seconds = m.seconds(res.cycles);
+  res.perf = m.report();
+  res.energy = ep::compute_energy(res.perf);
+  res.pixels_per_second =
+      static_cast<double>(pairs.size() * p.pixels()) / res.seconds;
+  return res;
+}
+
+AfSimResult run_autofocus_mpmd(std::span<const af::BlockPair> pairs,
+                               const af::AfParams& p, const AfMapOptions& opt,
+                               ep::ChipConfig cfg) {
+  p.validate();
+  ESARP_EXPECTS(!pairs.empty());
+  ESARP_EXPECTS(p.block_rows <= 8 && p.beams <= 4); // packet capacities
+  ESARP_EXPECTS(p.windows == 3);                    // 13-core pipeline shape
+  ESARP_EXPECTS(cfg.core_count() >= 14);
+
+  ep::Machine m(cfg, 16u << 20);
+  AfShared st;
+  st.blocks_ext = pack_blocks(m, pairs, p);
+  st.out_ext = m.ext().alloc<float>(pairs.size() * p.shift_candidates.size());
+  st.criteria.resize(pairs.size());
+
+  const Placement pl = make_placement(opt.placement);
+  for (int f = 0; f < 2; ++f) {
+    for (int w = 0; w < 3; ++w) {
+      st.range_to_beam[f][w] = m.make_channel<RangePacket>(
+          pl.beam[f][w], opt.channel_capacity, "range->beam");
+      st.beam_to_corr[f][w] = m.make_channel<BeamPacket>(
+          pl.corr, opt.channel_capacity, "beam->corr");
+    }
+  }
+
+  const std::size_t n_pairs = pairs.size();
+  ep::Channel<BeamPacket>* corr_inputs[2][3];
+  for (int f = 0; f < 2; ++f)
+    for (int w = 0; w < 3; ++w)
+      corr_inputs[f][w] = st.beam_to_corr[f][w].get();
+  for (int f = 0; f < 2; ++f) {
+    for (int w = 0; w < 3; ++w) {
+      m.launch(pl.range[f][w], [&p, &st, n_pairs, f, w](ep::CoreCtx& ctx) {
+        return range_program(ctx, p, st.blocks_ext, n_pairs, f, w,
+                             *st.range_to_beam[f][w]);
+      });
+      m.launch(pl.beam[f][w], [&p, &st, n_pairs, f, w](ep::CoreCtx& ctx) {
+        return beam_program(ctx, p, n_pairs, f, w, *st.range_to_beam[f][w],
+                            *st.beam_to_corr[f][w]);
+      });
+    }
+  }
+  m.launch(pl.corr, [&p, &st, &corr_inputs, n_pairs](ep::CoreCtx& ctx) {
+    return corr_program(ctx, p, corr_inputs, st.out_ext, st.criteria,
+                        n_pairs);
+  });
+
+  AfSimResult res;
+  res.cores_used = 13;
+  res.cycles = m.run();
+  res.seconds = m.seconds(res.cycles);
+  res.perf = m.report();
+  res.energy = ep::compute_energy(res.perf);
+  res.criteria = st.criteria;
+  res.pixels_per_second =
+      static_cast<double>(pairs.size() * p.pixels()) / res.seconds;
+  return res;
+}
+
+AfGraphResult run_autofocus_graph(std::span<const af::BlockPair> pairs,
+                                  const af::AfParams& p,
+                                  std::size_t channel_capacity,
+                                  ep::ChipConfig cfg) {
+  p.validate();
+  ESARP_EXPECTS(!pairs.empty());
+  ESARP_EXPECTS(p.block_rows <= 8 && p.beams <= 4);
+  ESARP_EXPECTS(p.windows == 3);
+  ESARP_EXPECTS(cfg.core_count() >= 14);
+
+  ep::Machine m(cfg, 16u << 20);
+  ep::ProcessNetwork net(m);
+
+  std::span<const cf32> blocks_ext = pack_blocks(m, pairs, p);
+  auto out_ext = m.ext().alloc<float>(pairs.size() * p.shift_candidates.size());
+  std::vector<std::vector<double>> criteria(pairs.size());
+  const std::size_t n_pairs = pairs.size();
+
+  // Declare the typed channels. Edge weights reflect relative traffic
+  // volume: range->beam packets are ~6x larger than beam->corr packets.
+  ep::GraphChannel<RangePacket>* r2b[2][3];
+  ep::GraphChannel<BeamPacket>* b2c[2][3];
+  ep::GraphChannel<BeamPacket>* corr_inputs[2][3];
+  for (int f = 0; f < 2; ++f) {
+    for (int w = 0; w < 3; ++w) {
+      r2b[f][w] = &net.channel<RangePacket>(
+          "range->beam[" + std::to_string(f) + "][" + std::to_string(w) + "]",
+          channel_capacity);
+      b2c[f][w] = &net.channel<BeamPacket>(
+          "beam->corr[" + std::to_string(f) + "][" + std::to_string(w) + "]",
+          channel_capacity);
+      corr_inputs[f][w] = b2c[f][w];
+    }
+  }
+
+  // Declare the nodes. No coordinates anywhere: the network places them.
+  int range_id[2][3];
+  int beam_id[2][3];
+  for (int f = 0; f < 2; ++f) {
+    for (int w = 0; w < 3; ++w) {
+      range_id[f][w] = net.node(
+          "range[" + std::to_string(f) + "][" + std::to_string(w) + "]",
+          [&p, blocks_ext, n_pairs, f, w, &r2b](ep::CoreCtx& ctx) {
+            return range_program(ctx, p, blocks_ext, n_pairs, f, w,
+                                 *r2b[f][w]);
+          });
+      beam_id[f][w] = net.node(
+          "beam[" + std::to_string(f) + "][" + std::to_string(w) + "]",
+          [&p, n_pairs, f, w, &r2b, &b2c](ep::CoreCtx& ctx) {
+            return beam_program(ctx, p, n_pairs, f, w, *r2b[f][w],
+                                *b2c[f][w]);
+          });
+    }
+  }
+  const int corr_id = net.node(
+      "corr", [&p, &corr_inputs, out_ext, &criteria, n_pairs](
+                  ep::CoreCtx& ctx) {
+        return corr_program(ctx, p, corr_inputs, out_ext, criteria, n_pairs);
+      });
+
+  for (int f = 0; f < 2; ++f) {
+    for (int w = 0; w < 3; ++w) {
+      net.connect(range_id[f][w], beam_id[f][w], *r2b[f][w],
+                  /*weight=*/static_cast<double>(sizeof(RangePacket)));
+      net.connect(beam_id[f][w], corr_id, *b2c[f][w],
+                  /*weight=*/static_cast<double>(sizeof(BeamPacket)));
+    }
+  }
+
+  AfGraphResult res;
+  res.sim.cores_used = 13;
+  res.sim.cycles = net.run();
+  res.sim.seconds = m.seconds(res.sim.cycles);
+  res.sim.perf = m.report();
+  res.sim.energy = ep::compute_energy(res.sim.perf);
+  res.sim.criteria = std::move(criteria);
+  res.sim.pixels_per_second =
+      static_cast<double>(pairs.size() * p.pixels()) / res.sim.seconds;
+  res.placement_description = net.describe();
+  res.weighted_hops = net.weighted_hops();
+  return res;
+}
+
+} // namespace esarp::core
+

@@ -1,0 +1,320 @@
+#include "core/ffbp_epiphany.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/fastmath.hpp"
+#include "core/ffbp_layout.hpp"
+#include "sar/merge_kernel.hpp"
+
+namespace esarp::core {
+
+namespace {
+
+/// Work of predicting the two contributing child rows for a parent row
+/// (one merge_geometry evaluation at the row's mid pixel plus index math).
+constexpr OpCounts kPredictOps =
+    sar::kMergeGeomOps + OpCounts{.fma = 2, .fcmp = 4, .ialu = 10};
+
+struct SharedState {
+  std::span<cf32> buf_a;
+  std::span<cf32> buf_b;
+  std::vector<LevelPrefetchStats> stats;
+  std::unique_ptr<ep::SimBarrier> barrier;
+  // Autofocus integration (null when disabled): per-pair shifts of the
+  // level being produced, plus the applied-correction log.
+  std::vector<float> shifts;
+  std::vector<af::MergeCorrection> corrections;
+};
+
+/// Rebuild a child subaperture (level `lvl`, index `subap`) from its SDRAM
+/// level buffer, with the exact phase-centre the host factorisation
+/// assigns (uniform track: the mean of its pulse positions).
+sar::SubapertureImage load_subaperture(std::span<const cf32> src,
+                                       const LevelLayout& lc,
+                                       const sar::RadarParams& p,
+                                       std::size_t lvl, std::size_t subap) {
+  sar::SubapertureImage s;
+  s.level = lvl;
+  s.n_pulses = std::size_t{1} << lvl;
+  s.first_pulse = subap * s.n_pulses;
+  s.x_center = 0.5 * (p.pulse_x(s.first_pulse) +
+                      p.pulse_x(s.first_pulse + s.n_pulses - 1));
+  s.data = Array2D<cf32>(lc.n_theta, lc.n_range);
+  std::copy(src.begin() + static_cast<std::ptrdiff_t>(lc.offset(subap, 0)),
+            src.begin() +
+                static_cast<std::ptrdiff_t>(lc.offset(subap, 0) +
+                                            lc.n_theta * lc.n_range),
+            s.data.data());
+  return s;
+}
+
+ep::Task ffbp_core_program(ep::CoreCtx& ctx, const sar::RadarParams& p,
+                           const FfbpMapOptions& opt, SharedState& st,
+                           int core_index) {
+  const std::size_t n_levels = p.merge_levels();
+  const std::size_t n_range = p.n_range;
+  const std::size_t row_bytes = n_range * sizeof(cf32);
+
+  // Local-store layout (paper Section V-B): bank 1 stages the output row;
+  // banks 2 and 3 — "the two upper data banks" — hold one row of each
+  // contributing child subaperture (16,016 bytes at paper size). With
+  // double buffering each data bank holds two rows (ping/pong).
+  auto out_row = ctx.local().alloc_in_bank<cf32>(n_range, 1);
+  auto child_row1 = ctx.local().alloc_in_bank<cf32>(
+      opt.double_buffer ? 2 * n_range : n_range, 2);
+  auto child_row2 = ctx.local().alloc_in_bank<cf32>(
+      opt.double_buffer ? 2 * n_range : n_range, 3);
+  int pong = 0; // active half of the double buffers
+
+  const sar::FfbpOptions algo =
+      opt.autofocus != nullptr ? opt.autofocus->ffbp : opt.algo;
+  const OpCounts pixel_ops = sar::merge_pixel_ops(algo);
+  const float r0f = static_cast<float>(p.near_range_m);
+  const float drf = static_cast<float>(p.range_bin_m);
+
+  std::span<cf32> src = st.buf_a;
+  std::span<cf32> dst = st.buf_b;
+
+  for (std::size_t level = 1; level <= n_levels; ++level) {
+    const LevelLayout lc = LevelLayout::at(p, level - 1);
+    const LevelLayout lp = LevelLayout::at(p, level);
+    const sar::MergeLevelGeom geom = sar::merge_level_geom(p, level);
+    const sar::ChildGrid& grid = geom.child;
+
+    const std::size_t rows_total = lp.rows_total();
+    const std::size_t n = static_cast<std::size_t>(opt.n_cores);
+    const std::size_t begin =
+        static_cast<std::size_t>(core_index) * rows_total / n;
+    const std::size_t end =
+        (static_cast<std::size_t>(core_index) + 1) * rows_total / n;
+
+    // --- Autofocus phase (paper Fig. 4): before this level's merges, the
+    // cores divide the subaperture pairs among themselves, stream both
+    // children from SDRAM, and run the criterion estimator. A barrier
+    // publishes the shifts before any merge starts.
+    const bool af_level =
+        opt.autofocus != nullptr && level >= opt.autofocus->first_level;
+    if (opt.autofocus != nullptr) {
+      for (std::size_t pair = static_cast<std::size_t>(core_index);
+           pair < lp.n_subaps; pair += n) {
+        if (!af_level) {
+          st.shifts[pair] = 0.0f;
+          continue;
+        }
+        const auto a =
+            load_subaperture(src, lc, p, level - 1, 2 * pair);
+        const auto b =
+            load_subaperture(src, lc, p, level - 1, 2 * pair + 1);
+        // Streaming both children through the core: two bulk SDRAM reads.
+        const std::size_t child_bytes =
+            lc.n_theta * lc.n_range * sizeof(cf32);
+        co_await ctx.read_ext_gather(2, child_bytes);
+        OpCounts est_ops;
+        const af::PairEstimate est = af::estimate_pair_shift(
+            a, b, p, *opt.autofocus, &est_ops, nullptr);
+        co_await ctx.compute(est_ops);
+        st.shifts[pair] = est.applied(opt.autofocus->min_gain);
+        st.corrections.push_back(
+            {level, pair, st.shifts[pair], est.gain});
+      }
+      co_await st.barrier->arrive_and_wait(ctx);
+    }
+
+    // Row-prediction helper (shared by the single- and double-buffered
+    // paths): which child theta rows does parent row `ti` need?
+    const auto predict = [&](std::size_t ti) {
+      const float theta_row = geom.theta_of_row(p, ti);
+      const float cr_row = 2.0f * geom.d * fastmath::poly_cos(theta_row);
+      const float r_mid = r0f + static_cast<float>(n_range / 2) * drf;
+      const sar::MergeGeom mid =
+          sar::merge_geometry(r_mid, cr_row, geom.d2, geom.inv_2d);
+      const auto clamp_bin = [&](float th) {
+        const float f = (th - grid.theta_start) * grid.inv_dtheta;
+        int b = static_cast<int>(f);
+        if (b < 0) b = 0;
+        if (b >= grid.n_theta) b = grid.n_theta - 1;
+        return b;
+      };
+      return std::pair<int, int>{clamp_bin(mid.theta1),
+                                 clamp_bin(mid.theta2)};
+    };
+
+    // Double-buffered pipeline state: the DMA for row `gr` was issued
+    // while row `gr-1` computed.
+    ep::DmaJob pending1{};
+    ep::DmaJob pending2{};
+    int pending_pre1 = -1;
+    int pending_pre2 = -1;
+    const auto issue_prefetch = [&](std::size_t gr, int half) {
+      const std::size_t subap = gr / lp.n_theta;
+      const std::size_t ti = gr % lp.n_theta;
+      auto [a1, a2] = predict(ti);
+      pending_pre1 = a1;
+      pending_pre2 = a2;
+      pending1 = ctx.dma_read_ext(
+          child_row1.data() + static_cast<std::size_t>(half) *
+                                  (opt.double_buffer ? n_range : 0),
+          src.data() + lc.offset(2 * subap, static_cast<std::size_t>(a1)),
+          row_bytes);
+      pending2 = ctx.dma_read_ext(
+          child_row2.data() + static_cast<std::size_t>(half) *
+                                  (opt.double_buffer ? n_range : 0),
+          src.data() +
+              lc.offset(2 * subap + 1, static_cast<std::size_t>(a2)),
+          row_bytes);
+    };
+
+    if (opt.prefetch && opt.double_buffer && begin < end) {
+      co_await ctx.compute(kPredictOps);
+      issue_prefetch(begin, pong);
+    }
+
+    for (std::size_t gr = begin; gr < end; ++gr) {
+      const std::size_t subap = gr / lp.n_theta;
+      const std::size_t ti = gr % lp.n_theta;
+      const float theta = geom.theta_of_row(p, ti);
+      const float cr = 2.0f * geom.d * fastmath::poly_cos(theta);
+
+      const std::size_t child1 = 2 * subap;
+      const std::size_t child2 = 2 * subap + 1;
+
+      // Obtain the prefetched child rows for this row.
+      int pre1 = -1;
+      int pre2 = -1;
+      const cf32* buf1 = child_row1.data();
+      const cf32* buf2 = child_row2.data();
+      if (opt.prefetch && opt.double_buffer) {
+        // The DMA issued one row ago targets `pong`'s half.
+        co_await ctx.wait(pending1);
+        co_await ctx.wait(pending2);
+        pre1 = pending_pre1;
+        pre2 = pending_pre2;
+        buf1 += static_cast<std::size_t>(pong) * n_range;
+        buf2 += static_cast<std::size_t>(pong) * n_range;
+        // Immediately issue the next row's prefetch into the other half;
+        // it streams while this row computes.
+        if (gr + 1 < end) {
+          co_await ctx.compute(kPredictOps);
+          issue_prefetch(gr + 1, 1 - pong);
+        }
+        pong = 1 - pong;
+      } else if (opt.prefetch) {
+        co_await ctx.compute(kPredictOps);
+        issue_prefetch(gr, 0);
+        co_await ctx.wait(pending1);
+        co_await ctx.wait(pending2);
+        pre1 = pending_pre1;
+        pre2 = pending_pre2;
+      }
+
+      std::uint64_t misses = 0;
+      const auto fetch1 = [&](int it, int ir) -> cf32 {
+        if (it == pre1) return buf1[static_cast<std::size_t>(ir)];
+        ++misses;
+        return src[lc.offset(child1, static_cast<std::size_t>(it),
+                             static_cast<std::size_t>(ir))];
+      };
+      const auto fetch2 = [&](int it, int ir) -> cf32 {
+        if (it == pre2) return buf2[static_cast<std::size_t>(ir)];
+        ++misses;
+        return src[lc.offset(child2, static_cast<std::size_t>(it),
+                             static_cast<std::size_t>(ir))];
+      };
+
+      // Per-pair autofocus compensation (0 when disabled; adding the
+      // resulting -0.0f keeps the plain path bit-identical).
+      const float af_shift =
+          opt.autofocus != nullptr ? st.shifts[subap] : 0.0f;
+      const float shift_a = -0.5f * af_shift * drf;
+      const float shift_b = 0.5f * af_shift * drf;
+
+      std::uint64_t fetches = 0;
+      for (std::size_t j = 0; j < n_range; ++j) {
+        const float r = r0f + static_cast<float>(j) * drf;
+        const sar::MergeGeom g =
+            sar::merge_geometry(r, cr, geom.d2, geom.inv_2d);
+        const cf32 v1 = sar::sample_child(grid, g.r1 + shift_a, g.theta1,
+                                          algo.interp,
+                                          algo.phase_compensate, fetch1);
+        const cf32 v2 = sar::sample_child(grid, g.r2 + shift_b, g.theta2,
+                                          algo.interp,
+                                          algo.phase_compensate, fetch2);
+        out_row[j] = v1 + v2; // paper eq. 5
+        fetches += 2;
+      }
+
+      co_await ctx.compute(static_cast<std::uint64_t>(n_range) * pixel_ops +
+                           sar::kMergeRowOps);
+      if (misses > 0)
+        co_await ctx.read_ext_gather(misses, sizeof(cf32));
+      co_await ctx.write_ext(dst.data() + lp.offset(subap, ti),
+                             out_row.data(), row_bytes);
+
+      auto& ls = st.stats[level - 1];
+      ls.local_hits += fetches - misses;
+      ls.ext_misses += misses;
+    }
+
+    co_await st.barrier->arrive_and_wait(ctx);
+    std::swap(src, dst);
+  }
+}
+
+} // namespace
+
+FfbpSimResult run_ffbp_epiphany(const Array2D<cf32>& data,
+                                const sar::RadarParams& p,
+                                const FfbpMapOptions& opt,
+                                ep::ChipConfig cfg) {
+  p.validate();
+  ESARP_EXPECTS(opt.n_cores >= 1 && opt.n_cores <= cfg.core_count());
+  ESARP_EXPECTS(!opt.double_buffer || opt.prefetch);
+  const sar::FfbpOptions algo_check =
+      opt.autofocus != nullptr ? opt.autofocus->ffbp : opt.algo;
+  ESARP_EXPECTS(!algo_check.phase_compensate ||
+                algo_check.interp == sar::Interp::kNearest);
+  if (opt.autofocus != nullptr) opt.autofocus->criterion.validate();
+
+  const std::size_t total = p.n_pulses * p.n_range;
+  const std::size_t ext_bytes =
+      2 * total * sizeof(cf32) + (1u << 20); // two level buffers + slack
+  ep::Machine m(cfg, std::max<std::size_t>(ext_bytes, 8u << 20));
+
+  SharedState st;
+  st.buf_a = m.ext().alloc<cf32>(total);
+  st.buf_b = m.ext().alloc<cf32>(total);
+  st.stats.resize(p.merge_levels());
+  for (std::size_t l = 0; l < st.stats.size(); ++l)
+    st.stats[l].level = l + 1;
+  st.barrier = m.make_barrier(opt.n_cores);
+  st.shifts.assign(p.n_pulses / 2, 0.0f);
+
+  // Load level 0 into SDRAM (range-phase referenced, like the reference).
+  const auto level0 = sar::initial_subapertures(data, p);
+  for (std::size_t pu = 0; pu < p.n_pulses; ++pu)
+    std::copy(level0[pu].data.row(0).begin(), level0[pu].data.row(0).end(),
+              st.buf_a.begin() + static_cast<std::ptrdiff_t>(pu * p.n_range));
+
+  for (int c = 0; c < opt.n_cores; ++c) {
+    m.launch(c, [&p, &opt, &st, c](ep::CoreCtx& ctx) {
+      return ffbp_core_program(ctx, p, opt, st, c);
+    });
+  }
+
+  FfbpSimResult res;
+  res.cycles = m.run();
+  res.seconds = m.seconds(res.cycles);
+  res.perf = m.report();
+  res.energy = ep::compute_energy(res.perf);
+  res.prefetch_stats = st.stats;
+  res.corrections = std::move(st.corrections);
+
+  const std::span<cf32> final_buf =
+      (p.merge_levels() % 2 == 1) ? st.buf_b : st.buf_a;
+  res.image = Array2D<cf32>(p.n_pulses, p.n_range);
+  std::copy(final_buf.begin(), final_buf.end(), res.image.data());
+  return res;
+}
+
+} // namespace esarp::core

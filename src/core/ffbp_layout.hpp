@@ -1,0 +1,54 @@
+// SDRAM layout of FFBP level data.
+//
+// A level holds n_subaps subaperture images of n_theta rows x n_range
+// complex pixels; total size is constant across levels (n_pulses * n_range
+// pixels). Rows are contiguous — a row is the unit the SPMD kernel DMAs
+// into a local-memory bank (8,008 bytes at paper size).
+#pragma once
+
+#include <cstddef>
+
+#include "common/assert.hpp"
+#include "sar/params.hpp"
+
+namespace esarp::core {
+
+struct LevelLayout {
+  std::size_t n_subaps = 0;
+  std::size_t n_theta = 0;
+  std::size_t n_range = 0;
+
+  /// Layout of level `level` (0 = one single-row subaperture per pulse).
+  static LevelLayout at(const sar::RadarParams& p, std::size_t level) {
+    ESARP_EXPECTS(level <= p.merge_levels());
+    LevelLayout l;
+    l.n_theta = std::size_t{1} << level;
+    l.n_subaps = p.n_pulses / l.n_theta;
+    l.n_range = p.n_range;
+    return l;
+  }
+
+  /// Global parent-row index of (subap, theta) — the SPMD work unit.
+  [[nodiscard]] std::size_t row_index(std::size_t subap,
+                                      std::size_t theta) const {
+    ESARP_EXPECTS(subap < n_subaps && theta < n_theta);
+    return subap * n_theta + theta;
+  }
+  [[nodiscard]] std::size_t rows_total() const { return n_subaps * n_theta; }
+
+  /// Element offset of pixel (subap, theta, j) in the level buffer.
+  [[nodiscard]] std::size_t offset(std::size_t subap, std::size_t theta,
+                                   std::size_t j = 0) const {
+    ESARP_EXPECTS(j < n_range);
+    return row_index(subap, theta) * n_range + j;
+  }
+
+  [[nodiscard]] std::size_t total_pixels() const {
+    return rows_total() * n_range;
+  }
+  [[nodiscard]] std::size_t row_bytes() const {
+    return n_range * sizeof(cf32);
+  }
+};
+
+} // namespace esarp::core

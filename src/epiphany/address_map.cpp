@@ -1,0 +1,75 @@
+#include "epiphany/address_map.hpp"
+
+#include "common/assert.hpp"
+
+namespace esarp::ep {
+
+AddressMap::AddressMap(const ChipConfig& cfg, int first_row, int first_col,
+                       Addr ext_base, Addr ext_size)
+    : cfg_(cfg), first_row_(first_row), first_col_(first_col),
+      ext_base_(ext_base), ext_size_(ext_size) {
+  ESARP_EXPECTS(first_row >= 1 && first_row + cfg.rows <= 64);
+  ESARP_EXPECTS(first_col >= 1 && first_col + cfg.cols <= 64);
+  const Addr first_core = core_base({0, 0});
+  const Addr last_core_end =
+      core_base({cfg.rows - 1, cfg.cols - 1}) + (Addr{1} << kApertureBits);
+  if (ext_base_ == 0) {
+    // Auto placement: the Parallella window when free, else above the
+    // core apertures.
+    constexpr Addr kParallellaWindow = 0x8E00'0000u;
+    const bool collides = !(kParallellaWindow + ext_size_ <= first_core ||
+                            kParallellaWindow >= last_core_end);
+    ext_base_ = collides ? last_core_end : kParallellaWindow;
+  }
+  // The SDRAM window must not overlap any core aperture.
+  ESARP_EXPECTS(ext_base_ + ext_size_ <= first_core ||
+                ext_base_ >= last_core_end);
+}
+
+Addr AddressMap::core_base(Coord c) const {
+  ESARP_EXPECTS(c.row >= 0 && c.row < cfg_.rows);
+  ESARP_EXPECTS(c.col >= 0 && c.col < cfg_.cols);
+  const Addr id = (static_cast<Addr>(first_row_ + c.row) << 6) |
+                  static_cast<Addr>(first_col_ + c.col);
+  return id << kApertureBits;
+}
+
+Addr AddressMap::encode_core(Coord c, Addr offset) const {
+  ESARP_EXPECTS(offset < cfg_.local_mem_bytes);
+  return core_base(c) + offset;
+}
+
+Addr AddressMap::encode_external(Addr offset) const {
+  ESARP_EXPECTS(offset < ext_size_);
+  return ext_base_ + offset;
+}
+
+Decoded AddressMap::decode(Addr addr) const {
+  if (addr < (Addr{1} << kApertureBits))
+    return {Region::kLocalAlias, {}, addr};
+  if (addr >= ext_base_ && addr - ext_base_ < ext_size_)
+    return {Region::kExternal, {}, addr - ext_base_};
+  const Addr id = addr >> kApertureBits;
+  const int row = static_cast<int>(id >> 6) - first_row_;
+  const int col = static_cast<int>(id & 0x3F) - first_col_;
+  if (row >= 0 && row < cfg_.rows && col >= 0 && col < cfg_.cols)
+    return {Region::kCore, {row, col},
+            addr & ((Addr{1} << kApertureBits) - 1)};
+  return {Region::kInvalid, {}, 0};
+}
+
+bool AddressMap::is_mapped(Addr addr) const {
+  const Decoded d = decode(addr);
+  switch (d.region) {
+    case Region::kLocalAlias:
+    case Region::kCore:
+      return d.offset < cfg_.local_mem_bytes;
+    case Region::kExternal:
+      return true;
+    case Region::kInvalid:
+      return false;
+  }
+  return false;
+}
+
+} // namespace esarp::ep

@@ -1,0 +1,71 @@
+// Epiphany 32-bit global address map.
+//
+// Every core's 32 KB local store is visible to all cores (and the host)
+// through a flat map: bits [31:20] select the core (6-bit mesh row, 6-bit
+// mesh column), bits [19:0] the offset inside that core's 1 MB aperture.
+// Addresses below 1 MB alias the issuing core's own memory; a configurable
+// high window maps the board SDRAM. Mirrors the E16G3 datasheet layout
+// (first core at mesh coordinate (32, 8), i.e. core id 0x808).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "epiphany/config.hpp"
+
+namespace esarp::ep {
+
+using Addr = std::uint32_t;
+
+enum class Region : std::uint8_t {
+  kLocalAlias, ///< [0, 1MB): issuing core's own aperture
+  kCore,       ///< another (or own) core's aperture via global id
+  kExternal,   ///< board SDRAM window
+  kInvalid,
+};
+
+struct Decoded {
+  Region region = Region::kInvalid;
+  Coord coord;       ///< valid for kCore
+  Addr offset = 0;   ///< offset within aperture / SDRAM window
+};
+
+class AddressMap {
+public:
+  /// `ext_base == 0` selects the default SDRAM window: 0x8E000000 (the
+  /// Parallella board map) when it does not collide with a core aperture,
+  /// otherwise the first 1 MB boundary above the last core (larger
+  /// meshes, e.g. 8x8, extend past the E16 window).
+  explicit AddressMap(const ChipConfig& cfg, int first_row = 32,
+                      int first_col = 8, Addr ext_base = 0,
+                      Addr ext_size = 32u * 1024 * 1024);
+
+  /// Global base address of a core's 1 MB aperture.
+  [[nodiscard]] Addr core_base(Coord c) const;
+
+  /// Global address of `offset` within core `c`'s local memory.
+  [[nodiscard]] Addr encode_core(Coord c, Addr offset) const;
+
+  /// Global address of `offset` within the external SDRAM window.
+  [[nodiscard]] Addr encode_external(Addr offset) const;
+
+  /// Classify a global address. Never throws; unknown -> kInvalid.
+  [[nodiscard]] Decoded decode(Addr addr) const;
+
+  /// Whether `addr` falls in any core's *local-memory* range (not just the
+  /// aperture, which is mostly unmapped above local_mem_bytes).
+  [[nodiscard]] bool is_mapped(Addr addr) const;
+
+  [[nodiscard]] Addr external_base() const { return ext_base_; }
+  [[nodiscard]] Addr external_size() const { return ext_size_; }
+
+private:
+  static constexpr Addr kApertureBits = 20; // 1 MB per core
+  ChipConfig cfg_;
+  int first_row_;
+  int first_col_;
+  Addr ext_base_;
+  Addr ext_size_;
+};
+
+} // namespace esarp::ep

@@ -1,0 +1,76 @@
+// All-to-one flag barrier across participating cores.
+//
+// Models the SPMD synchronisation the paper's FFBP implementation needs
+// between merge iterations: each core writes an arrival flag to a master
+// core, the master releases everyone by writing flags back. The release
+// cost is charged as one round of flag traffic on the cMesh.
+#pragma once
+
+#include "common/assert.hpp"
+#include "epiphany/core_ctx.hpp"
+#include "epiphany/task.hpp"
+
+namespace esarp::ep {
+
+class SimBarrier {
+public:
+  SimBarrier(Scheduler& sched, Noc& noc, const ChipConfig& cfg, int parties,
+             Coord master = {0, 0})
+      : sched_(sched), noc_(noc), cfg_(cfg), parties_(parties),
+        master_(master) {
+    ESARP_EXPECTS(parties > 0);
+  }
+
+  SimBarrier(const SimBarrier&) = delete;
+  SimBarrier& operator=(const SimBarrier&) = delete;
+
+  TaskT<void> arrive_and_wait(CoreCtx& ctx) {
+    const Cycles entered = sched_.now();
+    // Arrival flag: 8-byte write to the master core.
+    const Cycles flag_arrival = noc_.transfer(ctx.coord(), master_, 8,
+                                              sched_.now(), Mesh::kOnChipWrite);
+    latest_arrival_ = std::max(latest_arrival_, flag_arrival);
+
+    const std::uint64_t my_generation = generation_;
+    ++arrived_;
+    if (arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      // Release flags: master writes back to every participant; charge the
+      // farthest-corner delivery as the common release time.
+      const Cycles max_hops =
+          static_cast<Cycles>((cfg_.rows - 1) + (cfg_.cols - 1)) *
+          cfg_.hop_latency;
+      release_time_ = latest_arrival_ + max_hops + 2 /*flag write*/;
+      latest_arrival_ = 0;
+      waiters_.wake_all(sched_);
+    } else {
+      ctx.core().state = CoreState::kWaitBarrier;
+      while (generation_ == my_generation) co_await waiters_.wait();
+      ctx.core().state = CoreState::kRunning;
+    }
+    if (release_time_ > sched_.now())
+      co_await DelayUntil{sched_, release_time_};
+    ctx.core().counters.barrier_wait += sched_.now() - entered;
+    ctx.tracer().add(ctx.id(), SegmentKind::kBarrier, entered, sched_.now());
+    ++crossings_;
+  }
+
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+  [[nodiscard]] std::uint64_t crossings() const { return crossings_; }
+
+private:
+  Scheduler& sched_;
+  Noc& noc_;
+  const ChipConfig& cfg_;
+  int parties_;
+  Coord master_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::uint64_t crossings_ = 0;
+  Cycles latest_arrival_ = 0;
+  Cycles release_time_ = 0;
+  WaitList waiters_;
+};
+
+} // namespace esarp::ep

@@ -1,0 +1,119 @@
+// Typed point-to-point streaming channel between cores.
+//
+// Implements the paper's MPMD dataflow style: a producer core writes a
+// message into the consumer's local memory over the cMesh (on-chip write
+// mesh) and raises a flag; the consumer spins on the flag. Here that is a
+// bounded FIFO whose slots become visible at the NoC delivery time.
+// Capacity models the consumer-side buffer in its 32 KB local store, giving
+// the pipeline real backpressure.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "common/assert.hpp"
+#include "epiphany/core_ctx.hpp"
+#include "epiphany/task.hpp"
+
+namespace esarp::ep {
+
+struct ChannelStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  Cycles send_block_cycles = 0;
+  Cycles recv_block_cycles = 0;
+};
+
+template <typename T>
+class Channel {
+public:
+  /// `consumer` is the mesh coordinate of the receiving core (where the
+  /// buffer lives). `capacity` is the FIFO depth in messages.
+  Channel(Scheduler& sched, Noc& noc, Coord consumer, std::size_t capacity,
+          std::string name = "chan")
+      : sched_(sched), noc_(noc), consumer_(consumer), capacity_(capacity),
+        name_(std::move(name)) {
+    ESARP_EXPECTS(capacity > 0);
+  }
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Producer side: blocks while the FIFO is full, then transfers the
+  /// message over the cMesh. The producer is busy for the injection time.
+  TaskT<void> send(CoreCtx& from, T value) {
+    const Cycles entered = sched_.now();
+    while (q_.size() >= capacity_) {
+      from.core().state = CoreState::kWaitChannel;
+      co_await senders_.wait();
+      from.core().state = CoreState::kRunning;
+    }
+    stats_.send_block_cycles += sched_.now() - entered;
+    from.tracer().add(from.id(), SegmentKind::kChanSend, entered,
+                      sched_.now());
+
+    const Cycles arrival = noc_.transfer(from.coord(), consumer_, sizeof(T),
+                                         sched_.now(), Mesh::kOnChipWrite);
+    from.core().counters.msgs_sent += 1;
+    from.core().counters.msg_bytes_sent += sizeof(T);
+    q_.push_back(Slot{arrival, std::move(value)});
+    stats_.messages += 1;
+    stats_.bytes += sizeof(T);
+    receivers_.wake_all(sched_);
+
+    // Producer pays only the injection cost (posted write semantics).
+    const Cycles inject =
+        from.config().cycles_for_bytes_on_link(sizeof(T));
+    co_await DelayFor{sched_, inject};
+  }
+
+  /// Consumer side: blocks until a message has arrived.
+  TaskT<T> recv(CoreCtx& to) {
+    ESARP_EXPECTS(to.coord() == consumer_);
+    const Cycles entered = sched_.now();
+    for (;;) {
+      if (!q_.empty()) {
+        if (q_.front().ready_at <= sched_.now()) {
+          T v = std::move(q_.front().value);
+          q_.pop_front();
+          senders_.wake_all(sched_);
+          stats_.recv_block_cycles += sched_.now() - entered;
+          to.core().counters.chan_wait += sched_.now() - entered;
+          to.tracer().add(to.id(), SegmentKind::kChanRecv, entered,
+                          sched_.now());
+          co_return v;
+        }
+        co_await DelayUntil{sched_, q_.front().ready_at};
+      } else {
+        to.core().state = CoreState::kWaitChannel;
+        co_await receivers_.wait();
+        to.core().state = CoreState::kRunning;
+      }
+    }
+  }
+
+  [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t pending() const { return q_.size(); }
+  [[nodiscard]] bool has_blocked_tasks() const {
+    return !senders_.empty() || !receivers_.empty();
+  }
+
+private:
+  struct Slot {
+    Cycles ready_at;
+    T value;
+  };
+
+  Scheduler& sched_;
+  Noc& noc_;
+  Coord consumer_;
+  std::size_t capacity_;
+  std::string name_;
+  std::deque<Slot> q_;
+  WaitList senders_;
+  WaitList receivers_;
+  ChannelStats stats_;
+};
+
+} // namespace esarp::ep

@@ -1,0 +1,92 @@
+// Chip configuration for the simulated Epiphany manycore.
+//
+// Default values model the Adapteva Epiphany E16G3 as described in the
+// paper's Section III and the E16G3 datasheet (rev 1.0, 2010):
+//   - 4x4 mesh of dual-issue RISC cores, 1 GHz max clock
+//   - 32 KB local memory per core in four 8 KB banks (512 KB chip total)
+//   - eMesh NoC: three separate meshes (on-chip write / off-chip write /
+//     read), 4 duplex links per node, XY routing, 1 cycle per hop,
+//     8 bytes per cycle per link => 64 GB/s bisection, 512 GB/s aggregate
+//   - off-chip eLink: 8 GB/s total
+//   - per-core DMA engine: one double word (8 B) per clock cycle
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace esarp::ep {
+
+/// Simulated time in core clock cycles.
+using Cycles = std::uint64_t;
+
+/// Mesh coordinate (row, col), row 0 at the "north" edge.
+struct Coord {
+  int row = 0;
+  int col = 0;
+  friend constexpr bool operator==(Coord, Coord) = default;
+};
+
+/// Manhattan distance (number of mesh hops, excluding injection/ejection).
+constexpr int hop_distance(Coord a, Coord b) {
+  const int dr = a.row > b.row ? a.row - b.row : b.row - a.row;
+  const int dc = a.col > b.col ? a.col - b.col : b.col - a.col;
+  return dr + dc;
+}
+
+struct ChipConfig {
+  int rows = 4;
+  int cols = 4;
+  double clock_hz = 1.0e9; ///< paper evaluates at the 1 GHz spec maximum
+
+  // Local memory (per core).
+  std::size_t local_mem_bytes = 32 * 1024;
+  int local_banks = 4; ///< 4 x 8 KB banks; paper uses the 2 upper for data
+
+  // eMesh NoC.
+  Cycles hop_latency = 1;            ///< single-cycle routing per node
+  std::size_t link_bytes_per_cycle = 8; ///< 64-bit links @ core clock
+
+  // Off-chip eLink + SDRAM.
+  std::size_t elink_bytes_per_cycle = 8; ///< 8 GB/s at 1 GHz
+  Cycles ext_read_latency = 20;  ///< round-trip core->eLink->SDRAM->core for a
+                                 ///< blocking read transaction (stalls core);
+                                 ///< calibrated against the paper's 0.36x
+                                 ///< sequential-FFBP slowdown (EXPERIMENTS.md)
+  Cycles ext_write_issue = 1;    ///< posted write: single-cycle issue, the
+                                 ///< paper's "write without stalling"
+  Cycles ext_random_occupancy = 16; ///< SDRAM occupancy of one random-access
+                                    ///< (closed-page) transaction: scattered
+                                    ///< 8-byte reads from many cores contend
+                                    ///< for this, unlike sequential DMA
+                                    ///< bursts which stream at eLink rate
+  Cycles dma_setup_cycles = 20;  ///< DMA descriptor programming overhead
+
+  // Derived helpers.
+  [[nodiscard]] int core_count() const { return rows * cols; }
+  [[nodiscard]] double seconds(Cycles c) const {
+    return static_cast<double>(c) / clock_hz;
+  }
+  [[nodiscard]] Cycles cycles_for_bytes_on_link(std::size_t bytes) const {
+    return (bytes + link_bytes_per_cycle - 1) / link_bytes_per_cycle;
+  }
+  [[nodiscard]] Cycles cycles_for_bytes_on_elink(std::size_t bytes) const {
+    return (bytes + elink_bytes_per_cycle - 1) / elink_bytes_per_cycle;
+  }
+};
+
+/// Energy parameters for the Epiphany chip (65 nm). Calibrated so a fully
+/// busy 16-core chip at 1 GHz dissipates ~2 W, the figure the paper takes
+/// from the E16G3 datasheet, with fine-grained clock gating making idle
+/// cores nearly free (Microprocessor Report, "More Flops, Less Watts").
+struct EnergyParams {
+  double core_active_pj_per_cycle = 55.0; ///< pipeline+clock tree when busy
+  double core_idle_pj_per_cycle = 1.0;    ///< clock-gated core (<2% of active)
+  double flop_pj = 18.0;                  ///< per FP issue (FMA counts once)
+  double ialu_pj = 6.0;
+  double ldst_local_pj = 10.0; ///< per 32-bit local-memory access
+  double noc_pj_per_byte_hop = 1.2;
+  double elink_pj_per_byte = 32.0; ///< off-chip I/O incl. SDRAM access share
+  double chip_static_w = 0.10;     ///< leakage + PLL + always-on fabric
+};
+
+} // namespace esarp::ep

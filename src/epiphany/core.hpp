@@ -1,0 +1,75 @@
+// Per-core simulation state: local store, performance counters, status.
+#pragma once
+
+#include <cstdint>
+
+#include "common/opcounts.hpp"
+#include "epiphany/config.hpp"
+#include "epiphany/local_memory.hpp"
+
+namespace esarp::ep {
+
+enum class CoreState : std::uint8_t {
+  kIdle,        ///< launched but not yet started
+  kRunning,
+  kWaitChannel, ///< blocked in Channel::send/recv
+  kWaitBarrier,
+  kDone,
+};
+
+[[nodiscard]] constexpr const char* to_string(CoreState s) {
+  switch (s) {
+    case CoreState::kIdle: return "idle";
+    case CoreState::kRunning: return "running";
+    case CoreState::kWaitChannel: return "wait-channel";
+    case CoreState::kWaitBarrier: return "wait-barrier";
+    case CoreState::kDone: return "done";
+  }
+  return "?";
+}
+
+struct CoreCounters {
+  Cycles busy = 0;         ///< cycles spent in compute blocks
+  Cycles ext_stall = 0;    ///< cycles stalled on blocking external reads
+  Cycles dma_wait = 0;     ///< cycles waiting for DMA completion
+  Cycles chan_wait = 0;    ///< cycles blocked on channel send/recv
+  Cycles barrier_wait = 0; ///< cycles blocked in barriers
+  Cycles finish_time = 0;  ///< cycle at which the core program returned
+
+  OpCounts ops; ///< accumulated arithmetic/memory work
+
+  std::uint64_t ext_read_bytes = 0;
+  std::uint64_t ext_write_bytes = 0;
+  std::uint64_t dma_transfers = 0;
+  std::uint64_t dma_bytes = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msg_bytes_sent = 0;
+
+  [[nodiscard]] Cycles total_wait() const {
+    return ext_stall + dma_wait + chan_wait + barrier_wait;
+  }
+};
+
+class Core {
+public:
+  Core(int id, Coord coord, const ChipConfig& cfg)
+      : id_(id), coord_(coord), mem_(cfg.local_mem_bytes, cfg.local_banks) {}
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] Coord coord() const { return coord_; }
+  [[nodiscard]] LocalMemory& mem() { return mem_; }
+  [[nodiscard]] const LocalMemory& mem() const { return mem_; }
+
+  CoreCounters counters;
+  CoreState state = CoreState::kIdle;
+
+private:
+  int id_;
+  Coord coord_;
+  LocalMemory mem_;
+};
+
+} // namespace esarp::ep

@@ -1,0 +1,189 @@
+// The kernel-facing API of a simulated core.
+//
+// A core program is a coroutine `Task program(CoreCtx& ctx)`. Simulated time
+// advances only through the awaitables returned here:
+//
+//   co_await ctx.compute(ops);            // run a counted compute block
+//   co_await ctx.read_ext(dst, src, n);   // blocking bulk SDRAM read
+//   co_await ctx.read_ext_gather(k, sz);  // k scattered blocking reads
+//   co_await ctx.write_ext(dst, src, n);  // posted SDRAM write
+//   auto job = ctx.dma_read_ext(...);     // start DMA, keep computing
+//   co_await ctx.wait(job);               // double-buffer sync point
+//   co_await ctx.write_remote(c, d, s, n) // on-chip write to another core
+//
+// Data moves eagerly (host memcpy at call time) while the awaitable carries
+// the simulated completion time; this is sound for the blocking operations
+// (program order preserved) and for DMA provided the kernel awaits the job
+// before reading the destination — which real double-buffered Epiphany code
+// must do too.
+#pragma once
+
+#include <cstring>
+
+#include "common/opcounts.hpp"
+#include "epiphany/config.hpp"
+#include "epiphany/core.hpp"
+#include "epiphany/cost_model.hpp"
+#include "epiphany/ext_port.hpp"
+#include "epiphany/external_memory.hpp"
+#include "epiphany/noc.hpp"
+#include "epiphany/scheduler.hpp"
+#include "epiphany/task.hpp"
+#include "epiphany/trace.hpp"
+
+namespace esarp::ep {
+
+/// Handle for an in-flight DMA transfer.
+struct DmaJob {
+  Cycles done_at = 0;
+};
+
+class CoreCtx {
+public:
+  CoreCtx(Core& core, Scheduler& sched, Noc& noc, ExtPort& ext_port,
+          ExternalMemory& ext_mem, const CostModel& cost,
+          const ChipConfig& cfg, Tracer& tracer)
+      : core_(core), sched_(sched), noc_(noc), ext_port_(ext_port),
+        ext_mem_(ext_mem), cost_(cost), cfg_(cfg), tracer_(tracer) {}
+
+  CoreCtx(const CoreCtx&) = delete;
+  CoreCtx& operator=(const CoreCtx&) = delete;
+
+  [[nodiscard]] int id() const { return core_.id(); }
+  [[nodiscard]] Coord coord() const { return core_.coord(); }
+  [[nodiscard]] Core& core() { return core_; }
+  [[nodiscard]] LocalMemory& local() { return core_.mem(); }
+  [[nodiscard]] ExternalMemory& ext() { return ext_mem_; }
+  [[nodiscard]] Scheduler& sched() { return sched_; }
+  [[nodiscard]] Noc& noc() { return noc_; }
+  [[nodiscard]] const ChipConfig& config() const { return cfg_; }
+  [[nodiscard]] Cycles now() const { return sched_.now(); }
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+
+  /// Execute a compute block of counted work from local memory.
+  [[nodiscard]] DelayFor compute(const OpCounts& ops) {
+    const Cycles c = cost_.cycles(ops);
+    core_.counters.busy += c;
+    core_.counters.ops += ops;
+    tracer_.add(id(), SegmentKind::kCompute, now(), now() + c);
+    return DelayFor{sched_, c};
+  }
+
+  /// Blocking bulk read of `bytes` from SDRAM (one transaction).
+  [[nodiscard]] DelayUntil read_ext(void* dst, const void* src,
+                                    std::size_t bytes) {
+    ESARP_EXPECTS(ext_mem_.owns(src));
+    std::memcpy(dst, src, bytes);
+    const Cycles done = ext_port_.blocking_read(coord(), 1, bytes, now());
+    core_.counters.ext_stall += done - now();
+    core_.counters.ext_read_bytes += bytes;
+    tracer_.add(id(), SegmentKind::kExtRead, now(), done);
+    return DelayUntil{sched_, done};
+  }
+
+  /// `elems` independent blocking reads of `bytes_each` (scattered gather,
+  /// e.g. per-pixel loads in sequential FFBP). Caller copies the data itself
+  /// (addresses are data-dependent); this charges the time.
+  [[nodiscard]] DelayUntil read_ext_gather(std::uint64_t elems,
+                                           std::size_t bytes_each) {
+    const Cycles done =
+        ext_port_.blocking_read(coord(), elems, bytes_each, now());
+    core_.counters.ext_stall += done - now();
+    core_.counters.ext_read_bytes += elems * bytes_each;
+    tracer_.add(id(), SegmentKind::kExtRead, now(), done);
+    return DelayUntil{sched_, done};
+  }
+
+  /// Posted write of `bytes` to SDRAM; the core continues after issuing
+  /// (paper: "the write operation is performed without stalling").
+  [[nodiscard]] DelayUntil write_ext(void* dst, const void* src,
+                                     std::size_t bytes) {
+    ESARP_EXPECTS(ext_mem_.owns(dst));
+    std::memcpy(dst, src, bytes);
+    const Cycles done = ext_port_.posted_write(coord(), bytes, now());
+    core_.counters.ext_write_bytes += bytes;
+    tracer_.add(id(), SegmentKind::kExtWrite, now(), done);
+    return DelayUntil{sched_, done};
+  }
+
+  /// Start a DMA read SDRAM -> local store. Returns immediately.
+  [[nodiscard]] DmaJob dma_read_ext(void* dst, const void* src,
+                                    std::size_t bytes) {
+    ESARP_EXPECTS(ext_mem_.owns(src));
+    ESARP_EXPECTS(core_.mem().owns(dst));
+    std::memcpy(dst, src, bytes);
+    core_.counters.dma_transfers += 1;
+    core_.counters.dma_bytes += bytes;
+    return DmaJob{ext_port_.dma_read(coord(), bytes, now())};
+  }
+
+  /// Start a DMA write local store -> SDRAM. Returns immediately.
+  [[nodiscard]] DmaJob dma_write_ext(void* dst, const void* src,
+                                     std::size_t bytes) {
+    ESARP_EXPECTS(ext_mem_.owns(dst));
+    std::memcpy(dst, src, bytes);
+    core_.counters.dma_transfers += 1;
+    core_.counters.dma_bytes += bytes;
+    return DmaJob{ext_port_.dma_write(coord(), bytes, now())};
+  }
+
+  /// Block until a DMA job completes.
+  [[nodiscard]] DelayUntil wait(DmaJob job) {
+    if (job.done_at > now()) {
+      core_.counters.dma_wait += job.done_at - now();
+      tracer_.add(id(), SegmentKind::kDmaWait, now(), job.done_at);
+    }
+    return DelayUntil{sched_, job.done_at};
+  }
+
+  /// On-chip write into another core's local store (cMesh). The writer is
+  /// busy for the injection time; delivery completes at the returned time.
+  [[nodiscard]] DelayUntil write_remote(Coord dst_core, void* dst,
+                                        const void* src, std::size_t bytes) {
+    std::memcpy(dst, src, bytes);
+    const Cycles arrival =
+        noc_.transfer(coord(), dst_core, bytes, now(), Mesh::kOnChipWrite);
+    core_.counters.msgs_sent += 1;
+    core_.counters.msg_bytes_sent += bytes;
+    // Writer only pays injection (stores issue at link rate), not delivery.
+    const Cycles inject = cfg_.cycles_for_bytes_on_link(bytes);
+    (void)arrival;
+    return DelayUntil{sched_, now() + inject};
+  }
+
+  /// Blocking on-chip read from another core's local store (rMesh):
+  /// request travels to the remote node and the reply returns — the paper
+  /// notes reads are the expensive direction, which is why its pipelines
+  /// push data with writes instead.
+  [[nodiscard]] DelayUntil read_remote(Coord src_core, void* dst,
+                                       const void* src, std::size_t bytes) {
+    std::memcpy(dst, src, bytes);
+    const Cycles hops = static_cast<Cycles>(hop_distance(coord(), src_core)) *
+                        cfg_.hop_latency;
+    // Request packet out, data serialised back on the read mesh.
+    const Cycles arrival =
+        noc_.transfer(src_core, coord(), bytes, now() + hops, Mesh::kRead);
+    core_.counters.ext_stall += arrival - now(); // read-stall accounting
+    tracer_.add(id(), SegmentKind::kExtRead, now(), arrival);
+    return DelayUntil{sched_, arrival};
+  }
+
+  /// Pure simulated delay (e.g. modelling fixed overheads).
+  [[nodiscard]] DelayFor idle(Cycles cycles) { return DelayFor{sched_, cycles}; }
+
+private:
+  template <typename T>
+  friend class Channel;
+  friend class SimBarrier;
+
+  Core& core_;
+  Scheduler& sched_;
+  Noc& noc_;
+  ExtPort& ext_port_;
+  ExternalMemory& ext_mem_;
+  const CostModel& cost_;
+  const ChipConfig& cfg_;
+  Tracer& tracer_;
+};
+
+} // namespace esarp::ep

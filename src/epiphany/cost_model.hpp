@@ -1,0 +1,52 @@
+// Epiphany core timing model: translates OpCounts into cycles.
+//
+// The Epiphany core is a dual-issue in-order machine: per cycle it can issue
+// one FPU instruction (including fused multiply-add) *and* one IALU or
+// load/store instruction (E16G3 datasheet; paper Section III). A compute
+// block's execution time is therefore bounded below by whichever issue
+// stream is longer, plus a small in-order dependency-stall allowance.
+#pragma once
+
+#include <cstdint>
+
+#include "common/opcounts.hpp"
+#include "epiphany/config.hpp"
+
+namespace esarp::ep {
+
+struct CoreCostParams {
+  /// Fraction of extra cycles lost to in-order dependency stalls and
+  /// branch bubbles, applied on top of the dual-issue bound.
+  double stall_overhead = 0.08;
+  /// Cycles per taken branch (3-stage fetch bubble).
+  double branch_penalty = 2.0;
+};
+
+class CostModel {
+public:
+  explicit CostModel(CoreCostParams p = {}) : p_(p) {}
+
+  /// Cycles to execute a straight-line compute block with the given counts
+  /// from local memory (no external stalls; those are simulated separately).
+  [[nodiscard]] Cycles cycles(const OpCounts& ops) const {
+    // FPU issue stream: every FP instruction occupies one FPU slot; the
+    // Epiphany has no FP divide unit, so kernels are expected to expand
+    // divides via fastmath (fdiv here is charged as a conservative 12-cycle
+    // software sequence in case a kernel still counts one).
+    const double fpu = static_cast<double>(ops.fp_issues()) +
+                       11.0 * static_cast<double>(ops.fdiv);
+    // IALU/LS issue stream: integer ops + one slot per 32-bit load/store.
+    const double ialu = static_cast<double>(ops.ialu + ops.load + ops.store);
+    const double dual_issue_bound = fpu > ialu ? fpu : ialu;
+    const double total = dual_issue_bound * (1.0 + p_.stall_overhead) +
+                         p_.branch_penalty * static_cast<double>(ops.branch);
+    return static_cast<Cycles>(total + 0.5);
+  }
+
+  [[nodiscard]] const CoreCostParams& params() const { return p_; }
+
+private:
+  CoreCostParams p_;
+};
+
+} // namespace esarp::ep

@@ -1,0 +1,42 @@
+// Chip energy model.
+//
+// Converts a PerfReport into joules using the EnergyParams calibrated to the
+// E16G3 datasheet figure the paper cites (~2 W for a fully busy chip at
+// 1 GHz, 65 nm). Captures the two mechanisms the paper credits for the
+// energy win: fine-grained clock gating (idle cores cost almost nothing)
+// and nearest-neighbour signalling (energy proportional to byte-hops).
+#pragma once
+
+#include <string>
+
+#include "epiphany/config.hpp"
+#include "epiphany/perf.hpp"
+
+namespace esarp::ep {
+
+struct EnergyReport {
+  double core_active_j = 0.0;
+  double core_idle_j = 0.0;
+  double alu_j = 0.0;   ///< per-op FPU/IALU/local-memory energy
+  double noc_j = 0.0;
+  double elink_j = 0.0;
+  double static_j = 0.0;
+
+  [[nodiscard]] double total_j() const {
+    return core_active_j + core_idle_j + alu_j + noc_j + elink_j + static_j;
+  }
+  /// Average power over the run [W].
+  double avg_watts = 0.0;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Compute the energy of a run. Only cores that executed work are treated
+/// as powered; fully unused cores are clock-gated (idle rate).
+EnergyReport compute_energy(const PerfReport& rep, const EnergyParams& p = {});
+
+/// Peak (all cores busy) chip power at the configured clock [W] — the
+/// "Estimated Power" column of the paper's Table I (2 W for the E16G3).
+double peak_chip_watts(const ChipConfig& cfg, const EnergyParams& p = {});
+
+} // namespace esarp::ep

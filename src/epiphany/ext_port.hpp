@@ -1,0 +1,74 @@
+// Off-chip interface: the eLink + SDRAM timing model.
+//
+// All external-memory traffic funnels through one chip-edge port with
+// 8 GB/s of total bandwidth (ChipConfig::elink_bytes_per_cycle at 1 GHz) —
+// the paper's "total off-chip bandwidth is 8 GB/sec", 64x less than the
+// aggregate on-chip bandwidth. Reads stall the issuing core for a full
+// round trip; writes are posted (single-cycle issue) and drain through the
+// port asynchronously, which is exactly the read/write asymmetry the
+// paper's FFBP analysis leans on.
+#pragma once
+
+#include <cstdint>
+
+#include "epiphany/config.hpp"
+#include "epiphany/noc.hpp"
+
+namespace esarp::ep {
+
+struct ExtPortStats {
+  std::uint64_t read_transactions = 0;
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_transactions = 0;
+  std::uint64_t write_bytes = 0;
+};
+
+class ExtPort {
+public:
+  ExtPort(const ChipConfig& cfg, Noc& noc)
+      : cfg_(cfg), noc_(noc),
+        // eLink attached at the east edge, middle row (board layout).
+        port_coord_{cfg.rows / 2, cfg.cols - 1} {}
+
+  [[nodiscard]] Coord coord() const { return port_coord_; }
+
+  /// Blocking CPU read of `transactions` independent transactions of
+  /// `bytes_each` from SDRAM by `core`. Returns the completion time; the
+  /// issuing core stalls until then. Transactions do not pipeline (the core
+  /// blocks on each one), so latency is paid per transaction.
+  Cycles blocking_read(Coord core, std::uint64_t transactions,
+                       std::size_t bytes_each, Cycles now);
+
+  /// Bulk DMA read of `bytes` into `core`'s local memory. Pays one latency,
+  /// then streams at eLink bandwidth. Returns the completion time (the core
+  /// does not stall; await the returned time to synchronise).
+  Cycles dma_read(Coord core, std::size_t bytes, Cycles now);
+
+  /// Posted write of `bytes` from `core` to SDRAM. Returns the cycle at
+  /// which the *core* may continue (issue time plus any backpressure stall
+  /// when the port backlog exceeds the buffering allowance).
+  Cycles posted_write(Coord core, std::size_t bytes, Cycles now);
+
+  /// Bulk DMA write; like dma_read but on the write path.
+  Cycles dma_write(Coord core, std::size_t bytes, Cycles now);
+
+  [[nodiscard]] const ExtPortStats& stats() const { return stats_; }
+  [[nodiscard]] const BusyResource& read_channel() const { return read_chan_; }
+  [[nodiscard]] const BusyResource& write_channel() const {
+    return write_chan_;
+  }
+
+private:
+  /// Buffering (store buffers + mesh FIFOs) a posted write can hide behind
+  /// before the producing core feels backpressure.
+  static constexpr Cycles kPostedBacklogAllowance = 64;
+
+  ChipConfig cfg_;
+  Noc& noc_;
+  Coord port_coord_;
+  BusyResource read_chan_;  ///< SDRAM read channel occupancy
+  BusyResource write_chan_; ///< SDRAM write channel occupancy
+  ExtPortStats stats_;
+};
+
+} // namespace esarp::ep

@@ -1,0 +1,88 @@
+// Per-core 32 KB local store with a bank-aware bump allocator.
+//
+// The E16G3 splits each core's memory into four 8 KB banks; the paper
+// dedicates "the two upper data banks" (16 KB) to subaperture data — enough
+// for exactly two pulses of 1001 complex pixels (16,016 bytes). The
+// allocator enforces capacity, so kernels that exceed a bank budget fail
+// loudly instead of silently using impossible hardware.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace esarp::ep {
+
+class LocalMemory {
+public:
+  LocalMemory(std::size_t bytes, int banks)
+      : store_(bytes), banks_(banks), bank_size_(bytes / banks) {
+    ESARP_EXPECTS(banks > 0 && bytes % static_cast<std::size_t>(banks) == 0);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return store_.size(); }
+  [[nodiscard]] int banks() const { return banks_; }
+  [[nodiscard]] std::size_t bank_size() const { return bank_size_; }
+
+  /// Allocate n objects of T, 8-byte aligned, anywhere in free space.
+  template <typename T>
+  std::span<T> alloc(std::size_t n) {
+    return alloc_at<T>(n, cursor_);
+  }
+
+  /// Allocate n objects of T starting at the given bank (the paper places
+  /// code/stack in the lower banks, data in the upper two). Fails if the
+  /// allocation would collide with earlier allocations past that point.
+  template <typename T>
+  std::span<T> alloc_in_bank(std::size_t n, int bank) {
+    ESARP_EXPECTS(bank >= 0 && bank < banks_);
+    const std::size_t base = static_cast<std::size_t>(bank) * bank_size_;
+    ESARP_EXPECTS(base >= cursor_); // banks must be claimed in order
+    return alloc_at<T>(n, base);
+  }
+
+  /// Offset of a pointer inside this memory (for address-map encoding).
+  [[nodiscard]] std::uint32_t offset_of(const void* p) const {
+    const auto* b = static_cast<const std::byte*>(p);
+    ESARP_EXPECTS(b >= store_.data() && b < store_.data() + store_.size());
+    return static_cast<std::uint32_t>(b - store_.data());
+  }
+
+  [[nodiscard]] bool owns(const void* p) const {
+    const auto* b = static_cast<const std::byte*>(p);
+    return b >= store_.data() && b < store_.data() + store_.size();
+  }
+
+  [[nodiscard]] std::size_t used() const { return cursor_; }
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+  [[nodiscard]] std::size_t free_bytes() const {
+    return store_.size() - cursor_;
+  }
+
+  /// Release all allocations (between kernel launches).
+  void reset() { cursor_ = 0; }
+
+private:
+  template <typename T>
+  std::span<T> alloc_at(std::size_t n, std::size_t from) {
+    const std::size_t aligned = (from + 7) & ~std::size_t{7};
+    const std::size_t bytes = n * sizeof(T);
+    if (aligned + bytes > store_.size())
+      throw ContractViolation(
+          "LocalMemory overflow: request exceeds the 32 KB local store");
+    cursor_ = aligned + bytes;
+    high_water_ = cursor_ > high_water_ ? cursor_ : high_water_;
+    return {reinterpret_cast<T*>(store_.data() + aligned), n};
+  }
+
+  std::vector<std::byte> store_;
+  int banks_;
+  std::size_t bank_size_;
+  std::size_t cursor_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+} // namespace esarp::ep

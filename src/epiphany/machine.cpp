@@ -1,0 +1,89 @@
+#include "epiphany/machine.hpp"
+
+#include <sstream>
+
+namespace esarp::ep {
+
+Machine::Machine(ChipConfig cfg, std::size_t ext_bytes, CoreCostParams cost)
+    : cfg_(cfg), cost_(cost), noc_(cfg), ext_port_(cfg, noc_),
+      ext_mem_(ext_bytes), amap_(cfg) {
+  ESARP_EXPECTS(cfg.rows > 0 && cfg.cols > 0);
+  cores_.reserve(static_cast<std::size_t>(cfg.core_count()));
+  ctxs_.reserve(static_cast<std::size_t>(cfg.core_count()));
+  for (int id = 0; id < cfg.core_count(); ++id) {
+    cores_.push_back(std::make_unique<Core>(id, coord_of(id), cfg));
+    ctxs_.push_back(std::make_unique<CoreCtx>(*cores_.back(), sched_, noc_,
+                                              ext_port_, ext_mem_, cost_,
+                                              cfg_, tracer_));
+  }
+}
+
+Core& Machine::core(int id) {
+  ESARP_EXPECTS(id >= 0 && id < core_count());
+  return *cores_[static_cast<std::size_t>(id)];
+}
+
+CoreCtx& Machine::ctx(int id) {
+  ESARP_EXPECTS(id >= 0 && id < core_count());
+  return *ctxs_[static_cast<std::size_t>(id)];
+}
+
+Task Machine::wrap(CoreCtx& ctx, std::function<Task(CoreCtx&)> fn,
+                   Scheduler& sched) {
+  ctx.core().state = CoreState::kRunning;
+  Task inner = fn(ctx);
+  co_await std::move(inner);
+  ctx.core().state = CoreState::kDone;
+  ctx.core().counters.finish_time = sched.now();
+}
+
+void Machine::launch(int core_id, std::function<Task(CoreCtx&)> program) {
+  ESARP_EXPECTS(core_id >= 0 && core_id < core_count());
+  ESARP_EXPECTS(!ran_);
+  for (const auto& p : programs_)
+    ESARP_EXPECTS(p.core_id != core_id); // one program per core
+  programs_.push_back(
+      {core_id, wrap(ctx(core_id), std::move(program), sched_)});
+}
+
+Cycles Machine::run() {
+  ESARP_EXPECTS(!ran_);
+  ESARP_EXPECTS(!programs_.empty());
+  ran_ = true;
+  for (auto& p : programs_) sched_.schedule_at(0, p.task.handle());
+  const Cycles end = sched_.run();
+
+  // Surface kernel failures and deadlocks.
+  for (auto& p : programs_) p.task.rethrow_if_error();
+  std::ostringstream blocked;
+  bool any_blocked = false;
+  for (auto& p : programs_) {
+    if (!p.task.done()) {
+      any_blocked = true;
+      blocked << " core " << p.core_id << " ("
+              << to_string(core(p.core_id).state) << ")";
+    }
+  }
+  if (any_blocked)
+    throw SimDeadlock("simulation quiesced with blocked cores:" +
+                      blocked.str());
+  return end;
+}
+
+PerfReport Machine::report() const {
+  PerfReport rep;
+  rep.cfg = cfg_;
+  rep.per_core.reserve(cores_.size());
+  for (const auto& c : cores_) {
+    rep.per_core.push_back(c->counters);
+    rep.makespan = std::max(rep.makespan, c->counters.finish_time);
+  }
+  rep.noc_total = noc_.stats_total();
+  rep.noc_read = noc_.stats(Mesh::kRead);
+  rep.noc_write_onchip = noc_.stats(Mesh::kOnChipWrite);
+  rep.noc_write_offchip = noc_.stats(Mesh::kOffChipWrite);
+  rep.ext = ext_port_.stats();
+  return rep;
+}
+
+} // namespace esarp::ep

@@ -1,0 +1,120 @@
+// Top-level simulated chip: cores + NoC + eLink + SDRAM + scheduler.
+//
+// Usage:
+//   ep::Machine m;                                  // 4x4 E16G3 defaults
+//   auto img = m.ext().alloc<cf32>(n);              // place data in SDRAM
+//   m.launch(c, [&](ep::CoreCtx& ctx) -> ep::Task { ... });
+//   ep::Cycles t = m.run();                         // run to completion
+//   ep::PerfReport rep = m.report();
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "epiphany/address_map.hpp"
+#include "epiphany/barrier.hpp"
+#include "epiphany/channel.hpp"
+#include "epiphany/config.hpp"
+#include "epiphany/core.hpp"
+#include "epiphany/core_ctx.hpp"
+#include "epiphany/cost_model.hpp"
+#include "epiphany/ext_port.hpp"
+#include "epiphany/external_memory.hpp"
+#include "epiphany/noc.hpp"
+#include "epiphany/perf.hpp"
+#include "epiphany/scheduler.hpp"
+#include "epiphany/task.hpp"
+#include "epiphany/trace.hpp"
+
+namespace esarp::ep {
+
+/// Thrown when run() finishes with blocked (unfinished) core programs.
+class SimDeadlock : public std::runtime_error {
+public:
+  explicit SimDeadlock(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Machine {
+public:
+  explicit Machine(ChipConfig cfg = {},
+                   std::size_t ext_bytes = 64u * 1024 * 1024,
+                   CoreCostParams cost = {});
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] const ChipConfig& config() const { return cfg_; }
+  [[nodiscard]] int core_count() const { return cfg_.core_count(); }
+  [[nodiscard]] Core& core(int id);
+  [[nodiscard]] CoreCtx& ctx(int id);
+  [[nodiscard]] ExternalMemory& ext() { return ext_mem_; }
+  [[nodiscard]] Noc& noc() { return noc_; }
+  [[nodiscard]] ExtPort& ext_port() { return ext_port_; }
+  [[nodiscard]] Scheduler& sched() { return sched_; }
+  [[nodiscard]] const AddressMap& address_map() const { return amap_; }
+  [[nodiscard]] const CostModel& cost_model() const { return cost_; }
+
+  /// Turn on execution tracing (call before run()). Segments are recorded
+  /// per core; export with tracer().write_chrome_json(path).
+  void enable_tracing() { tracer_.enable(); }
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const Tracer& tracer() const { return tracer_; }
+
+  [[nodiscard]] Coord coord_of(int id) const {
+    return {id / cfg_.cols, id % cfg_.cols};
+  }
+  [[nodiscard]] int id_of(Coord c) const { return c.row * cfg_.cols + c.col; }
+
+  /// Register a core program. One program per core; programs start at
+  /// cycle 0 when run() is called.
+  void launch(int core_id, std::function<Task(CoreCtx&)> program);
+
+  /// Create a streaming channel whose buffer lives on `consumer_id`.
+  template <typename T>
+  std::unique_ptr<Channel<T>> make_channel(int consumer_id,
+                                           std::size_t capacity,
+                                           std::string name = "chan") {
+    return std::make_unique<Channel<T>>(sched_, noc_, coord_of(consumer_id),
+                                        capacity, std::move(name));
+  }
+
+  /// Create a barrier over `parties` cores.
+  std::unique_ptr<SimBarrier> make_barrier(int parties, Coord master = {0, 0}) {
+    return std::make_unique<SimBarrier>(sched_, noc_, cfg_, parties, master);
+  }
+
+  /// Run all launched programs to completion. Returns the makespan in
+  /// cycles. Rethrows the first kernel exception; throws SimDeadlock if
+  /// programs remain blocked with no pending events.
+  Cycles run();
+
+  /// Seconds of chip time for a cycle count at the configured clock.
+  [[nodiscard]] double seconds(Cycles c) const { return cfg_.seconds(c); }
+
+  /// Aggregate performance report over the last run.
+  [[nodiscard]] PerfReport report() const;
+
+private:
+  static Task wrap(CoreCtx& ctx, std::function<Task(CoreCtx&)> fn,
+                   Scheduler& sched);
+
+  ChipConfig cfg_;
+  CostModel cost_;
+  Tracer tracer_;
+  Scheduler sched_;
+  Noc noc_;
+  ExtPort ext_port_;
+  ExternalMemory ext_mem_;
+  AddressMap amap_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::vector<std::unique_ptr<CoreCtx>> ctxs_;
+  struct Launched {
+    int core_id;
+    Task task;
+  };
+  std::vector<Launched> programs_;
+  bool ran_ = false;
+};
+
+} // namespace esarp::ep

@@ -1,0 +1,85 @@
+#include "epiphany/perf.hpp"
+
+#include <sstream>
+
+#include "common/format.hpp"
+#include "common/table.hpp"
+
+namespace esarp::ep {
+
+OpCounts PerfReport::total_ops() const {
+  OpCounts total;
+  for (const auto& c : per_core) total += c.ops;
+  return total;
+}
+
+Cycles PerfReport::total_busy() const {
+  Cycles total = 0;
+  for (const auto& c : per_core) total += c.busy;
+  return total;
+}
+
+Cycles PerfReport::total_ext_stall() const {
+  Cycles total = 0;
+  for (const auto& c : per_core) total += c.ext_stall;
+  return total;
+}
+
+double PerfReport::utilization() const {
+  if (makespan == 0) return 0.0;
+  Cycles busy = 0;
+  int active = 0;
+  for (const auto& c : per_core) {
+    if (c.finish_time == 0 && c.busy == 0) continue; // never launched
+    busy += c.busy;
+    ++active;
+  }
+  if (active == 0) return 0.0;
+  return static_cast<double>(busy) /
+         (static_cast<double>(makespan) * active);
+}
+
+double PerfReport::flops_per_second() const {
+  const double secs = seconds();
+  if (secs <= 0.0) return 0.0;
+  return static_cast<double>(total_ops().flops()) / secs;
+}
+
+std::string PerfReport::summary() const {
+  std::ostringstream os;
+  const OpCounts ops = total_ops();
+  os << "makespan: " << format_cycles(makespan) << " cycles ("
+     << format_seconds(seconds()) << " @ "
+     << cfg.clock_hz / 1e9 << " GHz)\n"
+     << "flops: " << format_rate(flops_per_second(), "FLOP") << " ("
+     << format_cycles(ops.flops()) << " total)\n"
+     << "core utilization: " << Table::num(utilization() * 100.0, 1) << " %\n"
+     << "ext reads: " << format_bytes(ext.read_bytes) << " in "
+     << ext.read_transactions << " transactions; writes: "
+     << format_bytes(ext.write_bytes) << " in " << ext.write_transactions
+     << " transactions\n"
+     << "noc: " << noc_total.transfers << " transfers, "
+     << format_bytes(noc_total.bytes) << " (read mesh "
+     << format_bytes(noc_read.bytes) << ", on-chip write mesh "
+     << format_bytes(noc_write_onchip.bytes) << ", off-chip write mesh "
+     << format_bytes(noc_write_offchip.bytes) << ")\n";
+  return os.str();
+}
+
+std::string PerfReport::per_core_table() const {
+  Table t("per-core counters");
+  t.header({"core", "busy", "ext stall", "dma wait", "chan wait",
+            "barrier", "flops", "ext R", "ext W", "finish"});
+  for (std::size_t i = 0; i < per_core.size(); ++i) {
+    const auto& c = per_core[i];
+    if (c.finish_time == 0 && c.busy == 0) continue;
+    t.row({std::to_string(i), format_cycles(c.busy),
+           format_cycles(c.ext_stall), format_cycles(c.dma_wait),
+           format_cycles(c.chan_wait), format_cycles(c.barrier_wait),
+           format_cycles(c.ops.flops()), format_bytes(c.ext_read_bytes),
+           format_bytes(c.ext_write_bytes), format_cycles(c.finish_time)});
+  }
+  return t.str();
+}
+
+} // namespace esarp::ep

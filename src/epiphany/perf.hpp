@@ -1,0 +1,44 @@
+// Aggregated performance counters of a simulation run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/opcounts.hpp"
+#include "epiphany/config.hpp"
+#include "epiphany/core.hpp"
+#include "epiphany/ext_port.hpp"
+#include "epiphany/noc.hpp"
+
+namespace esarp::ep {
+
+struct PerfReport {
+  ChipConfig cfg;
+  Cycles makespan = 0; ///< cycles until the last core finished
+  std::vector<CoreCounters> per_core;
+  NocStats noc_total;
+  NocStats noc_read;
+  NocStats noc_write_onchip;
+  NocStats noc_write_offchip;
+  ExtPortStats ext;
+
+  [[nodiscard]] OpCounts total_ops() const;
+  [[nodiscard]] Cycles total_busy() const;
+  [[nodiscard]] Cycles total_ext_stall() const;
+  [[nodiscard]] double seconds() const { return cfg.seconds(makespan); }
+
+  /// Fraction of core-cycles spent in compute blocks over the makespan
+  /// (only cores that executed anything are counted in the denominator).
+  [[nodiscard]] double utilization() const;
+
+  /// Achieved floating-point rate over the makespan [FLOP/s].
+  [[nodiscard]] double flops_per_second() const;
+
+  /// Multi-line human-readable summary.
+  [[nodiscard]] std::string summary() const;
+
+  /// Per-core one-line breakdown table.
+  [[nodiscard]] std::string per_core_table() const;
+};
+
+} // namespace esarp::ep

@@ -1,0 +1,76 @@
+// Discrete-event scheduler driving the simulated chip.
+//
+// A single global virtual clock (in core cycles); coroutine handles are
+// resumed in (time, insertion-order) order. Everything in the simulation is
+// event-driven, so an empty queue means quiescence.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "epiphany/config.hpp"
+
+namespace esarp::ep {
+
+class Scheduler {
+public:
+  [[nodiscard]] Cycles now() const { return now_; }
+
+  /// Resume `h` at absolute cycle `t` (>= now).
+  void schedule_at(Cycles t, std::coroutine_handle<> h) {
+    ESARP_EXPECTS(t >= now_);
+    ESARP_EXPECTS(h && !h.done());
+    queue_.push(Event{t, seq_++, h});
+  }
+
+  /// Resume `h` immediately after currently-runnable work at this cycle.
+  void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
+
+  /// Run until the event queue drains. Returns the final cycle count.
+  /// `max_cycles` (0 = unlimited) guards against runaway simulations:
+  /// exceeding it throws instead of spinning forever.
+  Cycles run(Cycles max_cycles = 0) {
+    while (!queue_.empty()) {
+      Event ev = queue_.top();
+      queue_.pop();
+      ESARP_ENSURES(ev.time >= now_);
+      now_ = ev.time;
+      if (max_cycles != 0 && now_ > max_cycles)
+        throw ContractViolation(
+            "simulation exceeded the max_cycles watchdog");
+      ev.handle.resume();
+    }
+    return now_;
+  }
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+  /// Reset the clock (only valid when idle; used between experiments).
+  void reset() {
+    ESARP_EXPECTS(queue_.empty());
+    now_ = 0;
+    seq_ = 0;
+  }
+
+private:
+  struct Event {
+    Cycles time;
+    std::uint64_t seq; ///< FIFO tie-break for equal timestamps
+    std::coroutine_handle<> handle;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Cycles now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+} // namespace esarp::ep

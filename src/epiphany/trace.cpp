@@ -1,0 +1,35 @@
+#include "epiphany/trace.hpp"
+
+#include <fstream>
+
+#include "common/assert.hpp"
+
+namespace esarp::ep {
+
+void Tracer::write_chrome_json(const std::filesystem::path& path,
+                               double clock_hz) const {
+  std::ofstream f(path);
+  ESARP_EXPECTS(f.is_open());
+  const double to_us = 1e6 / clock_hz;
+  f << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& s : segments_) {
+    if (!first) f << ",\n";
+    first = false;
+    f << "{\"name\":\"" << to_string(s.kind) << "\",\"ph\":\"X\",\"pid\":0,"
+      << "\"tid\":" << s.core << ",\"ts\":"
+      << static_cast<double>(s.start) * to_us << ",\"dur\":"
+      << static_cast<double>(s.end - s.start) * to_us << "}";
+  }
+  f << "\n]}\n";
+  ESARP_ENSURES(f.good());
+}
+
+Cycles Tracer::total_cycles(SegmentKind kind) const {
+  Cycles total = 0;
+  for (const auto& s : segments_)
+    if (s.kind == kind) total += s.end - s.start;
+  return total;
+}
+
+} // namespace esarp::ep

@@ -1,0 +1,81 @@
+// Execution tracing for the simulated chip.
+//
+// When enabled (Machine::enable_tracing), every timed activity — compute
+// blocks, external-memory stalls, DMA waits, channel blocking, barrier
+// waits — is recorded as a per-core segment. Traces export to the Chrome
+// tracing JSON format (load in chrome://tracing or https://ui.perfetto.dev)
+// for visual inspection of pipeline behaviour, prefetch stalls and
+// barrier imbalance.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "epiphany/config.hpp"
+
+namespace esarp::ep {
+
+enum class SegmentKind : std::uint8_t {
+  kCompute,
+  kExtRead,     ///< blocking SDRAM read stall
+  kExtWrite,    ///< posted-write issue (incl. backpressure stall)
+  kDmaWait,     ///< waiting on a DMA completion
+  kChanSend,    ///< blocked in Channel::send (FIFO full) + injection
+  kChanRecv,    ///< blocked in Channel::recv (FIFO empty / in flight)
+  kBarrier,
+};
+
+[[nodiscard]] constexpr const char* to_string(SegmentKind k) {
+  switch (k) {
+    case SegmentKind::kCompute: return "compute";
+    case SegmentKind::kExtRead: return "ext-read";
+    case SegmentKind::kExtWrite: return "ext-write";
+    case SegmentKind::kDmaWait: return "dma-wait";
+    case SegmentKind::kChanSend: return "chan-send";
+    case SegmentKind::kChanRecv: return "chan-recv";
+    case SegmentKind::kBarrier: return "barrier";
+  }
+  return "?";
+}
+
+struct TraceSegment {
+  int core;
+  SegmentKind kind;
+  Cycles start;
+  Cycles end;
+};
+
+class Tracer {
+public:
+  void enable() { enabled_ = true; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Record a segment [start, end) on `core`. No-op while disabled or for
+  /// empty segments.
+  void add(int core, SegmentKind kind, Cycles start, Cycles end) {
+    if (!enabled_ || end <= start) return;
+    segments_.push_back({core, kind, start, end});
+  }
+
+  [[nodiscard]] const std::vector<TraceSegment>& segments() const {
+    return segments_;
+  }
+  [[nodiscard]] std::size_t size() const { return segments_.size(); }
+  void clear() { segments_.clear(); }
+
+  /// Write the trace as Chrome tracing JSON ("traceEvents" array of
+  /// complete 'X' events; one tid per core, timestamps in microseconds of
+  /// chip time at the given clock).
+  void write_chrome_json(const std::filesystem::path& path,
+                         double clock_hz = 1e9) const;
+
+  /// Busy (kCompute) cycles per core, for quick assertions.
+  [[nodiscard]] Cycles total_cycles(SegmentKind kind) const;
+
+private:
+  bool enabled_ = false;
+  std::vector<TraceSegment> segments_;
+};
+
+} // namespace esarp::ep

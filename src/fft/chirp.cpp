@@ -1,0 +1,38 @@
+#include "fft/chirp.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace esarp::fft {
+
+std::size_t chirp_length(const ChirpParams& p) {
+  ESARP_EXPECTS(p.sample_rate_hz > 0 && p.duration_s > 0);
+  return static_cast<std::size_t>(std::llround(p.sample_rate_hz * p.duration_s));
+}
+
+std::vector<cf32> make_chirp(const ChirpParams& p) {
+  ESARP_EXPECTS(p.bandwidth_hz > 0);
+  ESARP_EXPECTS(p.bandwidth_hz <= p.sample_rate_hz); // Nyquist for baseband
+  const std::size_t n = chirp_length(p);
+  const double rate = p.bandwidth_hz / p.duration_s; // chirp rate K [Hz/s]
+  std::vector<cf32> s(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t =
+        static_cast<double>(i) / p.sample_rate_hz - p.duration_s / 2.0;
+    const double phase = kPi * rate * t * t;
+    s[i] = {static_cast<float>(std::cos(phase)),
+            static_cast<float>(std::sin(phase))};
+  }
+  return s;
+}
+
+double compressed_width_samples(const ChirpParams& p) {
+  return p.sample_rate_hz / p.bandwidth_hz;
+}
+
+double time_bandwidth_product(const ChirpParams& p) {
+  return p.bandwidth_hz * p.duration_s;
+}
+
+} // namespace esarp::fft

@@ -1,0 +1,35 @@
+// Linear-FM (chirp) waveform generation.
+//
+// The SAR front end (Fig. 1) transmits a chirp; range (pulse) compression
+// correlates the echo with a replica of it. We generate baseband chirps for
+// the raw-data simulator and the matched filter.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace esarp::fft {
+
+struct ChirpParams {
+  double sample_rate_hz = 100e6;  ///< complex baseband sampling rate
+  double bandwidth_hz = 50e6;     ///< swept bandwidth (sets range resolution)
+  double duration_s = 2e-6;       ///< pulse length
+};
+
+/// Number of complex samples in the chirp.
+std::size_t chirp_length(const ChirpParams& p);
+
+/// Complex baseband linear-FM pulse:
+///   s(t) = exp(i*pi*K*(t - T/2)^2), K = B/T, t in [0, T).
+/// Centred so the instantaneous frequency sweeps [-B/2, +B/2].
+std::vector<cf32> make_chirp(const ChirpParams& p);
+
+/// Theoretical 3 dB compressed-pulse width in samples (~ fs / B).
+double compressed_width_samples(const ChirpParams& p);
+
+/// Time-bandwidth product (compression gain).
+double time_bandwidth_product(const ChirpParams& p);
+
+} // namespace esarp::fft

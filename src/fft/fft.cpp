@@ -1,0 +1,105 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace esarp::fft {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+Fft::Fft(std::size_t n) : n_(n) {
+  ESARP_EXPECTS(is_pow2(n));
+  log2n_ = 0;
+  while ((std::size_t{1} << log2n_) < n_) ++log2n_;
+
+  twiddle_fwd_.resize(n_ / 2);
+  twiddle_inv_.resize(n_ / 2);
+  for (std::size_t k = 0; k < n_ / 2; ++k) {
+    const double ang = -2.0 * kPi * static_cast<double>(k) /
+                       static_cast<double>(n_);
+    twiddle_fwd_[k] = {static_cast<float>(std::cos(ang)),
+                       static_cast<float>(std::sin(ang))};
+    twiddle_inv_[k] = std::conj(twiddle_fwd_[k]);
+  }
+
+  bitrev_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::uint32_t rev = 0;
+    for (std::size_t b = 0; b < log2n_; ++b)
+      if (i & (std::size_t{1} << b)) rev |= 1u << (log2n_ - 1 - b);
+    bitrev_[i] = rev;
+  }
+}
+
+void Fft::transform(std::span<cf32> data, bool inverse_sign) const {
+  ESARP_EXPECTS(data.size() == n_);
+  if (n_ == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  const auto& tw = inverse_sign ? twiddle_inv_ : twiddle_fwd_;
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t half = len / 2;
+    const std::size_t step = n_ / len; // twiddle stride
+    for (std::size_t base = 0; base < n_; base += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const cf32 w = tw[k * step];
+        const cf32 u = data[base + k];
+        const cf32 t = data[base + k + half] * w;
+        data[base + k] = u + t;
+        data[base + k + half] = u - t;
+      }
+    }
+  }
+}
+
+void Fft::forward(std::span<cf32> data) const { transform(data, false); }
+
+void Fft::inverse(std::span<cf32> data) const {
+  transform(data, true);
+  const float scale = 1.0f / static_cast<float>(n_);
+  for (auto& x : data) x *= scale;
+}
+
+void fft_forward(std::span<cf32> data) { Fft(data.size()).forward(data); }
+void fft_inverse(std::span<cf32> data) { Fft(data.size()).inverse(data); }
+
+namespace {
+
+std::vector<cf32> spectral_product(std::span<const cf32> a,
+                                   std::span<const cf32> b, bool conj_b) {
+  ESARP_EXPECTS(a.size() == b.size());
+  ESARP_EXPECTS(is_pow2(a.size()));
+  const Fft plan(a.size());
+  std::vector<cf32> fa(a.begin(), a.end());
+  std::vector<cf32> fb(b.begin(), b.end());
+  plan.forward(fa);
+  plan.forward(fb);
+  for (std::size_t i = 0; i < fa.size(); ++i)
+    fa[i] *= conj_b ? std::conj(fb[i]) : fb[i];
+  plan.inverse(fa);
+  return fa;
+}
+
+} // namespace
+
+std::vector<cf32> circular_convolve(std::span<const cf32> a,
+                                    std::span<const cf32> b) {
+  return spectral_product(a, b, /*conj_b=*/false);
+}
+
+std::vector<cf32> circular_correlate(std::span<const cf32> a,
+                                     std::span<const cf32> b) {
+  return spectral_product(a, b, /*conj_b=*/true);
+}
+
+} // namespace esarp::fft

@@ -1,0 +1,60 @@
+// In-place iterative radix-2 complex FFT (single precision).
+//
+// This is the project's own FFT substrate — no external dependency — used by
+// the pulse-compression front end of the SAR chain (Fig. 1 of the paper).
+// Twiddle factors are cached per size in an Fft plan object so repeated
+// transforms of the same length (one per radar pulse) are cheap.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace esarp::fft {
+
+/// Returns true iff n is a power of two (and nonzero).
+constexpr bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Smallest power of two >= n.
+std::size_t next_pow2(std::size_t n);
+
+/// Reusable FFT plan for a fixed power-of-two size.
+class Fft {
+public:
+  /// Builds twiddle tables for transforms of length n (n must be pow2).
+  explicit Fft(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// In-place forward DFT: X[k] = sum_j x[j] e^{-2*pi*i*jk/n}.
+  void forward(std::span<cf32> data) const;
+
+  /// In-place inverse DFT including the 1/n normalisation.
+  void inverse(std::span<cf32> data) const;
+
+private:
+  void transform(std::span<cf32> data, bool inverse_sign) const;
+
+  std::size_t n_;
+  std::size_t log2n_;
+  std::vector<cf32> twiddle_fwd_; ///< e^{-2*pi*i*k/n}, k in [0, n/2)
+  std::vector<cf32> twiddle_inv_; ///< conjugates
+  std::vector<std::uint32_t> bitrev_;
+};
+
+/// One-shot helpers (build a plan internally). Prefer the Fft class in loops.
+void fft_forward(std::span<cf32> data);
+void fft_inverse(std::span<cf32> data);
+
+/// Circular convolution via FFT: out = IFFT(FFT(a) .* FFT(b)).
+/// a and b must have equal power-of-two length.
+std::vector<cf32> circular_convolve(std::span<const cf32> a,
+                                    std::span<const cf32> b);
+
+/// Circular cross-correlation via FFT: out = IFFT(FFT(a) .* conj(FFT(b))).
+std::vector<cf32> circular_correlate(std::span<const cf32> a,
+                                     std::span<const cf32> b);
+
+} // namespace esarp::fft

@@ -1,0 +1,42 @@
+#include "fft/matched_filter.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace esarp::fft {
+
+MatchedFilter::MatchedFilter(std::span<const cf32> replica,
+                             std::size_t record_len, WindowKind window)
+    : record_len_(record_len),
+      replica_len_(replica.size()),
+      plan_(next_pow2(record_len + replica.size())) {
+  ESARP_EXPECTS(!replica.empty());
+  ESARP_EXPECTS(record_len > 0);
+  std::vector<cf32> padded(plan_.size(), cf32{});
+  std::copy(replica.begin(), replica.end(), padded.begin());
+  if (window != WindowKind::kRectangular) {
+    const auto w = make_window(window, replica.size());
+    apply_window(std::span<cf32>(padded.data(), replica.size()), w);
+  }
+  plan_.forward(padded);
+  replica_spectrum_conj_.resize(padded.size());
+  for (std::size_t i = 0; i < padded.size(); ++i)
+    replica_spectrum_conj_[i] = std::conj(padded[i]);
+}
+
+std::vector<cf32> MatchedFilter::compress(std::span<const cf32> echo) const {
+  ESARP_EXPECTS(echo.size() == record_len_);
+  std::vector<cf32> work(plan_.size(), cf32{});
+  std::copy(echo.begin(), echo.end(), work.begin());
+  plan_.forward(work);
+  for (std::size_t i = 0; i < work.size(); ++i)
+    work[i] *= replica_spectrum_conj_[i];
+  plan_.inverse(work);
+  // Cross-correlation peak for a scatterer at delay k lands at index k
+  // (zero-lag correlation), so the first record_len samples are the image.
+  work.resize(record_len_);
+  return work;
+}
+
+} // namespace esarp::fft

@@ -1,0 +1,43 @@
+// FFT-based matched filtering (pulse / range compression).
+//
+// Correlates each received pulse with the transmitted replica; the output
+// peaks at the target delay with a sinc-like mainlobe of width fs/B samples.
+// This is the "pulse compression" stage of the paper's Fig. 1 chain whose
+// output feeds the back-projection block.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fft/fft.hpp"
+#include "fft/window.hpp"
+
+namespace esarp::fft {
+
+/// Matched filter for a fixed replica and record length.
+class MatchedFilter {
+public:
+  /// `replica` is the transmitted pulse; `record_len` the echo length.
+  /// Internally zero-pads both to the next power of two >= record_len +
+  /// replica length (linear, not circular, correlation). `window` tapers
+  /// the reference (sidelobe suppression at a small SNR/resolution cost).
+  MatchedFilter(std::span<const cf32> replica, std::size_t record_len,
+                WindowKind window = WindowKind::kRectangular);
+
+  /// Compress one echo record (size == record_len). The output has
+  /// record_len samples; sample k corresponds to a scatterer whose echo
+  /// started at input sample k (group delay removed).
+  [[nodiscard]] std::vector<cf32> compress(std::span<const cf32> echo) const;
+
+  [[nodiscard]] std::size_t record_len() const { return record_len_; }
+  [[nodiscard]] std::size_t fft_len() const { return plan_.size(); }
+
+private:
+  std::size_t record_len_;
+  std::size_t replica_len_;
+  Fft plan_;
+  std::vector<cf32> replica_spectrum_conj_;
+};
+
+} // namespace esarp::fft

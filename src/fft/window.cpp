@@ -1,0 +1,110 @@
+#include "fft/window.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace esarp::fft {
+
+namespace {
+
+/// Taylor window (nbar nearly-constant-level sidelobes at sll dB below the
+/// mainlobe). Classic formulation via the F_m coefficients.
+std::vector<float> taylor(std::size_t n, int nbar, double sll_db) {
+  const double a = std::acosh(std::pow(10.0, -sll_db / 20.0)) / kPi;
+  const double a2 = a * a;
+  const double sigma2 =
+      static_cast<double>(nbar * nbar) /
+      (a2 + (static_cast<double>(nbar) - 0.5) *
+                (static_cast<double>(nbar) - 0.5));
+
+  std::vector<double> fm(static_cast<std::size_t>(nbar) - 1);
+  for (int m = 1; m < nbar; ++m) {
+    double num = 1.0;
+    double den = 1.0;
+    for (int i = 1; i < nbar; ++i) {
+      num *= 1.0 - static_cast<double>(m * m) /
+                       (sigma2 * (a2 + (i - 0.5) * (i - 0.5)));
+      if (i != m)
+        den *= 1.0 - static_cast<double>(m * m) / static_cast<double>(i * i);
+    }
+    const double sign = (m % 2 == 0) ? 1.0 : -1.0;
+    fm[static_cast<std::size_t>(m) - 1] = -sign * num / (2.0 * den);
+  }
+
+  std::vector<float> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x =
+        2.0 * kPi * (static_cast<double>(i) - 0.5 * (static_cast<double>(n) - 1.0)) /
+        static_cast<double>(n);
+    double v = 1.0;
+    for (int m = 1; m < nbar; ++m)
+      v += 2.0 * fm[static_cast<std::size_t>(m) - 1] * std::cos(m * x);
+    w[i] = static_cast<float>(v);
+  }
+  // Normalise peak to 1.
+  float peak = 0.0f;
+  for (float v : w) peak = std::max(peak, v);
+  for (float& v : w) v /= peak;
+  return w;
+}
+
+} // namespace
+
+std::vector<float> make_window(WindowKind kind, std::size_t n) {
+  ESARP_EXPECTS(n >= 1);
+  std::vector<float> w(n, 1.0f);
+  if (n == 1 || kind == WindowKind::kRectangular) return w;
+  const double denom = static_cast<double>(n - 1);
+  switch (kind) {
+    case WindowKind::kRectangular:
+      break;
+    case WindowKind::kHann:
+      for (std::size_t i = 0; i < n; ++i)
+        w[i] = static_cast<float>(
+            0.5 - 0.5 * std::cos(2.0 * kPi * static_cast<double>(i) / denom));
+      break;
+    case WindowKind::kHamming:
+      for (std::size_t i = 0; i < n; ++i)
+        w[i] = static_cast<float>(
+            0.54 -
+            0.46 * std::cos(2.0 * kPi * static_cast<double>(i) / denom));
+      break;
+    case WindowKind::kBlackman:
+      for (std::size_t i = 0; i < n; ++i) {
+        const double x = 2.0 * kPi * static_cast<double>(i) / denom;
+        w[i] = static_cast<float>(0.42 - 0.5 * std::cos(x) +
+                                  0.08 * std::cos(2.0 * x));
+      }
+      break;
+    case WindowKind::kTaylor:
+      w = taylor(n, /*nbar=*/4, /*sll_db=*/-35.0);
+      break;
+  }
+  return w;
+}
+
+void apply_window(std::span<cf32> signal, std::span<const float> window) {
+  ESARP_EXPECTS(signal.size() == window.size());
+  for (std::size_t i = 0; i < signal.size(); ++i) signal[i] *= window[i];
+}
+
+double coherent_gain(std::span<const float> window) {
+  ESARP_EXPECTS(!window.empty());
+  double sum = 0.0;
+  for (float v : window) sum += v;
+  return sum / static_cast<double>(window.size());
+}
+
+double noise_bandwidth_bins(std::span<const float> window) {
+  ESARP_EXPECTS(!window.empty());
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (float v : window) {
+    sum += v;
+    sum2 += static_cast<double>(v) * v;
+  }
+  return static_cast<double>(window.size()) * sum2 / (sum * sum);
+}
+
+} // namespace esarp::fft

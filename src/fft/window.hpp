@@ -1,0 +1,38 @@
+// Window (taper) functions for sidelobe control.
+//
+// Pulse compression with a rectangular replica leaves -13 dB range
+// sidelobes that imaging radars usually suppress by tapering the matched
+// filter; the same windows apply as azimuth weighting. Standard cosine
+// windows plus the SAR-typical Taylor window are provided.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace esarp::fft {
+
+enum class WindowKind {
+  kRectangular, ///< no taper
+  kHann,        ///< -31 dB first sidelobe
+  kHamming,     ///< -41 dB first sidelobe
+  kBlackman,    ///< -58 dB first sidelobe
+  kTaylor,      ///< nbar=4, -35 dB design (the SAR workhorse)
+};
+
+/// Window coefficients of length n (symmetric; w[0] == w[n-1]).
+[[nodiscard]] std::vector<float> make_window(WindowKind kind, std::size_t n);
+
+/// Multiply a complex signal by the window in place.
+void apply_window(std::span<cf32> signal, std::span<const float> window);
+
+/// Coherent gain: mean of the coefficients (1.0 for rectangular).
+[[nodiscard]] double coherent_gain(std::span<const float> window);
+
+/// Equivalent noise bandwidth in bins (1.0 for rectangular; larger for
+/// tapered windows — the mainlobe-widening cost of sidelobe suppression).
+[[nodiscard]] double noise_bandwidth_bins(std::span<const float> window);
+
+} // namespace esarp::fft

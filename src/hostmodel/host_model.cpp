@@ -1,0 +1,43 @@
+#include "hostmodel/host_model.hpp"
+
+#include <algorithm>
+
+namespace esarp::host {
+
+double HostModel::cycles(const HostWork& w) const {
+  const auto& o = w.ops;
+
+  // FP ports: no FMA on Westmere — an fma occupies both the add and the
+  // mul port for one op each. fcmp (compares/min/max/abs) go to the add
+  // port. Divides serialise on the mul port.
+  const double add_port = static_cast<double>(o.fadd + o.fma + o.fcmp);
+  const double mul_port = static_cast<double>(o.fmul + o.fma) +
+                          p_.div_cycles * static_cast<double>(o.fdiv);
+  const double fp = std::max(add_port, mul_port) / p_.fp_port_efficiency;
+
+  // Memory ports: local (cache-resident) loads/stores.
+  const double mem =
+      static_cast<double>(o.load + o.store) / p_.mem_ops_per_cycle;
+
+  // Integer ALU / address generation.
+  const double ialu = static_cast<double>(o.ialu) / p_.ialu_per_cycle;
+
+  // The OoO window overlaps the three streams; the longest one bounds
+  // throughput.
+  double core = std::max({fp, mem, ialu});
+
+  // Un-cacheable traffic.
+  const double stream =
+      static_cast<double>(w.stream_read_bytes + w.stream_write_bytes) /
+      p_.stream_bytes_per_cycle;
+  const double scattered =
+      static_cast<double>(w.scattered_reads) * p_.scattered_read_cycles;
+
+  // Prefetched streams overlap compute almost fully; scattered misses
+  // mostly do not (pointer-chase style dependency into the FP work).
+  core = std::max(core, stream) + scattered;
+
+  return core * (1.0 + p_.overhead);
+}
+
+} // namespace esarp::host

@@ -1,0 +1,102 @@
+// Analytic cost model of the paper's reference CPU: one core of an Intel
+// Core i7-M620 (Westmere, 32 nm, 2.67 GHz), running the algorithms as
+// single-threaded scalar code — the paper deliberately does not use the
+// second core or SSE vectorisation.
+//
+// Micro-architectural assumptions (Intel Optimization Reference Manual,
+// Westmere):
+//   - out-of-order, with one FP-add port and one FP-mul port (no FMA unit:
+//     an fma in OpCounts costs one slot on EACH port),
+//   - one load + one store port,
+//   - divss/sqrtss are long-latency, partially pipelined ops on the mul
+//     port (our kernels use the shared fastmath expansions instead, so fdiv
+//     counts are normally zero),
+//   - three cache levels + hardware prefetch: sequential streams run at
+//     DRAM bandwidth; scattered 8-byte gathers from a working set larger
+//     than L3 pay an average miss cost.
+//
+// The same OpCounts that drive the Epiphany CostModel drive this model, so
+// cross-architecture speedups are a pure function of counted work.
+#pragma once
+
+#include <cstdint>
+
+#include "common/opcounts.hpp"
+
+namespace esarp::host {
+
+struct HostParams {
+  double clock_hz = 2.67e9;
+
+  /// Fraction of the ideal dual-FP-port throughput the OoO core sustains on
+  /// dependency-laden scalar kernel code (the paper's reference is plain
+  /// single-threaded C without SSE vectorisation; Neville/cosine-theorem
+  /// chains keep the ports well below peak). Calibrated so the sequential
+  /// throughput ratios land near the paper's Table I (EXPERIMENTS.md).
+  double fp_port_efficiency = 0.45;
+
+  /// Load+store ports: one load and one store per cycle (Westmere).
+  double mem_ops_per_cycle = 2.0;
+
+  /// Integer/address ops per cycle on the remaining ALU ports.
+  double ialu_per_cycle = 2.0;
+
+  /// divss: ~14-cycle recurring cost on the mul port (unpipelined).
+  double div_cycles = 14.0;
+
+  /// Average cost of a scattered 8-byte read whose working set exceeds L3
+  /// (mix of L2/L3 hits and DRAM misses with some spatial locality).
+  double scattered_read_cycles = 7.0;
+
+  /// Sustained sequential stream bandwidth in bytes/cycle
+  /// (~16 GB/s of the triple-channel DDR3 at 2.67 GHz).
+  double stream_bytes_per_cycle = 6.0;
+
+  /// Loop/bookkeeping overhead applied multiplicatively.
+  double overhead = 0.08;
+
+  /// Power attributed to one busy core: the paper takes half the 35 W TDP.
+  double watts = 17.5;
+};
+
+/// Work description for a host run: counted ops plus memory traffic that
+/// does not fit in cache.
+struct HostWork {
+  OpCounts ops;
+  std::uint64_t stream_read_bytes = 0;  ///< sequential (prefetchable) reads
+  std::uint64_t stream_write_bytes = 0; ///< sequential writes
+  std::uint64_t scattered_reads = 0;    ///< 8-byte cache-unfriendly gathers
+
+  HostWork& operator+=(const HostWork& o) {
+    ops += o.ops;
+    stream_read_bytes += o.stream_read_bytes;
+    stream_write_bytes += o.stream_write_bytes;
+    scattered_reads += o.scattered_reads;
+    return *this;
+  }
+};
+
+class HostModel {
+public:
+  explicit HostModel(HostParams p = {}) : p_(p) {}
+
+  /// Estimated core cycles for the work.
+  [[nodiscard]] double cycles(const HostWork& w) const;
+
+  /// Estimated wall time [s].
+  [[nodiscard]] double seconds(const HostWork& w) const {
+    return cycles(w) / p_.clock_hz;
+  }
+
+  /// Energy [J] for the work at the attributed core power.
+  [[nodiscard]] double joules(const HostWork& w) const {
+    return seconds(w) * p_.watts;
+  }
+
+  [[nodiscard]] const HostParams& params() const { return p_; }
+
+private:
+  HostParams p_;
+};
+
+} // namespace esarp::host

@@ -1,0 +1,70 @@
+// Interpolation kernels shared by FFBP merge variants and the autofocus
+// criterion calculation (which the paper bases on "cubic interpolation
+// based on Neville's algorithm" [16]).
+//
+// All kernels operate on complex samples at uniform unit-spaced nodes; the
+// denominators of Neville's recurrence are then small integer constants,
+// folded into multiplications (the same strength reduction a compiler
+// applies on both target architectures).
+#pragma once
+
+#include "common/fastmath.hpp"
+#include "common/opcounts.hpp"
+#include "common/types.hpp"
+
+namespace esarp::sar {
+
+/// Linear interpolation between y0 (node 0) and y1 (node 1) at t in [0,1].
+inline cf32 lerp(cf32 y0, cf32 y1, float t) {
+  return y0 + (y1 - y0) * t;
+}
+/// 2 complex sub/add + scalar*complex: 2 fadd + 2 fma per call.
+inline constexpr OpCounts kLerpOps{.fadd = 2, .fma = 2, .load = 4, .store = 2};
+
+/// Neville's algorithm on four samples y[0..3] at nodes {0,1,2,3},
+/// evaluated at t (typically in [1,2] for centred interpolation).
+///
+/// Each recurrence step
+///   P_i <- ((t - x_{i+k}) P_i - (t - x_i) P_{i+k}) / (x_i - x_{i+k})
+/// has a constant integer denominator (-1, -2, -3), applied as a constant
+/// multiply.
+inline cf32 neville4(const cf32 y[4], float t) {
+  const float t0 = t;        // t - 0
+  const float t1 = t - 1.0f;
+  const float t2 = t - 2.0f;
+  const float t3 = t - 3.0f;
+
+  // Level 1 (k = 1): denominators x_i - x_{i+1} = -1.
+  cf32 p0 = (y[0] * t1 - y[1] * t0) * -1.0f;
+  cf32 p1 = (y[1] * t2 - y[2] * t1) * -1.0f;
+  cf32 p2 = (y[2] * t3 - y[3] * t2) * -1.0f;
+  // Level 2 (k = 2): denominators -2.
+  p0 = (p0 * t2 - p1 * t0) * -0.5f;
+  p1 = (p1 * t3 - p2 * t1) * -0.5f;
+  // Level 3 (k = 3): denominator -3.
+  p0 = (p0 * t3 - p1 * t0) * (-1.0f / 3.0f);
+  return p0;
+}
+/// Work of one neville4 call: 4 node offsets (fadd); 6 recurrence combos,
+/// each combining two complex values with two scalar weights and a constant
+/// scale: per combo 4 fmul + 2 fma + 2 fmul(scale) counted as 6 fmul + 2 fma.
+inline constexpr OpCounts kNeville4Ops{
+    .fadd = 4,
+    .fmul = 6 * 4, // weight products + constant scales
+    .fma = 6 * 2,  // fused subtract-accumulate of the weighted pair
+    .ialu = 6,
+    .load = 8,  // four complex nodes
+    .store = 2, // result
+};
+
+/// Criterion inner step (paper eq. 6): |f-|^2 * |f+|^2 accumulated.
+inline float criterion_term(cf32 fm, cf32 fp) {
+  namespace fmth = esarp::fastmath;
+  return fmth::norm2(fm.real(), fm.imag()) *
+         fmth::norm2(fp.real(), fp.imag());
+}
+inline constexpr OpCounts kCriterionTermOps =
+    2 * fastmath::kNorm2Ops +
+    OpCounts{.fadd = 1, .fmul = 1, .load = 4}; // product + accumulate
+
+} // namespace esarp::sar

@@ -1,0 +1,34 @@
+// Binary dataset I/O: raw-data matrices and images with their radar
+// parameters, in a small self-describing container ("ESRP" magic, version,
+// dimensions, parameter block, CRC-32 of the payload). Lets the expensive
+// products — simulated raw data, GBP reference images — be computed once
+// and reloaded by examples and benches.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+
+#include "common/array2d.hpp"
+#include "common/types.hpp"
+#include "sar/params.hpp"
+
+namespace esarp::sar {
+
+/// A stored dataset: complex matrix + the geometry it was produced with.
+struct Dataset {
+  RadarParams params;
+  Array2D<cf32> data;
+};
+
+/// CRC-32 (IEEE 802.3, reflected) of a byte buffer — the payload checksum.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t bytes,
+                                  std::uint32_t seed = 0);
+
+/// Write `ds` to `path`. Throws ContractViolation on I/O failure.
+void save_dataset(const std::filesystem::path& path, const Dataset& ds);
+
+/// Read a dataset back. Throws ContractViolation on bad magic, unsupported
+/// version, size mismatch, or checksum failure.
+[[nodiscard]] Dataset load_dataset(const std::filesystem::path& path);
+
+} // namespace esarp::sar

@@ -1,0 +1,126 @@
+#include "sar/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace esarp::sar {
+
+IrfAxis analyze_cut(std::span<const float> mag) {
+  IrfAxis axis;
+  if (mag.size() < 5) return axis;
+
+  // Peak bin.
+  std::size_t pk = 0;
+  for (std::size_t i = 1; i < mag.size(); ++i)
+    if (mag[i] > mag[pk]) pk = i;
+  const double peak = mag[pk];
+  if (peak <= 0.0 || pk == 0 || pk + 1 == mag.size()) return axis;
+
+  // Sub-bin peak position by parabolic interpolation on the magnitude.
+  {
+    const double ym = mag[pk - 1];
+    const double y0 = mag[pk];
+    const double yp = mag[pk + 1];
+    const double denom = ym - 2.0 * y0 + yp;
+    axis.peak_index = static_cast<double>(pk);
+    if (denom < 0.0) axis.peak_index += 0.5 * (ym - yp) / denom;
+  }
+
+  // -3 dB width: walk out from the peak to the half-power crossings
+  // (|x| = peak / sqrt(2)) with linear interpolation between bins.
+  const double half_power = peak / std::sqrt(2.0);
+  double left = static_cast<double>(pk);
+  for (std::size_t i = pk; i-- > 0;) {
+    if (mag[i] < half_power) {
+      const double t = (half_power - mag[i]) / (mag[i + 1] - mag[i]);
+      left = static_cast<double>(i) + t;
+      break;
+    }
+    if (i == 0) left = 0.0;
+  }
+  double right = static_cast<double>(pk);
+  for (std::size_t i = pk + 1; i < mag.size(); ++i) {
+    if (mag[i] < half_power) {
+      const double t = (mag[i - 1] - half_power) / (mag[i - 1] - mag[i]);
+      right = static_cast<double>(i - 1) + t;
+      break;
+    }
+    if (i + 1 == mag.size()) right = static_cast<double>(i);
+  }
+  axis.width_3db = right - left;
+
+  // Mainlobe extent: first local minima (nulls) on each side of the peak.
+  std::size_t null_l = 0;
+  for (std::size_t i = pk; i-- > 1;) {
+    if (mag[i] <= mag[i - 1] && mag[i] <= mag[i + 1]) {
+      null_l = i;
+      break;
+    }
+  }
+  std::size_t null_r = mag.size() - 1;
+  for (std::size_t i = pk + 1; i + 1 < mag.size(); ++i) {
+    if (mag[i] <= mag[i - 1] && mag[i] <= mag[i + 1]) {
+      null_r = i;
+      break;
+    }
+  }
+
+  // PSLR: highest sidelobe outside the mainlobe.
+  double side_peak = 0.0;
+  for (std::size_t i = 0; i < mag.size(); ++i) {
+    if (i >= null_l && i <= null_r) continue;
+    side_peak = std::max(side_peak, static_cast<double>(mag[i]));
+  }
+  axis.pslr_db = side_peak > 0.0
+                     ? 20.0 * std::log10(side_peak / peak)
+                     : -120.0;
+
+  // ISLR: sidelobe energy over mainlobe energy.
+  double main_e = 0.0;
+  double side_e = 0.0;
+  for (std::size_t i = 0; i < mag.size(); ++i) {
+    const double e = static_cast<double>(mag[i]) * mag[i];
+    if (i >= null_l && i <= null_r)
+      main_e += e;
+    else
+      side_e += e;
+  }
+  axis.islr_db = (side_e > 0.0 && main_e > 0.0)
+                     ? 10.0 * std::log10(side_e / main_e)
+                     : -120.0;
+
+  axis.valid = true;
+  return axis;
+}
+
+IrfReport analyze_point_target(const Array2D<cf32>& img) {
+  ESARP_EXPECTS(img.rows() >= 5 && img.cols() >= 5);
+  IrfReport rep;
+  double best = -1.0;
+  for (std::size_t i = 0; i < img.rows(); ++i)
+    for (std::size_t j = 0; j < img.cols(); ++j) {
+      const double m = std::abs(img(i, j));
+      if (m > best) {
+        best = m;
+        rep.peak_row = i;
+        rep.peak_col = j;
+      }
+    }
+  rep.peak_magnitude = best;
+
+  std::vector<float> range_cut(img.cols());
+  for (std::size_t j = 0; j < img.cols(); ++j)
+    range_cut[j] = std::abs(img(rep.peak_row, j));
+  rep.range = analyze_cut(range_cut);
+
+  std::vector<float> az_cut(img.rows());
+  for (std::size_t i = 0; i < img.rows(); ++i)
+    az_cut[i] = std::abs(img(i, rep.peak_col));
+  rep.azimuth = analyze_cut(az_cut);
+  return rep;
+}
+
+} // namespace esarp::sar

@@ -1,0 +1,43 @@
+// Impulse-response-function (IRF) metrology for SAR images.
+//
+// Standard point-target analysis: locate the peak, measure the -3 dB
+// mainlobe widths in range and azimuth (resolution), the peak sidelobe
+// ratio (PSLR) and the integrated sidelobe ratio (ISLR) along both axes.
+// Used by tests to check the imaging chain against theory (range
+// resolution = bin spacing x mainlobe factor, azimuth resolution =
+// lambda R / (2 L_aperture)) and by benches to compare processors.
+#pragma once
+
+#include <cstddef>
+
+#include "common/array2d.hpp"
+#include "common/types.hpp"
+
+namespace esarp::sar {
+
+struct IrfAxis {
+  double peak_index = 0.0;    ///< interpolated peak position [bins]
+  double width_3db = 0.0;     ///< -3 dB mainlobe width [bins]
+  double pslr_db = 0.0;       ///< peak sidelobe ratio [dB, negative]
+  double islr_db = 0.0;       ///< integrated sidelobe ratio [dB, negative]
+  bool valid = false;         ///< false when the cut has no usable lobe
+};
+
+struct IrfReport {
+  std::size_t peak_row = 0; ///< azimuth (theta) bin of the maximum
+  std::size_t peak_col = 0; ///< range bin of the maximum
+  double peak_magnitude = 0.0;
+  IrfAxis range;   ///< cut along the range axis through the peak
+  IrfAxis azimuth; ///< cut along the azimuth axis through the peak
+};
+
+/// Analyse a 1-D magnitude cut: sub-bin peak (parabolic), -3 dB width,
+/// PSLR and ISLR with the mainlobe taken as the span between the first
+/// nulls (local minima) around the peak.
+[[nodiscard]] IrfAxis analyze_cut(std::span<const float> magnitude);
+
+/// Full point-target analysis of a complex image (assumes one dominant
+/// scatterer; for multi-target scenes pass a sub-view around the target).
+[[nodiscard]] IrfReport analyze_point_target(const Array2D<cf32>& img);
+
+} // namespace esarp::sar

@@ -1,0 +1,38 @@
+// Multilook processing — speckle reduction by incoherent look averaging.
+//
+// The synthetic aperture is split into `looks` contiguous sub-apertures;
+// each forms its own (coarser) image, and the look *intensities* are
+// averaged. Distributed-scatterer speckle is uncorrelated between looks,
+// so its contrast drops by ~sqrt(looks) at the cost of sqrt-ish azimuth
+// resolution — the standard post-processing stage after back-projection
+// in operational SAR chains.
+#pragma once
+
+#include "common/array2d.hpp"
+#include "common/opcounts.hpp"
+#include "common/types.hpp"
+#include "sar/ffbp.hpp"
+#include "sar/params.hpp"
+
+namespace esarp::sar {
+
+struct MultilookResult {
+  /// Averaged intensity image [looks' azimuth grid x n_range]: each row is
+  /// an angular bin of the per-look polar grid (n_pulses/looks bins).
+  Array2D<float> intensity;
+  std::size_t looks = 0;
+  OpCounts ops; ///< total work: `looks` FFBP runs + the averaging
+};
+
+/// Form `looks` sub-aperture FFBP images and average their intensities.
+/// `looks` must divide n_pulses and leave >= 2 pulses per look.
+[[nodiscard]] MultilookResult multilook_ffbp(const Array2D<cf32>& data,
+                                             const RadarParams& p,
+                                             std::size_t looks,
+                                             const FfbpOptions& opt = {});
+
+/// Speckle contrast (stddev/mean of intensity) over a region; ~1.0 for
+/// fully developed single-look speckle, ~1/sqrt(looks) after multilooking.
+[[nodiscard]] double speckle_contrast(const Array2D<float>& intensity);
+
+} // namespace esarp::sar

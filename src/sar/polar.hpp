@@ -1,0 +1,68 @@
+// Subaperture images on polar (range x angle) grids.
+//
+// FFBP state: at level k the aperture is divided into n_pulses/2^k
+// subapertures of 2^k pulses; each carries a polar image of n_theta = 2^k
+// angle bins over the fixed processed sector and n_range range bins. Total
+// storage is constant across levels (n_pulses x n_range complex pixels),
+// which is exactly why the paper can hold "two pulses worth" (16,016 B) of
+// any level's contributing data in two 8 KB local-memory banks.
+#pragma once
+
+#include <cstddef>
+
+#include "common/array2d.hpp"
+#include "common/types.hpp"
+#include "sar/params.hpp"
+
+namespace esarp::sar {
+
+struct SubapertureImage {
+  std::size_t level = 0;       ///< number of merges applied
+  std::size_t first_pulse = 0; ///< index of the first contributing pulse
+  std::size_t n_pulses = 1;    ///< contributing pulses (= 2^level)
+  double x_center = 0.0;       ///< along-track phase-centre position [m]
+  Array2D<cf32> data;          ///< [n_theta x n_range]
+
+  [[nodiscard]] std::size_t n_theta() const { return data.rows(); }
+  [[nodiscard]] std::size_t n_range() const { return data.cols(); }
+};
+
+/// Angular-grid helpers for a subaperture at a given level.
+struct PolarGrid {
+  double theta_start;   ///< lower edge of the processed sector [rad]
+  double dtheta;        ///< bin width [rad]
+  std::size_t n_theta;
+  double r0;            ///< range of bin 0 [m]
+  double dr;            ///< range-bin spacing [m]
+  std::size_t n_range;
+
+  PolarGrid(const RadarParams& p, std::size_t n_theta_bins)
+      : theta_start(p.theta_center_rad - 0.5 * p.theta_span_rad),
+        dtheta(p.theta_span_rad / static_cast<double>(n_theta_bins)),
+        n_theta(n_theta_bins), r0(p.near_range_m), dr(p.range_bin_m),
+        n_range(p.n_range) {}
+
+  /// Centre angle of bin i.
+  [[nodiscard]] double theta_of(std::size_t i) const {
+    return theta_start + (static_cast<double>(i) + 0.5) * dtheta;
+  }
+  /// Centre range of bin j.
+  [[nodiscard]] double r_of(std::size_t j) const {
+    return r0 + static_cast<double>(j) * dr;
+  }
+  /// Bin index containing angle theta, or -1 when outside the sector.
+  [[nodiscard]] long theta_bin(double theta) const {
+    const double f = (theta - theta_start) / dtheta;
+    if (f < 0.0 || f >= static_cast<double>(n_theta)) return -1;
+    return static_cast<long>(f);
+  }
+  /// Nearest range bin, or -1 when outside the swath.
+  [[nodiscard]] long range_bin_nearest(double r) const {
+    const double f = (r - r0) / dr;
+    const long b = static_cast<long>(f + 0.5);
+    if (f < -0.5 || b >= static_cast<long>(n_range)) return -1;
+    return b;
+  }
+};
+
+} // namespace esarp::sar

@@ -1,0 +1,56 @@
+#include "sar/presum.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace esarp::sar {
+
+PresumResult presum(const Array2D<cf32>& data, const RadarParams& p,
+                    std::size_t factor, fft::WindowKind weighting) {
+  p.validate();
+  ESARP_EXPECTS(data.rows() == p.n_pulses && data.cols() == p.n_range);
+  ESARP_EXPECTS(factor >= 1);
+  ESARP_EXPECTS(p.n_pulses % factor == 0);
+
+  PresumResult res;
+  res.params = p;
+  res.params.n_pulses = p.n_pulses / factor;
+  res.params.pulse_spacing_m = p.pulse_spacing_m *
+                               static_cast<double>(factor);
+
+  const auto w = fft::make_window(weighting, factor);
+  // Normalise to unit DC gain so amplitudes stay comparable.
+  float wsum = 0.0f;
+  for (float v : w) wsum += v;
+  ESARP_EXPECTS(wsum > 0.0f);
+
+  res.data = Array2D<cf32>(res.params.n_pulses, p.n_range);
+  for (std::size_t o = 0; o < res.params.n_pulses; ++o) {
+    auto out = res.data.row(o);
+    for (std::size_t k = 0; k < factor; ++k) {
+      const float wk = w[k] / wsum;
+      const auto in = data.row(o * factor + k);
+      for (std::size_t j = 0; j < p.n_range; ++j) out[j] += in[j] * wk;
+    }
+  }
+
+  // Work: one scalar-complex MAC per input sample.
+  res.ops = static_cast<std::uint64_t>(p.n_pulses) * p.n_range *
+            OpCounts{.fma = 2, .load = 2, .store = 2};
+  return res;
+}
+
+std::size_t max_presum_factor(const RadarParams& p) {
+  // Azimuth bandwidth of the processed sector: scatterers at the sector
+  // edge produce spatial frequencies up to 2 sin(span/2) / lambda; the
+  // presummed spacing must sample that at >= Nyquist.
+  const double f_max =
+      2.0 * std::sin(0.5 * p.theta_span_rad) / p.wavelength_m();
+  const double max_spacing = 0.5 / f_max;
+  const auto factor = static_cast<std::size_t>(
+      std::floor(max_spacing / p.pulse_spacing_m));
+  return factor < 1 ? 1 : factor;
+}
+
+} // namespace esarp::sar

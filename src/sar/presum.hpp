@@ -1,0 +1,39 @@
+// Azimuth presummation (pre-filtering) — the data-rate reduction stage of
+// the SAR front end (paper Fig. 1's preprocessing before back-projection).
+//
+// Coherently averages groups of `factor` consecutive pulses into one,
+// cutting the azimuth data rate (and all downstream back-projection work)
+// by `factor` while gaining SNR against uncorrelated noise. Valid while
+// the per-group phase rotation stays small, i.e. the presummed sampling
+// still satisfies the processed-sector Nyquist rate — enforce_nyquist
+// checks exactly that.
+#pragma once
+
+#include "common/array2d.hpp"
+#include "common/opcounts.hpp"
+#include "common/types.hpp"
+#include "fft/window.hpp"
+#include "sar/params.hpp"
+
+namespace esarp::sar {
+
+struct PresumResult {
+  Array2D<cf32> data;  ///< [n_pulses/factor x n_range]
+  RadarParams params;  ///< geometry of the reduced data set
+  OpCounts ops;        ///< counted work of the filter
+};
+
+/// Presum by `factor` (must divide n_pulses) with an optional amplitude
+/// weighting across each group. Output pulse i sits at the group's mean
+/// along-track position; the new pulse spacing is factor x the old one.
+[[nodiscard]] PresumResult presum(const Array2D<cf32>& data,
+                                  const RadarParams& p, std::size_t factor,
+                                  fft::WindowKind weighting =
+                                      fft::WindowKind::kRectangular);
+
+/// Largest presum factor that keeps the azimuth sampling above the
+/// Nyquist rate of the processed sector: spacing <= lambda / (2 sin(span/2))
+/// ... conservatively lambda / (2 * span) for small sectors.
+[[nodiscard]] std::size_t max_presum_factor(const RadarParams& p);
+
+} // namespace esarp::sar

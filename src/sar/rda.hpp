@@ -1,0 +1,48 @@
+// Range-Doppler Algorithm (RDA) — the frequency-domain baseline.
+//
+// The paper's opening motivation: "SAR signal processing can be performed
+// in the frequency domain by using Fast Fourier Transform (FFT) technique,
+// which is computationally efficient but requires that the flight
+// trajectory is linear and has constant speed. ... An advantage of the
+// time-domain processing [back-projection] is that it is possible to
+// compensate for non-linear flight tracks."
+//
+// This module implements the classic three-step RDA — azimuth FFT, range
+// cell migration correction (RCMC) in the range-Doppler domain, azimuth
+// matched filtering per range gate — so bench/motivation_timedomain can
+// quantify that trade: on a linear track RDA matches back-projection
+// quality at a fraction of the arithmetic; under a non-linear track RDA
+// defocuses while FFBP (+ autofocus) does not.
+#pragma once
+
+#include "common/array2d.hpp"
+#include "common/opcounts.hpp"
+#include "common/types.hpp"
+#include "hostmodel/host_model.hpp"
+#include "sar/params.hpp"
+
+namespace esarp::sar {
+
+struct RdaOptions {
+  /// Apply range cell migration correction (disable to see the classic
+  /// RCMC-off smearing on long apertures).
+  bool rcmc = true;
+};
+
+struct RdaResult {
+  /// Focused image, [n_pulses x n_range]: row p is the azimuth position of
+  /// pulse p, column j the slant-range bin (a Cartesian grid, unlike the
+  /// back-projectors' polar grid — compare with grid-free metrics).
+  Array2D<cf32> image;
+  OpCounts ops;
+  host::HostWork host_work;
+};
+
+/// Focus pulse-compressed stripmap data with the Range-Doppler Algorithm.
+/// Assumes the nominal linear constant-speed track of `p` — path errors in
+/// the data are NOT compensated (that is the point of the comparison).
+[[nodiscard]] RdaResult range_doppler(const Array2D<cf32>& data,
+                                      const RadarParams& p,
+                                      const RdaOptions& opt = {});
+
+} // namespace esarp::sar

@@ -1,0 +1,179 @@
+// Tests for the autofocus criterion calculation: sample geometry, the
+// criterion sweep (property: the maximum lands at the true shift), and
+// work accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "autofocus/af_params.hpp"
+#include "autofocus/criterion.hpp"
+#include "autofocus/criterion_kernel.hpp"
+#include "autofocus/workload.hpp"
+
+namespace esarp::af {
+namespace {
+
+TEST(AfParams, DefaultsAreValid) {
+  AfParams p;
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_EQ(p.pixels(), 36u);
+  EXPECT_EQ(p.shift_candidates.size(), 8u);
+  EXPECT_LT(p.shift_candidates.front(), 0.0f);
+  EXPECT_GT(p.shift_candidates.back(), 0.0f);
+}
+
+TEST(AfParams, ValidationCatchesBadShapes) {
+  AfParams p;
+  p.windows = 4; // 4 + 3 > 6 columns
+  EXPECT_THROW(p.validate(), ContractViolation);
+  p = AfParams{};
+  p.shift_candidates.clear();
+  EXPECT_THROW(p.validate(), ContractViolation);
+}
+
+TEST(SampleGeom, ShiftSplitsSymmetrically) {
+  AfParams p;
+  const SampleGeom g = af_sample_geom(p, 5, 0.4f);
+  EXPECT_NEAR(g.t_plus - g.t_minus, 0.4f, 1e-6f);
+  EXPECT_NEAR(0.5f * (g.t_plus + g.t_minus),
+              1.0f + (5.5f / 12.0f), 1e-5f);
+  EXPECT_TRUE(g.valid);
+}
+
+TEST(SampleGeom, BeamPositionFollowsTilt) {
+  AfParams p;
+  p.tilt = 0.5f;
+  const SampleGeom g0 = af_sample_geom(p, 0, 0.0f);
+  const SampleGeom g11 = af_sample_geom(p, 11, 0.0f);
+  EXPECT_LT(g0.u, g11.u); // the tilted path drifts across the beam axis
+  EXPECT_NEAR(g11.u - g0.u, 0.5f * (11.0f / 12.0f), 1e-5f);
+}
+
+TEST(SampleGeom, ExtremeShiftIsInvalid) {
+  AfParams p;
+  const SampleGeom g = af_sample_geom(p, 11, 3.5f);
+  EXPECT_FALSE(g.valid);
+}
+
+TEST(CriterionSweep, RejectsWrongBlockShape) {
+  AfParams p;
+  Array2D<cf32> ok(6, 6), bad(5, 6);
+  EXPECT_THROW((void)criterion_sweep(bad, ok, p), ContractViolation);
+}
+
+TEST(CriterionSweep, IdenticalBlocksPeakAtZeroShift) {
+  AfParams p;
+  Rng rng(11);
+  const BlockPair bp = synthetic_block_pair(rng, p, 0.0f);
+  const CriterionResult res = criterion_sweep(bp.minus, bp.plus, p);
+  ASSERT_EQ(res.criteria.size(), p.shift_candidates.size());
+  // Best candidate should be one of the two closest to zero.
+  EXPECT_LT(std::abs(res.best_shift(p)), 0.2f);
+}
+
+class ShiftRecovery : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShiftRecovery, CriterionPeaksNearTrueShift) {
+  // Property (paper Section II-A): the focus criterion is maximised by the
+  // candidate compensation closest to the true path-error shift.
+  AfParams p;
+  // Dense candidate grid for resolution.
+  p.shift_candidates.clear();
+  for (int i = -8; i <= 8; ++i)
+    p.shift_candidates.push_back(0.1f * static_cast<float>(i));
+  const float true_shift = 0.1f * static_cast<float>(GetParam());
+
+  int hits = 0;
+  const int trials = 6;
+  for (int trial = 0; trial < trials; ++trial) {
+    Rng rng(static_cast<std::uint64_t>(100 + trial) * 7919u +
+            static_cast<std::uint64_t>(GetParam() + 50));
+    const BlockPair bp = synthetic_block_pair(rng, p, true_shift);
+    const CriterionResult res = criterion_sweep(bp.minus, bp.plus, p);
+    if (std::abs(res.best_shift(p) - true_shift) <= 0.25f) ++hits;
+  }
+  // Random fields occasionally have weak criterion gradients; demand that
+  // a clear majority of trials recover the shift to within 2.5 candidate
+  // steps.
+  EXPECT_GE(hits, 4) << "true shift " << true_shift;
+}
+
+INSTANTIATE_TEST_SUITE_P(ShiftsInBins, ShiftRecovery,
+                         ::testing::Values(-6, -4, -2, 0, 2, 4, 6));
+
+TEST(CriterionSweep, CriterionIsNonNegative) {
+  AfParams p;
+  Rng rng(3);
+  const BlockPair bp = synthetic_block_pair(rng, p, 0.3f);
+  const CriterionResult res = criterion_sweep(bp.minus, bp.plus, p);
+  for (double c : res.criteria) EXPECT_GE(c, 0.0);
+}
+
+TEST(CriterionSweep, ZeroBlocksGiveZeroCriterion) {
+  AfParams p;
+  Array2D<cf32> z(6, 6);
+  const CriterionResult res = criterion_sweep(z, z, p);
+  for (double c : res.criteria) EXPECT_EQ(c, 0.0);
+}
+
+TEST(CriterionSweep, ScalingOneImageScalesCriterion) {
+  // criterion = sum |f-|^2 |f+|^2: scaling f+ by a scales it by a^2.
+  AfParams p;
+  Rng rng(17);
+  BlockPair bp = synthetic_block_pair(rng, p, 0.0f);
+  const CriterionResult base = criterion_sweep(bp.minus, bp.plus, p);
+  for (auto& px : bp.plus.flat()) px *= 2.0f;
+  const CriterionResult scaled = criterion_sweep(bp.minus, bp.plus, p);
+  for (std::size_t i = 0; i < base.criteria.size(); ++i)
+    EXPECT_NEAR(scaled.criteria[i] / base.criteria[i], 4.0, 1e-3);
+}
+
+TEST(CriterionSweep, OpsScaleWithCandidatesAndSamples) {
+  AfParams p8;
+  AfParams p16 = p8;
+  p16.shift_candidates.insert(p16.shift_candidates.end(),
+                              p8.shift_candidates.begin(),
+                              p8.shift_candidates.end());
+  Rng rng(5);
+  const BlockPair bp = synthetic_block_pair(rng, p8, 0.0f);
+  const auto r8 = criterion_sweep(bp.minus, bp.plus, p8);
+  const auto r16 = criterion_sweep(bp.minus, bp.plus, p16);
+  EXPECT_EQ(r16.ops.flops(), 2 * r8.ops.flops());
+}
+
+TEST(PerSampleOps, CompositionMatchesStages) {
+  AfParams p;
+  const OpCounts total = per_sample_ops(p);
+  const OpCounts stages = kSampleGeomOps + 2 * range_stage_ops(p.block_rows) +
+                          2 * static_cast<std::uint64_t>(p.beams) *
+                              kBeamOutputOps +
+                          static_cast<std::uint64_t>(p.beams) * kCorrTermOps;
+  EXPECT_EQ(total, stages);
+}
+
+TEST(Workload, SyntheticPairIsDeterministicPerSeed) {
+  AfParams p;
+  Rng r1(42), r2(42);
+  const BlockPair a = synthetic_block_pair(r1, p, 0.2f);
+  const BlockPair b = synthetic_block_pair(r2, p, 0.2f);
+  EXPECT_EQ(a.minus, b.minus);
+  EXPECT_EQ(a.plus, b.plus);
+}
+
+TEST(Workload, BlocksFromSubaperturesCopyPatch) {
+  AfParams p;
+  sar::SubapertureImage a, b;
+  a.data = Array2D<cf32>(10, 12);
+  b.data = Array2D<cf32>(10, 12);
+  a.data(3, 4) = {5.0f, 0.0f};
+  b.data(4, 5) = {0.0f, 7.0f};
+  const BlockPair bp = blocks_from_subapertures(a, b, p, 2, 3);
+  EXPECT_EQ(bp.minus(1, 1), (cf32{5.0f, 0.0f}));
+  EXPECT_EQ(bp.plus(2, 2), (cf32{0.0f, 7.0f}));
+  EXPECT_THROW((void)blocks_from_subapertures(a, b, p, 8, 3),
+               ContractViolation);
+}
+
+} // namespace
+} // namespace esarp::af

@@ -1,0 +1,413 @@
+// Machine-level simulator tests: compute timing, external memory ops, DMA
+// double buffering, channels, barriers, deadlock detection, counters and
+// the energy model.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "epiphany/energy.hpp"
+#include "epiphany/machine.hpp"
+
+namespace esarp::ep {
+namespace {
+
+TEST(Machine, ComputeAdvancesTimePerCostModel) {
+  Machine m;
+  OpCounts ops{.fadd = 50, .fmul = 50}; // 100 FPU issues, dual-issue bound
+  m.launch(0, [ops](CoreCtx& ctx) -> Task { co_await ctx.compute(ops); });
+  const Cycles end = m.run();
+  EXPECT_EQ(end, m.cost_model().cycles(ops));
+  EXPECT_EQ(m.core(0).counters.busy, end);
+  EXPECT_EQ(m.core(0).counters.ops.fadd, 50u);
+}
+
+TEST(CostModel, DualIssueTakesMaxOfStreams) {
+  CostModel cm({.stall_overhead = 0.0, .branch_penalty = 0.0});
+  EXPECT_EQ(cm.cycles({.fadd = 100}), 100u);
+  EXPECT_EQ(cm.cycles({.ialu = 60, .load = 40}), 100u);
+  // FPU and IALU streams overlap.
+  EXPECT_EQ(cm.cycles({.fadd = 100, .ialu = 60, .load = 40}), 100u);
+  // FMA occupies one issue slot.
+  EXPECT_EQ(cm.cycles({.fma = 80}), 80u);
+}
+
+TEST(CostModel, BranchesAddPenalty) {
+  CostModel cm({.stall_overhead = 0.0, .branch_penalty = 2.0});
+  EXPECT_EQ(cm.cycles({.fadd = 10, .branch = 5}), 20u);
+}
+
+TEST(Machine, SequentialComputesAccumulate) {
+  Machine m;
+  m.launch(0, [](CoreCtx& ctx) -> Task {
+    co_await ctx.compute({.fadd = 100});
+    co_await ctx.compute({.fadd = 100});
+  });
+  Machine m2;
+  m2.launch(0, [](CoreCtx& ctx) -> Task {
+    co_await ctx.compute({.fadd = 200});
+  });
+  EXPECT_EQ(m.run(), m2.run());
+}
+
+TEST(Machine, ParallelCoresOverlapInTime) {
+  auto heavy = [](CoreCtx& ctx) -> Task {
+    co_await ctx.compute({.fadd = 10000});
+  };
+  Machine m1;
+  m1.launch(0, heavy);
+  const Cycles solo = m1.run();
+  Machine m16;
+  for (int c = 0; c < 16; ++c) m16.launch(c, heavy);
+  const Cycles all = m16.run();
+  EXPECT_EQ(solo, all); // independent compute: no slowdown
+}
+
+TEST(Machine, ExtReadMovesDataAndStalls) {
+  Machine m;
+  auto src = m.ext().alloc<int>(16);
+  std::iota(src.begin(), src.end(), 0);
+  int dst[16] = {};
+  m.launch(0, [&](CoreCtx& ctx) -> Task {
+    co_await ctx.read_ext(dst, src.data(), sizeof(dst));
+  });
+  const Cycles end = m.run();
+  EXPECT_GE(end, m.config().ext_read_latency);
+  EXPECT_EQ(dst[7], 7);
+  EXPECT_EQ(m.core(0).counters.ext_stall, end);
+  EXPECT_EQ(m.core(0).counters.ext_read_bytes, sizeof(dst));
+}
+
+TEST(Machine, ExtWriteIsPostedAndMovesData) {
+  Machine m;
+  auto dst = m.ext().alloc<int>(16);
+  int src[16];
+  std::iota(src, src + 16, 100);
+  m.launch(0, [&](CoreCtx& ctx) -> Task {
+    co_await ctx.write_ext(dst.data(), src, sizeof(src));
+  });
+  const Cycles end = m.run();
+  EXPECT_LE(end, 16u); // posted: far cheaper than a read
+  EXPECT_EQ(dst[15], 115);
+}
+
+TEST(Machine, GatherChargesPerTransaction) {
+  Machine m1, m2;
+  m1.launch(0, [](CoreCtx& ctx) -> Task {
+    co_await ctx.read_ext_gather(1, 8);
+  });
+  m2.launch(0, [](CoreCtx& ctx) -> Task {
+    co_await ctx.read_ext_gather(100, 8);
+  });
+  const Cycles one = m1.run();
+  const Cycles hundred = m2.run();
+  EXPECT_GE(hundred, 99 * one);
+}
+
+TEST(Machine, DmaOverlapsWithCompute) {
+  // Start a DMA, compute meanwhile, then wait: total time should be close
+  // to max(dma, compute), not the sum.
+  Machine overlap;
+  auto src = overlap.ext().alloc<cf32>(1001);
+  Cycles dma_only = 0;
+  {
+    Machine m;
+    auto s2 = m.ext().alloc<cf32>(1001);
+    m.launch(0, [&](CoreCtx& ctx) -> Task {
+      auto buf = ctx.local().alloc<cf32>(1001);
+      DmaJob j = ctx.dma_read_ext(buf.data(), s2.data(), 8008);
+      co_await ctx.wait(j);
+    });
+    dma_only = m.run();
+  }
+  overlap.launch(0, [&](CoreCtx& ctx) -> Task {
+    auto buf = ctx.local().alloc<cf32>(1001);
+    DmaJob j = ctx.dma_read_ext(buf.data(), src.data(), 8008);
+    co_await ctx.compute({.fadd = 900}); // less than the DMA duration
+    co_await ctx.wait(j);
+  });
+  const Cycles overlapped = overlap.run();
+  EXPECT_LE(overlapped, dma_only + 50);
+  EXPECT_GT(overlap.core(0).counters.dma_wait, 0u);
+}
+
+TEST(Machine, ChannelDeliversInOrderWithLatency) {
+  Machine m;
+  auto chan = m.make_channel<int>(/*consumer=*/1, 4);
+  std::vector<int> received;
+  m.launch(0, [&](CoreCtx& ctx) -> Task {
+    for (int i = 0; i < 10; ++i) co_await chan->send(ctx, i);
+  });
+  m.launch(1, [&](CoreCtx& ctx) -> Task {
+    for (int i = 0; i < 10; ++i) received.push_back(co_await chan->recv(ctx));
+  });
+  const Cycles end = m.run();
+  EXPECT_EQ(received, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  EXPECT_GT(end, 0u);
+  EXPECT_EQ(chan->stats().messages, 10u);
+}
+
+TEST(Machine, ChannelBackpressuresFastProducer) {
+  Machine m;
+  auto chan = m.make_channel<int>(1, 2); // tiny FIFO
+  Cycles producer_done = 0;
+  m.launch(0, [&](CoreCtx& ctx) -> Task {
+    for (int i = 0; i < 8; ++i) co_await chan->send(ctx, i);
+    producer_done = ctx.now();
+  });
+  m.launch(1, [&](CoreCtx& ctx) -> Task {
+    for (int i = 0; i < 8; ++i) {
+      (void)co_await chan->recv(ctx);
+      co_await ctx.compute({.fadd = 1000}); // slow consumer
+    }
+  });
+  m.run();
+  // The producer cannot finish before the consumer has drained most slots.
+  EXPECT_GT(producer_done, 4000u);
+  EXPECT_GT(chan->stats().send_block_cycles, 0u);
+}
+
+TEST(Machine, ChannelToFarCoreTakesLonger) {
+  auto run_one = [](int consumer) {
+    Machine m;
+    auto chan = m.make_channel<std::array<char, 64>>(consumer, 2);
+    m.launch(0, [&chan](CoreCtx& ctx) -> Task {
+      for (int i = 0; i < 100; ++i)
+        co_await chan->send(ctx, std::array<char, 64>{});
+    });
+    m.launch(consumer, [&chan](CoreCtx& ctx) -> Task {
+      for (int i = 0; i < 100; ++i) (void)co_await chan->recv(ctx);
+    });
+    return m.run();
+  };
+  EXPECT_LT(run_one(1), run_one(15)); // neighbour vs far corner
+}
+
+TEST(Machine, BarrierSynchronisesAllParties) {
+  Machine m;
+  auto bar = m.make_barrier(4);
+  std::vector<Cycles> after(4);
+  for (int c = 0; c < 4; ++c) {
+    m.launch(c, [&, c](CoreCtx& ctx) -> Task {
+      co_await ctx.compute({.fadd = static_cast<std::uint64_t>(100 * c)});
+      co_await bar->arrive_and_wait(ctx);
+      after[c] = ctx.now();
+    });
+  }
+  m.run();
+  // Everyone leaves the barrier at the same cycle, after the slowest.
+  for (int c = 1; c < 4; ++c) EXPECT_EQ(after[c], after[0]);
+  EXPECT_GE(after[0], 300u);
+  EXPECT_EQ(bar->crossings(), 4u);
+}
+
+TEST(Machine, BarrierIsReusableAcrossIterations) {
+  Machine m;
+  auto bar = m.make_barrier(2);
+  std::vector<int> order;
+  for (int c = 0; c < 2; ++c) {
+    m.launch(c, [&, c](CoreCtx& ctx) -> Task {
+      for (int iter = 0; iter < 3; ++iter) {
+        co_await ctx.compute({.fadd = static_cast<std::uint64_t>(
+                                  100 * (c + 1) * (iter + 1))});
+        co_await bar->arrive_and_wait(ctx);
+        if (c == 0) order.push_back(iter);
+      }
+    });
+  }
+  m.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(bar->generation(), 3u);
+}
+
+TEST(Machine, DeadlockIsDetected) {
+  Machine m;
+  auto chan = m.make_channel<int>(1, 1);
+  m.launch(1, [&](CoreCtx& ctx) -> Task {
+    (void)co_await chan->recv(ctx); // nobody ever sends
+  });
+  EXPECT_THROW(m.run(), SimDeadlock);
+}
+
+TEST(Machine, KernelExceptionPropagates) {
+  Machine m;
+  m.launch(0, [](CoreCtx& ctx) -> Task {
+    co_await ctx.compute({.fadd = 1});
+    throw std::runtime_error("boom");
+  });
+  EXPECT_THROW(m.run(), std::runtime_error);
+}
+
+TEST(Machine, LaunchValidation) {
+  Machine m;
+  auto prog = [](CoreCtx& ctx) -> Task { co_await ctx.idle(1); };
+  m.launch(0, prog);
+  EXPECT_THROW(m.launch(0, prog), ContractViolation); // duplicate core
+  EXPECT_THROW(m.launch(99, prog), ContractViolation);
+}
+
+TEST(Machine, ReportAggregatesCounters) {
+  Machine m;
+  for (int c = 0; c < 4; ++c)
+    m.launch(c, [](CoreCtx& ctx) -> Task {
+      co_await ctx.compute({.fadd = 100, .fma = 50});
+    });
+  m.run();
+  const PerfReport rep = m.report();
+  EXPECT_EQ(rep.total_ops().fadd, 400u);
+  EXPECT_EQ(rep.total_ops().flops(), 400u + 4 * 2 * 50u);
+  EXPECT_GT(rep.makespan, 0u);
+  EXPECT_GT(rep.utilization(), 0.9); // pure compute, no waiting
+  EXPECT_FALSE(rep.summary().empty());
+  EXPECT_FALSE(rep.per_core_table().empty());
+}
+
+TEST(Energy, BusyChipNearTwoWatts) {
+  // The paper's Table-I figure for the E16G3: ~2 W at 1 GHz all-busy.
+  const double peak = peak_chip_watts(ChipConfig{});
+  EXPECT_GT(peak, 1.0);
+  EXPECT_LT(peak, 3.0);
+}
+
+TEST(Energy, IdleCoresCostAlmostNothing) {
+  // Same work on 1 core vs chip with 15 idle cores: energy should be
+  // dominated by the active core (fine-grained clock gating).
+  Machine m;
+  m.launch(0, [](CoreCtx& ctx) -> Task {
+    co_await ctx.compute({.fadd = 1000000});
+  });
+  m.run();
+  const EnergyReport e = compute_energy(m.report());
+  EXPECT_GT(e.total_j(), 0.0);
+  EXPECT_LT(e.core_idle_j, e.core_active_j);
+  EXPECT_GT(e.avg_watts, 0.0);
+  EXPECT_LT(e.avg_watts, 2.0); // far below the all-busy figure
+}
+
+TEST(Energy, MoreWorkMoreJoules) {
+  auto joules_for = [](std::uint64_t n) {
+    Machine m;
+    m.launch(0, [n](CoreCtx& ctx) -> Task {
+      co_await ctx.compute({.fadd = n});
+    });
+    m.run();
+    return compute_energy(m.report()).total_j();
+  };
+  EXPECT_LT(joules_for(1000), joules_for(100000));
+}
+
+TEST(Machine, WriteRemoteMovesDataWithInjectCost) {
+  Machine m;
+  int dst_value = 0;
+  const int src_value = 42;
+  m.launch(0, [&](CoreCtx& ctx) -> Task {
+    co_await ctx.write_remote({0, 1}, &dst_value, &src_value, sizeof(int));
+  });
+  const Cycles end = m.run();
+  EXPECT_EQ(dst_value, 42);
+  EXPECT_LE(end, 4u); // writer only pays injection
+}
+
+
+TEST(Trace, DisabledByDefault) {
+  Machine m;
+  m.launch(0, [](CoreCtx& ctx) -> Task {
+    co_await ctx.compute({.fadd = 100});
+  });
+  m.run();
+  EXPECT_EQ(m.tracer().size(), 0u);
+}
+
+TEST(Trace, RecordsComputeAndWaitSegments) {
+  Machine m;
+  m.enable_tracing();
+  auto chan = m.make_channel<int>(1, 2);
+  m.launch(0, [&](CoreCtx& ctx) -> Task {
+    co_await ctx.compute({.fadd = 100});
+    co_await chan->send(ctx, 7);
+  });
+  m.launch(1, [&](CoreCtx& ctx) -> Task {
+    (void)co_await chan->recv(ctx);
+  });
+  m.run();
+  EXPECT_GT(m.tracer().size(), 0u);
+  // Compute cycles in the trace match the counter.
+  EXPECT_EQ(m.tracer().total_cycles(SegmentKind::kCompute),
+            m.core(0).counters.busy);
+  // The receiver blocked waiting for the message.
+  EXPECT_GT(m.tracer().total_cycles(SegmentKind::kChanRecv), 0u);
+}
+
+TEST(Trace, ChromeJsonExport) {
+  Machine m;
+  m.enable_tracing();
+  auto src = m.ext().alloc<int>(64);
+  m.launch(0, [&](CoreCtx& ctx) -> Task {
+    int buf[64];
+    co_await ctx.read_ext(buf, src.data(), sizeof(buf));
+    co_await ctx.compute({.fmul = 50});
+  });
+  m.run();
+  const auto path =
+      std::filesystem::temp_directory_path() / "esarp_trace.json";
+  m.tracer().write_chrome_json(path);
+  std::ifstream f(path);
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("traceEvents"), std::string::npos);
+  EXPECT_NE(content.find("compute"), std::string::npos);
+  EXPECT_NE(content.find("ext-read"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+
+TEST(Machine, ReadRemoteMovesDataAndStallsForRoundTrip) {
+  Machine m;
+  int remote_value = 99;
+  int local_copy = 0;
+  m.launch(0, [&](CoreCtx& ctx) -> Task {
+    co_await ctx.read_remote({3, 3}, &local_copy, &remote_value,
+                             sizeof(int));
+  });
+  const Cycles end = m.run();
+  EXPECT_EQ(local_copy, 99);
+  // Round trip across the mesh: strictly slower than a local access and
+  // slower than the posted write direction.
+  EXPECT_GE(end, 12u); // 6 hops out + 6 back at 1 cycle/hop
+  EXPECT_GT(m.core(0).counters.ext_stall, 0u);
+}
+
+TEST(Machine, RemoteReadSlowerThanRemoteWrite) {
+  // The asymmetry the paper's pipelines exploit: push with writes.
+  Machine mw, mr;
+  int buf = 0;
+  const int v = 5;
+  mw.launch(0, [&](CoreCtx& ctx) -> Task {
+    for (int i = 0; i < 100; ++i)
+      co_await ctx.write_remote({3, 3}, &buf, &v, sizeof(int));
+  });
+  mr.launch(0, [&](CoreCtx& ctx) -> Task {
+    for (int i = 0; i < 100; ++i)
+      co_await ctx.read_remote({3, 3}, &buf, &v, sizeof(int));
+  });
+  EXPECT_LT(mw.run(), mr.run() / 3);
+}
+
+namespace watchdog_detail {
+Task forever(Scheduler& s) {
+  for (;;) co_await DelayFor{s, 1000}; // never terminates on its own
+}
+} // namespace watchdog_detail
+
+TEST(Scheduler, WatchdogCatchesRunawaySimulation) {
+  Scheduler s;
+  Task t = watchdog_detail::forever(s);
+  s.schedule_at(0, t.handle());
+  EXPECT_THROW(s.run(50'000), ContractViolation);
+}
+
+} // namespace
+} // namespace esarp::ep

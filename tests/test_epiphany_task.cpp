@@ -1,0 +1,173 @@
+// Tests for the discrete-event scheduler and the coroutine task machinery.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/assert.hpp"
+#include "epiphany/scheduler.hpp"
+#include "epiphany/task.hpp"
+
+namespace esarp::ep {
+namespace {
+
+Task record_at(Scheduler& s, Cycles t, std::vector<int>& log, int id) {
+  co_await DelayUntil{s, t};
+  log.push_back(id);
+}
+
+TEST(Scheduler, ResumesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> log;
+  Task a = record_at(s, 30, log, 1);
+  Task b = record_at(s, 10, log, 2);
+  Task c = record_at(s, 20, log, 3);
+  s.schedule_at(0, a.handle());
+  s.schedule_at(0, b.handle());
+  s.schedule_at(0, c.handle());
+  const Cycles end = s.run();
+  EXPECT_EQ(end, 30u);
+  EXPECT_EQ(log, (std::vector<int>{2, 3, 1}));
+  EXPECT_TRUE(a.done() && b.done() && c.done());
+}
+
+TEST(Scheduler, FifoTieBreakAtEqualTime) {
+  Scheduler s;
+  std::vector<int> log;
+  Task a = record_at(s, 5, log, 1);
+  Task b = record_at(s, 5, log, 2);
+  s.schedule_at(0, a.handle());
+  s.schedule_at(0, b.handle());
+  s.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, RejectsSchedulingInThePast) {
+  Scheduler s;
+  std::vector<int> log;
+  Task a = record_at(s, 50, log, 1);
+  s.schedule_at(0, a.handle());
+  s.run();
+  Task b = record_at(s, 100, log, 2);
+  EXPECT_THROW(s.schedule_at(10, b.handle()), ContractViolation);
+}
+
+TEST(Scheduler, ResetRequiresIdle) {
+  Scheduler s;
+  std::vector<int> log;
+  Task a = record_at(s, 5, log, 1);
+  s.schedule_at(0, a.handle());
+  EXPECT_THROW(s.reset(), ContractViolation);
+  s.run();
+  s.reset();
+  EXPECT_EQ(s.now(), 0u);
+}
+
+Task delays_twice(Scheduler& s, std::vector<Cycles>& stamps) {
+  co_await DelayFor{s, 10};
+  stamps.push_back(s.now());
+  co_await DelayFor{s, 15};
+  stamps.push_back(s.now());
+}
+
+TEST(Task, DelayForAdvancesVirtualTime) {
+  Scheduler s;
+  std::vector<Cycles> stamps;
+  Task t = delays_twice(s, stamps);
+  s.schedule_at(0, t.handle());
+  s.run();
+  EXPECT_EQ(stamps, (std::vector<Cycles>{10, 25}));
+}
+
+TaskT<int> child_returning(Scheduler& s, int v) {
+  co_await DelayFor{s, 7};
+  co_return v;
+}
+
+Task parent_awaits(Scheduler& s, std::vector<int>& log) {
+  const int a = co_await child_returning(s, 41);
+  const int b = co_await child_returning(s, 1);
+  log.push_back(a + b);
+}
+
+TEST(Task, NestedTasksReturnValuesAndAccumulateTime) {
+  Scheduler s;
+  std::vector<int> log;
+  Task t = parent_awaits(s, log);
+  s.schedule_at(0, t.handle());
+  const Cycles end = s.run();
+  EXPECT_EQ(log, std::vector<int>{42});
+  EXPECT_EQ(end, 14u); // two nested 7-cycle children
+}
+
+Task thrower(Scheduler& s) {
+  co_await DelayFor{s, 1};
+  throw std::runtime_error("kernel bug");
+}
+
+TEST(Task, ExceptionIsCapturedAndRethrown) {
+  Scheduler s;
+  Task t = thrower(s);
+  s.schedule_at(0, t.handle());
+  s.run();
+  EXPECT_TRUE(t.done());
+  EXPECT_THROW(t.rethrow_if_error(), std::runtime_error);
+}
+
+Task rethrows_from_child(Scheduler& s, bool& caught) {
+  try {
+    co_await thrower(s);
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+}
+
+TEST(Task, ChildExceptionPropagatesToParent) {
+  Scheduler s;
+  bool caught = false;
+  Task t = rethrows_from_child(s, caught);
+  s.schedule_at(0, t.handle());
+  s.run();
+  EXPECT_TRUE(caught);
+}
+
+Task waiter(Scheduler& s, WaitList& wl, std::vector<int>& log, int id) {
+  co_await wl.wait();
+  log.push_back(id);
+  (void)s;
+}
+
+Task waker(Scheduler& s, WaitList& wl) {
+  co_await DelayFor{s, 100};
+  wl.wake_one(s);
+  co_await DelayFor{s, 100};
+  wl.wake_all(s);
+}
+
+TEST(WaitList, WakeOneThenWakeAll) {
+  Scheduler s;
+  WaitList wl;
+  std::vector<int> log;
+  Task w1 = waiter(s, wl, log, 1);
+  Task w2 = waiter(s, wl, log, 2);
+  Task w3 = waiter(s, wl, log, 3);
+  Task k = waker(s, wl);
+  for (Task* t : {&w1, &w2, &w3, &k}) s.schedule_at(0, t->handle());
+  s.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(wl.empty());
+}
+
+TEST(Task, MoveTransfersOwnership) {
+  Scheduler s;
+  std::vector<int> log;
+  Task a = record_at(s, 1, log, 7);
+  Task b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  s.schedule_at(0, b.handle());
+  s.run();
+  EXPECT_EQ(log, std::vector<int>{7});
+}
+
+} // namespace
+} // namespace esarp::ep

@@ -1,0 +1,111 @@
+// Accuracy and algebra tests for the shared reduced-precision math kernels
+// (the paper's "less compute-intensive" implementations). Accuracy bounds
+// here are the contracts the FFBP/autofocus error analysis relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/fastmath.hpp"
+#include "common/opcounts.hpp"
+#include "common/rng.hpp"
+
+namespace esarp::fastmath {
+namespace {
+
+TEST(FastRsqrt, RelativeErrorBound) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const float x = rng.uniform_f(1e-3f, 1e7f);
+    const float ref = 1.0f / std::sqrt(x);
+    EXPECT_NEAR(fast_rsqrt(x) / ref, 1.0f, 5e-6f) << "x=" << x;
+  }
+}
+
+TEST(FastSqrt, RelativeErrorBoundAndEdgeCases) {
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const float x = rng.uniform_f(1e-3f, 1e7f);
+    EXPECT_NEAR(fast_sqrt(x) / std::sqrt(x), 1.0f, 5e-6f);
+  }
+  EXPECT_EQ(fast_sqrt(0.0f), 0.0f);
+  EXPECT_EQ(fast_sqrt(-1.0f), 0.0f);
+}
+
+TEST(FastRecip, RelativeErrorBound) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const float x = rng.uniform_f(1e-3f, 1e6f);
+    EXPECT_NEAR(fast_recip_pos(x) * x, 1.0f, 2e-5f);
+  }
+}
+
+TEST(PolyCos, AbsoluteErrorOverDomain) {
+  for (int i = 0; i <= 2000; ++i) {
+    const float x = -3.14159f + 3.14159f * static_cast<float>(i) / 1000.0f;
+    EXPECT_NEAR(poly_cos(x), std::cos(x), 3e-5f) << "x=" << x;
+  }
+}
+
+TEST(PolySin, AbsoluteErrorOverDomain) {
+  for (int i = 0; i <= 2000; ++i) {
+    const float x = -3.14159f + 3.14159f * static_cast<float>(i) / 1000.0f;
+    EXPECT_NEAR(poly_sin(x), std::sin(x), 3e-5f) << "x=" << x;
+  }
+}
+
+TEST(PolyAcos, AbsoluteErrorOverDomain) {
+  for (int i = 0; i <= 2000; ++i) {
+    const float x = -1.0f + static_cast<float>(i) / 1000.0f;
+    EXPECT_NEAR(poly_acos(x), std::acos(x), 1e-4f) << "x=" << x;
+  }
+}
+
+TEST(PolyAcos, EndpointsExact) {
+  EXPECT_NEAR(poly_acos(1.0f), 0.0f, 1e-5f);
+  EXPECT_NEAR(poly_acos(-1.0f), 3.14159265f, 1e-4f);
+  EXPECT_NEAR(poly_acos(0.0f), 1.57079632f, 1e-4f);
+}
+
+TEST(PolyTrig, PythagoreanIdentityHolds) {
+  for (int i = 0; i <= 100; ++i) {
+    const float x = -3.0f + 6.0f * static_cast<float>(i) / 100.0f;
+    const float c = poly_cos(x);
+    const float s = poly_sin(x);
+    EXPECT_NEAR(c * c + s * s, 1.0f, 1e-4f);
+  }
+}
+
+TEST(Norm2, MatchesStdNorm) {
+  EXPECT_FLOAT_EQ(norm2(3.0f, 4.0f), 25.0f);
+  EXPECT_FLOAT_EQ(norm2(0.0f, 0.0f), 0.0f);
+}
+
+TEST(OpCounts, AdditionAndScaling) {
+  constexpr OpCounts a{.fadd = 1, .fmul = 2, .fma = 3};
+  constexpr OpCounts b{.fadd = 10, .ialu = 5};
+  constexpr OpCounts sum = a + b;
+  static_assert(sum.fadd == 11 && sum.fmul == 2 && sum.ialu == 5);
+  constexpr OpCounts scaled = 3 * a;
+  static_assert(scaled.fma == 9);
+  EXPECT_EQ(sum.flops(), 11u + 2u + 2u * 3u);
+  EXPECT_EQ(sum.fp_issues(), 11u + 2u + 3u);
+}
+
+TEST(OpCounts, FmaCountsTwiceInFlopsOnceInIssues) {
+  constexpr OpCounts fma_only{.fma = 10};
+  EXPECT_EQ(fma_only.flops(), 20u);
+  EXPECT_EQ(fma_only.fp_issues(), 10u);
+}
+
+TEST(OpCountConstants, AreInternallyConsistent) {
+  // kSqrtOps extends kRsqrtOps by one multiply and one compare.
+  EXPECT_EQ(kSqrtOps.fmul, kRsqrtOps.fmul + 1);
+  EXPECT_EQ(kSqrtOps.fma, kRsqrtOps.fma);
+  EXPECT_EQ(kSqrtOps.fcmp, kRsqrtOps.fcmp + 1);
+  // kAcosOps includes a square root.
+  EXPECT_GE(kAcosOps.fmul, kSqrtOps.fmul);
+  EXPECT_GT(kAcosOps.flops(), kSqrtOps.flops());
+}
+
+} // namespace
+} // namespace esarp::fastmath

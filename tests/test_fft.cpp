@@ -1,0 +1,221 @@
+// FFT substrate tests: transform identities (property-style, parameterized
+// over sizes), chirp generation, and matched-filter pulse compression.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "fft/chirp.hpp"
+#include "fft/fft.hpp"
+#include "fft/matched_filter.hpp"
+
+namespace esarp::fft {
+namespace {
+
+std::vector<cf32> random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<cf32> v(n);
+  for (auto& x : v)
+    x = {rng.uniform_f(-1.0f, 1.0f), rng.uniform_f(-1.0f, 1.0f)};
+  return v;
+}
+
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, InverseRoundTripRecoversSignal) {
+  const std::size_t n = GetParam();
+  auto sig = random_signal(n, n);
+  const auto orig = sig;
+  Fft plan(n);
+  plan.forward(sig);
+  plan.inverse(sig);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(sig[i].real(), orig[i].real(), 1e-4f);
+    EXPECT_NEAR(sig[i].imag(), orig[i].imag(), 1e-4f);
+  }
+}
+
+TEST_P(FftSizes, ParsevalEnergyConservation) {
+  const std::size_t n = GetParam();
+  auto sig = random_signal(n, 2 * n + 1);
+  double time_energy = 0.0;
+  for (const auto& x : sig) time_energy += std::norm(x);
+  Fft(n).forward(sig);
+  double freq_energy = 0.0;
+  for (const auto& x : sig) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n) / time_energy, 1.0, 1e-4);
+}
+
+TEST_P(FftSizes, LinearityHolds) {
+  const std::size_t n = GetParam();
+  auto a = random_signal(n, 5);
+  auto b = random_signal(n, 6);
+  std::vector<cf32> sum(n);
+  for (std::size_t i = 0; i < n; ++i) sum[i] = a[i] + 2.0f * b[i];
+  Fft plan(n);
+  plan.forward(a);
+  plan.forward(b);
+  plan.forward(sum);
+  for (std::size_t i = 0; i < n; ++i) {
+    const cf32 expect = a[i] + 2.0f * b[i];
+    EXPECT_NEAR(sum[i].real(), expect.real(), 2e-3f);
+    EXPECT_NEAR(sum[i].imag(), expect.imag(), 2e-3f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 256, 1024,
+                                           4096));
+
+TEST(Fft, DeltaTransformsToFlatSpectrum) {
+  std::vector<cf32> sig(8);
+  sig[0] = {1.0f, 0.0f};
+  fft_forward(sig);
+  for (const auto& x : sig) {
+    EXPECT_NEAR(x.real(), 1.0f, 1e-6f);
+    EXPECT_NEAR(x.imag(), 0.0f, 1e-6f);
+  }
+}
+
+TEST(Fft, SinusoidConcentratesInOneBin) {
+  const std::size_t n = 64;
+  const std::size_t k = 5;
+  std::vector<cf32> sig(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ph = 2.0 * kPi * static_cast<double>(k * i) / n;
+    sig[i] = {static_cast<float>(std::cos(ph)),
+              static_cast<float>(std::sin(ph))};
+  }
+  fft_forward(sig);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == k)
+      EXPECT_NEAR(std::abs(sig[i]), static_cast<float>(n), 1e-3f);
+    else
+      EXPECT_NEAR(std::abs(sig[i]), 0.0f, 1e-3f);
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(Fft(12), ContractViolation);
+  EXPECT_THROW(Fft(0), ContractViolation);
+}
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(Fft, CircularConvolveWithDeltaIsIdentity) {
+  auto a = random_signal(16, 9);
+  std::vector<cf32> delta(16);
+  delta[0] = {1.0f, 0.0f};
+  const auto out = circular_convolve(a, delta);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(std::abs(out[i] - a[i]), 0.0f, 1e-4f);
+}
+
+TEST(Fft, CircularCorrelatePeaksAtLag) {
+  std::vector<cf32> a(32), b(32);
+  // b is a delayed by 3 (circularly): correlation IFFT(A conj(B)) peaks at
+  // lag -3 mod 32 = 29... convention check: peak index encodes the shift.
+  auto base = random_signal(32, 11);
+  a = base;
+  for (std::size_t i = 0; i < 32; ++i) b[(i + 3) % 32] = base[i];
+  const auto corr = circular_correlate(b, a);
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < corr.size(); ++i)
+    if (std::abs(corr[i]) > std::abs(corr[peak])) peak = i;
+  EXPECT_EQ(peak, 3u);
+}
+
+TEST(Chirp, LengthAndUnitModulus) {
+  ChirpParams p;
+  const auto s = make_chirp(p);
+  EXPECT_EQ(s.size(), chirp_length(p));
+  EXPECT_EQ(s.size(), 200u); // 100 MHz * 2 us
+  for (const auto& x : s) EXPECT_NEAR(std::abs(x), 1.0f, 1e-5f);
+}
+
+TEST(Chirp, TimeBandwidthProduct) {
+  ChirpParams p;
+  EXPECT_NEAR(time_bandwidth_product(p), 100.0, 1e-9);
+  EXPECT_NEAR(compressed_width_samples(p), 2.0, 1e-9);
+}
+
+TEST(Chirp, RejectsAliasedBandwidth) {
+  ChirpParams p;
+  p.bandwidth_hz = 2.0 * p.sample_rate_hz;
+  EXPECT_THROW(make_chirp(p), ContractViolation);
+}
+
+TEST(MatchedFilter, PeakAtTargetDelay) {
+  ChirpParams cp;
+  cp.sample_rate_hz = 50e6;
+  cp.bandwidth_hz = 50e6;
+  cp.duration_s = 1e-6; // 50 samples
+  const auto replica = make_chirp(cp);
+  const std::size_t record = 256;
+  const std::size_t delay = 77;
+
+  std::vector<cf32> echo(record);
+  for (std::size_t i = 0; i < replica.size(); ++i)
+    echo[delay + i] = replica[i] * 0.5f;
+
+  MatchedFilter mf(replica, record);
+  const auto out = mf.compress(echo);
+  ASSERT_EQ(out.size(), record);
+
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < out.size(); ++i)
+    if (std::abs(out[i]) > std::abs(out[peak])) peak = i;
+  EXPECT_EQ(peak, delay);
+  // Peak value = 0.5 * replica energy = 0.5 * 50.
+  EXPECT_NEAR(std::abs(out[peak]), 25.0f, 0.5f);
+}
+
+TEST(MatchedFilter, CompressionGainConcentratesEnergy) {
+  ChirpParams cp;
+  cp.sample_rate_hz = 50e6;
+  cp.bandwidth_hz = 25e6;
+  cp.duration_s = 2e-6; // 100 samples, fs/B = 2 samples wide after MF
+  const auto replica = make_chirp(cp);
+  std::vector<cf32> echo(300);
+  for (std::size_t i = 0; i < replica.size(); ++i) echo[60 + i] = replica[i];
+  MatchedFilter mf(replica, echo.size());
+  const auto out = mf.compress(echo);
+
+  // Energy within +-3 samples of the peak should dominate the output.
+  double total = 0.0, local = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    total += std::norm(out[i]);
+    if (i >= 57 && i <= 63) local += std::norm(out[i]);
+  }
+  EXPECT_GT(local / total, 0.8);
+}
+
+TEST(MatchedFilter, TwoTargetsResolved) {
+  ChirpParams cp;
+  cp.sample_rate_hz = 50e6;
+  cp.bandwidth_hz = 50e6;
+  cp.duration_s = 1e-6;
+  const auto replica = make_chirp(cp);
+  std::vector<cf32> echo(256);
+  for (std::size_t i = 0; i < replica.size(); ++i) {
+    echo[40 + i] += replica[i];
+    echo[90 + i] += replica[i] * 0.8f;
+  }
+  MatchedFilter mf(replica, echo.size());
+  const auto out = mf.compress(echo);
+  EXPECT_GT(std::abs(out[40]), 0.8f * static_cast<float>(replica.size()));
+  EXPECT_GT(std::abs(out[90]), 0.6f * static_cast<float>(replica.size()));
+  // Midpoint between targets should be far below both peaks.
+  EXPECT_LT(std::abs(out[65]), 0.2f * std::abs(out[40]));
+}
+
+} // namespace
+} // namespace esarp::fft

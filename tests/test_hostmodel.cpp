@@ -1,0 +1,154 @@
+// Tests for the Intel i7-M620 analytic cost model.
+#include <gtest/gtest.h>
+
+#include "hostmodel/host_model.hpp"
+#include "hostmodel/parallel_host_model.hpp"
+
+namespace esarp::host {
+namespace {
+
+HostModel ideal() {
+  HostParams p;
+  p.fp_port_efficiency = 1.0;
+  p.overhead = 0.0;
+  return HostModel(p);
+}
+
+TEST(HostModel, AddAndMulPortsOverlap) {
+  const HostModel m = ideal();
+  HostWork add_only;
+  add_only.ops = {.fadd = 100};
+  HostWork mul_only;
+  mul_only.ops = {.fmul = 100};
+  HostWork both;
+  both.ops = {.fadd = 100, .fmul = 100};
+  EXPECT_DOUBLE_EQ(m.cycles(add_only), 100.0);
+  EXPECT_DOUBLE_EQ(m.cycles(mul_only), 100.0);
+  EXPECT_DOUBLE_EQ(m.cycles(both), 100.0); // separate ports: free overlap
+}
+
+TEST(HostModel, FmaOccupiesBothPorts) {
+  // Westmere has no FMA: an fma is one add-port op AND one mul-port op.
+  const HostModel m = ideal();
+  HostWork w;
+  w.ops = {.fma = 100};
+  EXPECT_DOUBLE_EQ(m.cycles(w), 100.0);
+  HostWork w2;
+  w2.ops = {.fadd = 100, .fma = 100};
+  EXPECT_DOUBLE_EQ(m.cycles(w2), 200.0); // add port saturated
+}
+
+TEST(HostModel, DividesAreExpensive) {
+  const HostModel m = ideal();
+  HostWork w;
+  w.ops = {.fdiv = 10};
+  EXPECT_DOUBLE_EQ(m.cycles(w), 140.0); // 14 cycles each on the mul port
+}
+
+TEST(HostModel, MemoryPortsBoundThroughput) {
+  const HostModel m = ideal();
+  HostWork w;
+  w.ops = {.load = 300, .store = 100};
+  EXPECT_DOUBLE_EQ(m.cycles(w), 200.0); // 2 mem ops per cycle
+}
+
+TEST(HostModel, ScatteredReadsDominateStreaming) {
+  const HostModel m = ideal();
+  HostWork scattered;
+  scattered.scattered_reads = 1000;
+  HostWork stream;
+  stream.stream_read_bytes = 8000; // same bytes, sequential
+  EXPECT_GT(m.cycles(scattered), 3.0 * m.cycles(stream));
+}
+
+TEST(HostModel, StreamsOverlapComputeScatteredDoesNot) {
+  const HostModel m = ideal();
+  HostWork w;
+  w.ops = {.fadd = 10000};
+  const double compute_only = m.cycles(w);
+  w.stream_read_bytes = 30000; // 5000 cycles of streaming < compute
+  EXPECT_DOUBLE_EQ(m.cycles(w), compute_only);
+  w.scattered_reads = 100;
+  EXPECT_GT(m.cycles(w), compute_only); // scattered misses add on top
+}
+
+TEST(HostModel, SecondsUseConfiguredClock) {
+  HostParams p;
+  p.clock_hz = 2.67e9;
+  p.fp_port_efficiency = 1.0;
+  p.overhead = 0.0;
+  const HostModel m(p);
+  HostWork w;
+  w.ops = {.fadd = 267};
+  EXPECT_NEAR(m.seconds(w), 1e-7, 1e-12);
+}
+
+TEST(HostModel, JoulesAtSeventeenAndAHalfWatts) {
+  // The paper attributes half the 35 W TDP to the single busy core.
+  const HostModel m{};
+  EXPECT_DOUBLE_EQ(m.params().watts, 17.5);
+  HostWork w;
+  w.ops = {.fadd = 1000000};
+  EXPECT_NEAR(m.joules(w) / m.seconds(w), 17.5, 1e-9);
+}
+
+TEST(HostModel, EfficiencyScalesFpThroughput) {
+  HostParams fast;
+  fast.fp_port_efficiency = 0.9;
+  fast.overhead = 0.0;
+  HostParams slow = fast;
+  slow.fp_port_efficiency = 0.45;
+  HostWork w;
+  w.ops = {.fmul = 1000};
+  EXPECT_NEAR(HostModel(slow).cycles(w) / HostModel(fast).cycles(w), 2.0,
+              1e-9);
+}
+
+TEST(HostWork, Accumulates) {
+  HostWork a;
+  a.ops = {.fadd = 1};
+  a.scattered_reads = 2;
+  HostWork b;
+  b.ops = {.fadd = 10};
+  b.stream_write_bytes = 7;
+  a += b;
+  EXPECT_EQ(a.ops.fadd, 11u);
+  EXPECT_EQ(a.scattered_reads, 2u);
+  EXPECT_EQ(a.stream_write_bytes, 7u);
+}
+
+
+TEST(ParallelHostModel, ComputeScalesWithCoresAndSimd) {
+  ParallelHostParams p;
+  p.core.fp_port_efficiency = 1.0;
+  p.core.overhead = 0.0;
+  p.simd_efficiency = 1.0;
+  p.parallel_efficiency = 1.0;
+  const ParallelHostModel par(p);
+  const HostModel single(p.core);
+  HostWork w;
+  w.ops = {.fmul = 1'000'000};
+  // 12 cores x 4-wide SIMD = 48x on pure compute.
+  EXPECT_NEAR(single.seconds(w) / par.seconds(w), 48.0, 1e-6);
+}
+
+TEST(ParallelHostModel, MemoryBoundWorkOnlyGetsSocketScaling) {
+  const ParallelHostModel par{};
+  const HostModel single{};
+  HostWork w;
+  w.scattered_reads = 10'000'000; // purely memory-bound
+  const double speedup = single.seconds(w) / par.seconds(w);
+  EXPECT_NEAR(speedup, 2.0, 1e-6); // two sockets' worth of DRAM channels
+}
+
+TEST(ParallelHostModel, XeonPresetFasterButHungrierThanI7) {
+  const ParallelHostModel xeon(ParallelHostParams::xeon_x5675_pair());
+  const HostModel i7{};
+  HostWork w;
+  w.ops = {.fadd = 5'000'000, .fmul = 5'000'000};
+  EXPECT_LT(xeon.seconds(w), i7.seconds(w) / 5.0); // much faster
+  EXPECT_GT(xeon.params().watts, 100.0);           // much more power
+}
+
+} // namespace
+} // namespace esarp::host

@@ -1,0 +1,151 @@
+// End-to-end integration: scene -> raw data -> (GBP | FFBP host | FFBP on
+// the simulated chip) -> quality metrics, and autofocus on blocks cut from
+// real FFBP child subapertures — a miniature of the paper's whole
+// evaluation flow, at test size.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "core/autofocus_epiphany.hpp"
+#include "core/ffbp_epiphany.hpp"
+#include "hostmodel/host_model.hpp"
+#include "autofocus/criterion.hpp"
+#include "autofocus/workload.hpp"
+#include "sar/ffbp.hpp"
+#include "sar/gbp.hpp"
+#include "sar/scene.hpp"
+
+namespace esarp {
+namespace {
+
+TEST(Integration, FullPipelineSmallScale) {
+  const auto p = sar::test_params(64, 161);
+  const auto scene = sar::six_target_scene(p);
+  const auto data = sar::simulate_compressed(p, scene);
+
+  const auto g = sar::gbp(data, p);
+  const auto f = sar::ffbp(data, p);
+  core::FfbpMapOptions opt;
+  opt.n_cores = 16;
+  const auto sim = core::run_ffbp_epiphany(data, p, opt);
+
+  // (1) The simulated chip reproduces the host image exactly.
+  EXPECT_EQ(sim.image, f.image.data);
+  // (2) Both focus: entropy well below the raw data's.
+  EXPECT_LT(image_entropy(f.image.data), image_entropy(data));
+  EXPECT_LT(image_entropy(g.image.data), image_entropy(data));
+  // (3) GBP is the quality reference (Fig. 7 ordering).
+  EXPECT_LE(image_entropy(g.image.data), image_entropy(f.image.data));
+}
+
+TEST(Integration, SpeedupShapeMatchesTableOne) {
+  // Small-scale rehearsal of Table I's FFBP rows: sequential Epiphany is
+  // slower than the modelled Intel reference; 16-core Epiphany is faster.
+  const auto p = sar::test_params(32, 101);
+  const auto data = sar::simulate_compressed(p, sar::six_target_scene(p));
+
+  const auto host_ref = sar::ffbp(data, p);
+  const host::HostModel intel;
+  const double t_intel = intel.seconds(host_ref.host_work);
+
+  const auto seq = core::run_ffbp_sequential_epiphany(data, p);
+  core::FfbpMapOptions opt;
+  opt.n_cores = 16;
+  const auto par = core::run_ffbp_epiphany(data, p, opt);
+
+  EXPECT_GT(seq.seconds, t_intel);  // paper: 0.36x
+  EXPECT_LT(par.seconds, t_intel);  // paper: 4.25x
+}
+
+TEST(Integration, AutofocusOnRealSubapertureBlocks) {
+  // Cut 6x6 area-of-interest blocks around a bright target from two
+  // late-level child subapertures and run the criterion sweep — the usage
+  // the paper's Fig. 4 describes (autofocus before each merge).
+  auto p = sar::test_params(64, 161);
+  sar::Scene s;
+  s.targets = {{0.0, p.near_range_m + 80.0 * p.range_bin_m, 1.0f}};
+  const auto data = sar::simulate_compressed(p, s);
+
+  // Build subapertures up to level 4 (children of the level-5 merge).
+  auto subs = sar::initial_subapertures(data, p);
+  sar::FfbpOptions algo;
+  for (std::size_t level = 1; level <= 4; ++level) {
+    std::vector<sar::SubapertureImage> next;
+    for (std::size_t i = 0; i + 1 < subs.size(); i += 2)
+      next.push_back(sar::merge_pair(subs[i], subs[i + 1], p, algo));
+    subs = std::move(next);
+  }
+  ASSERT_EQ(subs.size(), 4u);
+  const auto& child_a = subs[1];
+  const auto& child_b = subs[2];
+
+  // Locate the target in child_a and cut blocks around it.
+  std::size_t ti = 0, tj = 0;
+  double best = -1;
+  for (std::size_t i = 0; i < child_a.n_theta(); ++i)
+    for (std::size_t j = 0; j < child_a.n_range(); ++j)
+      if (std::abs(child_a.data(i, j)) > best) {
+        best = std::abs(child_a.data(i, j));
+        ti = i;
+        tj = j;
+      }
+  af::AfParams ap;
+  const std::size_t bi = std::min(ti > 3 ? ti - 3 : 0,
+                                  child_a.n_theta() - ap.block_rows);
+  const std::size_t bj = std::min(tj > 3 ? tj - 3 : 0,
+                                  child_a.n_range() - ap.block_cols);
+  auto blocks = af::blocks_from_subapertures(child_a, child_b, ap, bi, bj);
+
+  const auto res = af::criterion_sweep(blocks.minus, blocks.plus, ap);
+  // With no path error the best compensation should be near zero.
+  EXPECT_LE(std::abs(res.best_shift(ap)), 0.5f);
+
+  // And the MPMD pipeline agrees with the host sweep on this real block.
+  std::vector<af::BlockPair> pairs;
+  pairs.push_back(std::move(blocks));
+  const auto sim = core::run_autofocus_mpmd(pairs, ap);
+  for (std::size_t sh = 0; sh < res.criteria.size(); ++sh)
+    EXPECT_EQ(sim.criteria[0][sh], res.criteria[sh]);
+}
+
+TEST(Integration, PathErrorDegradesUncompensatedImage) {
+  // A flight-path error defocuses the image formed with nominal geometry —
+  // the problem autofocus exists to solve.
+  const auto p = sar::test_params(64, 161);
+  sar::Scene s;
+  s.targets = {{0.0, p.near_range_m + 80.0 * p.range_bin_m, 1.0f}};
+
+  const auto clean = sar::simulate_compressed(p, s);
+  sar::FlightPathError err;
+  err.dy.resize(p.n_pulses);
+  for (std::size_t i = 0; i < p.n_pulses; ++i)
+    err.dy[i] = 1.5 * std::sin(2.0 * kPi * static_cast<double>(i) /
+                               static_cast<double>(p.n_pulses));
+  const auto perturbed = sar::simulate_compressed(p, s, err);
+
+  const auto img_clean = sar::ffbp(clean, p);
+  const auto img_bad = sar::ffbp(perturbed, p);
+  EXPECT_GT(peak_magnitude(img_clean.image.data),
+            peak_magnitude(img_bad.image.data));
+}
+
+TEST(Integration, EnergyEfficiencyShapeMatchesPaper) {
+  // Both parallel implementations must be at least an order of magnitude
+  // more energy-efficient than the modelled Intel reference (paper: 38x
+  // and 78x).
+  const auto p = sar::test_params(32, 101);
+  const auto data = sar::simulate_compressed(p, sar::six_target_scene(p));
+  const auto host_ref = sar::ffbp(data, p);
+  const host::HostModel intel;
+  const double intel_j = intel.joules(host_ref.host_work);
+
+  core::FfbpMapOptions opt;
+  opt.n_cores = 16;
+  const auto par = core::run_ffbp_epiphany(data, p, opt);
+  const double ratio = intel_j / par.energy.total_j();
+  EXPECT_GT(ratio, 10.0);
+}
+
+} // namespace
+} // namespace esarp

@@ -1,0 +1,107 @@
+// Tests for the Global Back-Projection reference imager.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "sar/gbp.hpp"
+#include "sar/scene.hpp"
+
+namespace esarp::sar {
+namespace {
+
+/// Find the (theta_bin, range_bin) of the image peak.
+std::pair<std::size_t, std::size_t> find_peak(const Array2D<cf32>& img) {
+  std::pair<std::size_t, std::size_t> best{0, 0};
+  double mag = -1.0;
+  for (std::size_t i = 0; i < img.rows(); ++i)
+    for (std::size_t j = 0; j < img.cols(); ++j)
+      if (std::abs(img(i, j)) > mag) {
+        mag = std::abs(img(i, j));
+        best = {i, j};
+      }
+  return best;
+}
+
+/// Expected grid position of a target in the final polar image.
+std::pair<double, double> expected_bins(const RadarParams& p,
+                                        const PointTarget& t) {
+  const double r = std::hypot(t.x, t.y);
+  const double theta = std::atan2(t.y, t.x);
+  const PolarGrid grid(p, p.n_pulses);
+  return {(theta - grid.theta_start) / grid.dtheta - 0.5,
+          (r - grid.r0) / grid.dr};
+}
+
+TEST(Gbp, FocusesSingleTargetAtExpectedCell) {
+  RadarParams p = test_params(64, 201);
+  Scene s;
+  s.targets = {{3.0, p.near_range_m + 120.0 * p.range_bin_m, 1.0f}};
+  const auto data = simulate_compressed(p, s);
+  const GbpResult res = gbp(data, p);
+
+  const auto [pi_, pj] = find_peak(res.image.data);
+  const auto [ei, ej] = expected_bins(p, s.targets[0]);
+  EXPECT_NEAR(static_cast<double>(pi_), ei, 2.0);
+  EXPECT_NEAR(static_cast<double>(pj), ej, 2.0);
+}
+
+TEST(Gbp, CoherentGainScalesWithAperture) {
+  // The peak of a focused target grows ~linearly with the number of
+  // integrated pulses (coherent integration).
+  Scene s;
+  RadarParams small = test_params(16, 101);
+  s.targets = {{0.0, small.near_range_m + 50.0 * small.range_bin_m, 1.0f}};
+  RadarParams large = test_params(64, 101);
+
+  const double peak_small =
+      peak_magnitude(gbp(simulate_compressed(small, s), small).image.data);
+  const double peak_large =
+      peak_magnitude(gbp(simulate_compressed(large, s), large).image.data);
+  EXPECT_GT(peak_large / peak_small, 2.5); // 4x pulses -> ~4x gain
+}
+
+TEST(Gbp, ImageIsSharpRelativeToRawData) {
+  RadarParams p = test_params(64, 201);
+  const Scene s = six_target_scene(p);
+  const auto data = simulate_compressed(p, s);
+  const GbpResult res = gbp(data, p);
+  // Back-projection concentrates energy: entropy must drop markedly.
+  EXPECT_LT(image_entropy(res.image.data), image_entropy(data) - 1.0);
+}
+
+TEST(Gbp, DecimationComputesOnlySampledRows) {
+  RadarParams p = test_params(16, 51);
+  Scene s;
+  s.targets = {{0.0, p.near_range_m + 25.0 * p.range_bin_m, 1.0f}};
+  const auto data = simulate_compressed(p, s);
+  const GbpResult full = gbp(data, p, 1);
+  const GbpResult dec = gbp(data, p, 4);
+  EXPECT_LT(dec.ops.flops(), full.ops.flops() / 3);
+  // Decimated rows match the full computation where computed.
+  for (std::size_t i = 0; i < p.n_pulses; i += 4)
+    for (std::size_t j = 0; j < p.n_range; ++j)
+      EXPECT_EQ(dec.image.data(i, j), full.image.data(i, j));
+  // Skipped rows are zero.
+  EXPECT_EQ(std::abs(dec.image.data(1, 25)), 0.0f);
+}
+
+TEST(Gbp, OpCountsScaleWithWork) {
+  RadarParams p = test_params(16, 51);
+  Scene s;
+  const auto data = simulate_compressed(p, s); // empty scene: zero data
+  const GbpResult res = gbp(data, p);
+  // Every (pixel, pulse) combination inside the swath contributes.
+  EXPECT_GT(res.ops.flops(), 0u);
+  EXPECT_EQ(res.host_work.ops.fadd, res.ops.fadd);
+  EXPECT_GT(res.host_work.stream_read_bytes, 0u);
+}
+
+TEST(Gbp, RejectsMismatchedData) {
+  RadarParams p = test_params(16, 51);
+  Array2D<cf32> wrong(8, 51);
+  EXPECT_THROW((void)gbp(wrong, p), ContractViolation);
+}
+
+} // namespace
+} // namespace esarp::sar

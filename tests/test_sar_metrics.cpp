@@ -1,0 +1,162 @@
+// Tests for IRF metrology, azimuth presummation, and noise injection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "sar/ffbp.hpp"
+#include "sar/gbp.hpp"
+#include "sar/metrics.hpp"
+#include "sar/presum.hpp"
+#include "sar/scene.hpp"
+
+namespace esarp::sar {
+namespace {
+
+TEST(AnalyzeCut, SincCutMatchesTheory) {
+  // |sinc| with first nulls at +-4 bins: -3 dB width ~0.886*4, PSLR -13 dB.
+  std::vector<float> cut(256);
+  for (std::size_t i = 0; i < cut.size(); ++i) {
+    const double u = (static_cast<double>(i) - 128.0) / 4.0;
+    cut[i] = static_cast<float>(
+        std::abs(u) < 1e-9 ? 1.0 : std::abs(std::sin(kPi * u) / (kPi * u)));
+  }
+  const IrfAxis a = analyze_cut(cut);
+  ASSERT_TRUE(a.valid);
+  EXPECT_NEAR(a.peak_index, 128.0, 0.05);
+  EXPECT_NEAR(a.width_3db, 0.886 * 4.0, 0.2);
+  EXPECT_NEAR(a.pslr_db, -13.26, 0.6);
+  EXPECT_LT(a.islr_db, -9.0); // sinc ISLR ~ -10 dB
+}
+
+TEST(AnalyzeCut, GaussianHasNoSidelobes) {
+  std::vector<float> cut(128);
+  for (std::size_t i = 0; i < cut.size(); ++i) {
+    const double u = (static_cast<double>(i) - 64.0) / 6.0;
+    cut[i] = static_cast<float>(std::exp(-0.5 * u * u));
+  }
+  const IrfAxis a = analyze_cut(cut);
+  ASSERT_TRUE(a.valid);
+  // Gaussian -3 dB width = 2*sigma*sqrt(2 ln sqrt2...) = 2.355*sigma/…:
+  // FWHM of amplitude at 1/sqrt(2): 2*sigma*sqrt(ln 2) ~ 1.665*sigma.
+  EXPECT_NEAR(a.width_3db, 1.665 * 6.0, 0.5);
+  EXPECT_LT(a.pslr_db, -35.0); // numerically tiny sidelobes only
+}
+
+TEST(AnalyzeCut, DegenerateInputsAreInvalid) {
+  std::vector<float> flat(32, 1.0f);
+  EXPECT_FALSE(analyze_cut(std::vector<float>(3, 1.0f)).valid);
+  // Peak at the edge cannot be analysed.
+  std::vector<float> edge(32, 0.0f);
+  edge[0] = 1.0f;
+  EXPECT_FALSE(analyze_cut(edge).valid);
+}
+
+TEST(AnalyzePointTarget, GbpResolutionMatchesApertureTheory) {
+  // Azimuth -3 dB resolution of a fully-processed aperture:
+  // ~0.886 * lambda * R / (2 L) -> in azimuth bins of size dx * R/R = dx.
+  const auto p = test_params(64, 161);
+  Scene s;
+  s.targets = {{0.0, p.near_range_m + 80.0 * p.range_bin_m, 1.0f}};
+  const auto data = simulate_compressed(p, s);
+  const auto g = gbp(data, p);
+  const IrfReport rep = analyze_point_target(g.image.data);
+
+  ASSERT_TRUE(rep.azimuth.valid);
+  const double r_target = p.near_range_m + 80.0 * p.range_bin_m;
+  const double aperture =
+      static_cast<double>(p.n_pulses) * p.pulse_spacing_m;
+  // Azimuth bin size on the polar grid at target range [m].
+  const double az_bin_m =
+      p.theta_span_rad / static_cast<double>(p.n_pulses) * r_target;
+  const double theory_m = 0.886 * p.wavelength_m() * r_target /
+                          (2.0 * aperture);
+  EXPECT_NEAR(rep.azimuth.width_3db * az_bin_m, theory_m,
+              0.6 * theory_m);
+  // Range width tracks the compressed-pulse mainlobe (~1.2 bins at the
+  // default 1.3-bin first-null envelope).
+  ASSERT_TRUE(rep.range.valid);
+  EXPECT_NEAR(rep.range.width_3db, 1.15, 0.5);
+}
+
+TEST(Presum, ReducesPulseCountAndPreservesBroadsideSignal) {
+  const auto p = test_params(64, 101);
+  Scene s;
+  s.targets = {{0.0, p.near_range_m + 50.0 * p.range_bin_m, 1.0f}};
+  const auto data = simulate_compressed(p, s);
+  const auto ps = presum(data, p, 4);
+  EXPECT_EQ(ps.data.rows(), 16u);
+  EXPECT_EQ(ps.params.n_pulses, 16u);
+  EXPECT_DOUBLE_EQ(ps.params.pulse_spacing_m, 4.0);
+  // Broadside energy is preserved (phases nearly aligned within a group).
+  EXPECT_GT(peak_magnitude(ps.data), 0.7 * peak_magnitude(data));
+}
+
+TEST(Presum, GainsSnrAgainstWhiteNoise) {
+  const auto p = test_params(64, 101);
+  Scene s;
+  s.targets = {{0.0, p.near_range_m + 50.0 * p.range_bin_m, 1.0f}};
+  auto data = simulate_compressed(p, s);
+  Rng rng(42);
+  add_noise(data, rng, 0.15f);
+
+  const double snr_before = peak_to_median(data);
+  const auto ps = presum(data, p, 4);
+  const double snr_after = peak_to_median(ps.data);
+  // Coherent gain on the target, incoherent on the noise: ~sqrt(4) = 2x.
+  EXPECT_GT(snr_after, 1.4 * snr_before);
+}
+
+TEST(Presum, DownstreamFfbpStillFocuses) {
+  const auto p = test_params(64, 101);
+  Scene s;
+  s.targets = {{0.0, p.near_range_m + 50.0 * p.range_bin_m, 1.0f}};
+  const auto data = simulate_compressed(p, s);
+  const auto ps = presum(data, p, 2);
+  FfbpOptions cubic;
+  cubic.interp = Interp::kCubic; // low-artifact merges for a clean peak
+  const auto img = ffbp(ps.data, ps.params, cubic);
+  // The target focuses at mid-azimuth, same range bin.
+  const IrfReport rep = analyze_point_target(img.image.data);
+  EXPECT_NEAR(static_cast<double>(rep.peak_col), 50.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(rep.peak_row),
+              static_cast<double>(ps.params.n_pulses) / 2.0, 3.0);
+  // And back-projection work dropped with the data rate.
+  const auto full = ffbp(data, p, cubic);
+  EXPECT_LT(img.ops.flops(), full.ops.flops());
+}
+
+TEST(Presum, NyquistBoundIsSane) {
+  const auto p = test_params(64, 101);
+  const std::size_t f = max_presum_factor(p);
+  EXPECT_GE(f, 1u);
+  // lambda = 2 m, span ~0.15 rad -> max spacing ~6-7 m -> factor 6-7.
+  EXPECT_GE(f, 4u);
+  EXPECT_LE(f, 10u);
+}
+
+TEST(Presum, RejectsNonDividingFactor) {
+  const auto p = test_params(64, 101);
+  const Array2D<cf32> data(64, 101);
+  EXPECT_THROW((void)presum(data, p, 7), ContractViolation);
+}
+
+TEST(AddNoise, ZeroSigmaIsIdentityAndStatsMatch) {
+  Array2D<cf32> data(16, 33);
+  Rng rng(1);
+  add_noise(data, rng, 0.0f);
+  for (const auto& px : data.flat()) EXPECT_EQ(px, (cf32{0.0f, 0.0f}));
+
+  add_noise(data, rng, 0.5f);
+  RunningStats st;
+  for (const auto& px : data.flat()) {
+    st.add(px.real());
+    st.add(px.imag());
+  }
+  EXPECT_NEAR(st.mean(), 0.0, 0.06);
+  EXPECT_NEAR(st.stddev(), 0.5, 0.06);
+}
+
+} // namespace
+} // namespace esarp::sar

@@ -1,0 +1,99 @@
+// Tests for multilook processing (speckle reduction).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sar/metrics.hpp"
+#include "sar/multilook.hpp"
+#include "sar/scene.hpp"
+
+namespace esarp::sar {
+namespace {
+
+/// A patch of many weak random scatterers: fully developed speckle.
+Scene clutter_scene(const RadarParams& p, std::uint64_t seed) {
+  Rng rng(seed);
+  Scene s;
+  const double y0 = p.near_range_m + 20.0 * p.range_bin_m;
+  const double y1 = p.near_range_m +
+                    (static_cast<double>(p.n_range) - 20.0) * p.range_bin_m;
+  for (int i = 0; i < 300; ++i) {
+    s.targets.push_back({rng.uniform(-20.0, 20.0), rng.uniform(y0, y1),
+                         rng.uniform_f(0.05f, 0.15f)});
+  }
+  return s;
+}
+
+TEST(Multilook, OneLookEqualsPlainFfbpIntensityOnCommonGrid) {
+  const auto p = test_params(32, 101);
+  Scene s;
+  s.targets = {{0.0, p.near_range_m + 50.0 * p.range_bin_m, 1.0f}};
+  const auto data = simulate_compressed(p, s);
+  const auto ml = multilook_ffbp(data, p, 1);
+  const auto plain = ffbp(data, p);
+  // looks == 1: same aperture, same centre — intensities must agree at
+  // the peak (reprojection is identity up to NN re-binning).
+  std::size_t pi = 0, pj = 0;
+  float best = -1.0f;
+  for (std::size_t i = 0; i < ml.intensity.rows(); ++i)
+    for (std::size_t j = 0; j < ml.intensity.cols(); ++j)
+      if (ml.intensity(i, j) > best) {
+        best = ml.intensity(i, j);
+        pi = i;
+        pj = j;
+      }
+  EXPECT_NEAR(best, std::norm(plain.image.data(pi, pj)), 1e-3f * best);
+}
+
+TEST(Multilook, ReducesSpeckleContrast) {
+  const auto p = test_params(64, 161);
+  const auto data = simulate_compressed(p, clutter_scene(p, 3));
+  const auto one = multilook_ffbp(data, p, 1);
+  const auto four = multilook_ffbp(data, p, 4);
+  const double c1 = speckle_contrast(one.intensity);
+  const double c4 = speckle_contrast(four.intensity);
+  // Ideal uncorrelated looks: contrast ratio sqrt(4) = 2; demand >= 1.3
+  // (looks of a common scene are partially correlated).
+  EXPECT_GT(c1 / c4, 1.3) << "c1=" << c1 << " c4=" << c4;
+}
+
+TEST(Multilook, PointTargetSurvivesAveraging) {
+  const auto p = test_params(64, 161);
+  Scene s;
+  s.targets = {{0.0, p.near_range_m + 80.0 * p.range_bin_m, 1.0f}};
+  const auto data = simulate_compressed(p, s);
+  const auto ml = multilook_ffbp(data, p, 4);
+  // The target must remain the image maximum, at its range bin.
+  std::size_t pi = 0, pj = 0;
+  float best = -1.0f;
+  for (std::size_t i = 0; i < ml.intensity.rows(); ++i)
+    for (std::size_t j = 0; j < ml.intensity.cols(); ++j)
+      if (ml.intensity(i, j) > best) {
+        best = ml.intensity(i, j);
+        pi = i;
+        pj = j;
+      }
+  EXPECT_NEAR(static_cast<double>(pj), 80.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(pi),
+              static_cast<double>(ml.intensity.rows()) / 2.0, 2.0);
+}
+
+TEST(Multilook, Validation) {
+  const auto p = test_params(32, 101);
+  const Array2D<cf32> data(32, 101);
+  EXPECT_THROW((void)multilook_ffbp(data, p, 3), ContractViolation);
+  EXPECT_THROW((void)multilook_ffbp(data, p, 32), ContractViolation);
+}
+
+TEST(Multilook, OpsScaleWithLooks) {
+  const auto p = test_params(32, 101);
+  const auto data = simulate_compressed(p, clutter_scene(p, 5));
+  const auto two = multilook_ffbp(data, p, 2);
+  const auto four = multilook_ffbp(data, p, 4);
+  // Fewer merge levels per look: total back-projection work shrinks.
+  EXPECT_LT(four.ops.flops(), two.ops.flops());
+}
+
+} // namespace
+} // namespace esarp::sar

@@ -1,0 +1,172 @@
+// Tests for the Range-Doppler (frequency-domain) baseline and the paper's
+// time-domain-vs-frequency-domain motivation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "sar/ffbp.hpp"
+#include "sar/rda.hpp"
+#include "sar/scene.hpp"
+
+namespace esarp::sar {
+namespace {
+
+RadarParams params() { return test_params(64, 161); }
+
+Scene centre_target(const RadarParams& p) {
+  Scene s;
+  s.targets = {{0.0, p.near_range_m + 80.0 * p.range_bin_m, 1.0f}};
+  return s;
+}
+
+std::pair<std::size_t, std::size_t> find_peak(const Array2D<cf32>& img) {
+  std::pair<std::size_t, std::size_t> best{0, 0};
+  double mag = -1.0;
+  for (std::size_t i = 0; i < img.rows(); ++i)
+    for (std::size_t j = 0; j < img.cols(); ++j)
+      if (std::abs(img(i, j)) > mag) {
+        mag = std::abs(img(i, j));
+        best = {i, j};
+      }
+  return best;
+}
+
+TEST(Rda, FocusesCentreTargetAtItsPulseAndRangeBin) {
+  const auto p = params();
+  const auto data = simulate_compressed(p, centre_target(p));
+  const auto res = range_doppler(data, p);
+  const auto [pi_, pj] = find_peak(res.image);
+  // Target at x = 0 sits between pulses 31 and 32 of 64; range bin 80.
+  EXPECT_NEAR(static_cast<double>(pi_), 31.5, 1.5);
+  EXPECT_NEAR(static_cast<double>(pj), 80.0, 1.5);
+}
+
+TEST(Rda, CoherentGainOverRawData) {
+  const auto p = params();
+  const auto data = simulate_compressed(p, centre_target(p));
+  const auto res = range_doppler(data, p);
+  // Azimuth compression integrates the processed sector coherently: the
+  // image peak is many times the raw per-pulse peak.
+  EXPECT_GT(peak_magnitude(res.image), 8.0 * peak_magnitude(data));
+}
+
+TEST(Rda, OffCentreTargetLandsAtItsAzimuth) {
+  const auto p = params();
+  Scene s;
+  s.targets = {{12.0, p.near_range_m + 60.0 * p.range_bin_m, 1.0f}};
+  const auto data = simulate_compressed(p, s);
+  const auto res = range_doppler(data, p);
+  const auto [pi_, pj] = find_peak(res.image);
+  // x = 12 m -> pulse index 31.5 + 12 = 43.5.
+  EXPECT_NEAR(static_cast<double>(pi_), 43.5, 2.0);
+  EXPECT_NEAR(static_cast<double>(pj), 60.0, 1.5);
+}
+
+TEST(Rda, RcmcImprovesFocusWhenMigrationExceedsABin) {
+  // A long aperture at short range migrates through several range bins;
+  // disabling RCMC must lower the peak.
+  auto p = test_params(128, 201);
+  const auto data = simulate_compressed(p, centre_target(p));
+  RdaOptions with;
+  RdaOptions without;
+  without.rcmc = false;
+  const auto a = range_doppler(data, p, with);
+  const auto b = range_doppler(data, p, without);
+  EXPECT_GT(peak_magnitude(a.image), 1.1 * peak_magnitude(b.image));
+}
+
+TEST(Rda, CheaperThanBackProjection) {
+  // The paper's claim: the FFT technique "is computationally efficient".
+  const auto p = params();
+  const auto data = simulate_compressed(p, centre_target(p));
+  const auto rda = range_doppler(data, p);
+  const auto bp = ffbp(data, p);
+  EXPECT_LT(rda.ops.flops(), bp.ops.flops());
+}
+
+TEST(Rda, LinearityInInputData) {
+  const auto p = test_params(32, 65);
+  Scene s1, s2;
+  s1.targets = {{-5.0, p.near_range_m + 20.0 * p.range_bin_m, 1.0f}};
+  s2.targets = {{5.0, p.near_range_m + 40.0 * p.range_bin_m, 0.7f}};
+  const auto d1 = simulate_compressed(p, s1);
+  const auto d2 = simulate_compressed(p, s2);
+  Array2D<cf32> sum(p.n_pulses, p.n_range);
+  for (std::size_t i = 0; i < sum.size(); ++i)
+    sum.data()[i] = d1.data()[i] + d2.data()[i];
+  const auto i1 = range_doppler(d1, p);
+  const auto i2 = range_doppler(d2, p);
+  const auto is = range_doppler(sum, p);
+  Array2D<cf32> recombined(p.n_pulses, p.n_range);
+  for (std::size_t i = 0; i < recombined.size(); ++i)
+    recombined.data()[i] = i1.image.data()[i] + i2.image.data()[i];
+  EXPECT_LT(relative_rmse(is.image, recombined), 1e-4);
+}
+
+TEST(Rda, NonLinearTrackDefocusesRdaButNotFfbp) {
+  // THE motivating claim of time-domain processing (paper Section I): a
+  // non-linear flight track breaks the frequency-domain assumption. Inject
+  // a smooth cross-track error; RDA (which assumes the nominal track)
+  // loses far more peak than FFBP does.
+  const auto p = params();
+  const auto scene = centre_target(p);
+  const auto clean = simulate_compressed(p, scene);
+  FlightPathError err;
+  err.dy.resize(p.n_pulses);
+  for (std::size_t i = 0; i < p.n_pulses; ++i)
+    err.dy[i] = 0.5 * std::sin(2.0 * kPi * static_cast<double>(i) /
+                               static_cast<double>(p.n_pulses));
+  const auto bad = simulate_compressed(p, scene, err);
+
+  const double rda_clean = peak_magnitude(range_doppler(clean, p).image);
+  const double rda_bad = peak_magnitude(range_doppler(bad, p).image);
+  const double ffbp_clean = peak_magnitude(ffbp(clean, p).image.data);
+  const double ffbp_bad = peak_magnitude(ffbp(bad, p).image.data);
+
+  const double rda_loss = rda_bad / rda_clean;
+  const double ffbp_loss = ffbp_bad / ffbp_clean;
+  EXPECT_LT(rda_loss, 0.75);          // RDA visibly defocuses
+  EXPECT_GT(ffbp_loss, rda_loss);     // time domain degrades less
+}
+
+
+TEST(Rda, RecordedTrackRescuesBackProjectionButNotRda) {
+  // Non-uniform slow-time sampling (speed variation): RDA has no way to
+  // use the recorded positions; back-projection's geometry does (paper
+  // Section I). FFBP given the recorded track must hold its focus.
+  const auto p = params();
+  const auto scene = centre_target(p);
+  FlightPathError err;
+  err.dx.resize(p.n_pulses);
+  for (std::size_t i = 0; i < p.n_pulses; ++i)
+    err.dx[i] = 12.0 * std::sin(2.0 * kPi * static_cast<double>(i) /
+                                static_cast<double>(p.n_pulses));
+  const auto clean = simulate_compressed(p, scene);
+  const auto bad = simulate_compressed(p, scene, err);
+
+  FfbpOptions cubic;
+  cubic.interp = Interp::kCubic; // low-artifact merges expose the defocus
+  const double ffbp_clean =
+      peak_magnitude(ffbp(clean, p, cubic).image.data);
+  const double nominal = peak_magnitude(ffbp(bad, p, cubic).image.data);
+  const double recorded =
+      peak_magnitude(ffbp(bad, p, cubic, &err).image.data);
+  const double rda_clean = peak_magnitude(range_doppler(clean, p).image);
+  const double rda_bad = peak_magnitude(range_doppler(bad, p).image);
+
+  EXPECT_LT(nominal, 0.85 * ffbp_clean);   // nominal geometry defocuses
+  EXPECT_GT(recorded, 0.9 * ffbp_clean);   // recorded track recovers
+  EXPECT_LT(rda_bad, 0.85 * rda_clean);    // RDA cannot recover
+}
+
+TEST(Rda, RejectsNonPowerOfTwoPulses) {
+  RadarParams p = test_params(32, 65);
+  p.n_pulses = 48;
+  p.theta_span_rad = 0.1;
+  Array2D<cf32> data(48, 65);
+  EXPECT_THROW((void)range_doppler(data, p), ContractViolation);
+}
+
+} // namespace
+} // namespace esarp::sar

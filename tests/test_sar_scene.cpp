@@ -1,0 +1,164 @@
+// Tests for SAR geometry, the point-target scene, and raw-data simulation
+// (both the direct compressed-envelope generator and the full chirp +
+// matched-filter chain).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "sar/params.hpp"
+#include "sar/scene.hpp"
+
+namespace esarp::sar {
+namespace {
+
+TEST(RadarParams, DerivedQuantities) {
+  RadarParams p;
+  EXPECT_NEAR(p.wavelength_m(), 5.996, 0.01);
+  EXPECT_DOUBLE_EQ(p.far_range_m(), 4500.0 + 1.5 * 1000.0);
+  EXPECT_EQ(p.merge_levels(), 10u); // 1024 pulses, merge base 2
+  EXPECT_EQ(test_params().merge_levels(), 6u);
+}
+
+TEST(RadarParams, PulsePositionsAreCentred) {
+  RadarParams p = test_params(8, 16);
+  EXPECT_DOUBLE_EQ(p.pulse_x(0), -3.5);
+  EXPECT_DOUBLE_EQ(p.pulse_x(7), 3.5);
+  EXPECT_DOUBLE_EQ(p.pulse_x(3) + p.pulse_x(4), 0.0);
+}
+
+TEST(RadarParams, ValidationCatchesBadGeometry) {
+  RadarParams p;
+  p.n_pulses = 0;
+  EXPECT_THROW(p.validate(), ContractViolation);
+  p = RadarParams{};
+  p.theta_span_rad = -1;
+  EXPECT_THROW(p.validate(), ContractViolation);
+  // merge_levels requires a power-of-two pulse count.
+  p = RadarParams{};
+  p.n_pulses = 100;
+  EXPECT_THROW((void)p.merge_levels(), ContractViolation);
+}
+
+TEST(SlantRange, MatchesHypotenuse) {
+  RadarParams p = test_params();
+  PointTarget t{10.0, 5000.0, 1.0f};
+  const double px = p.pulse_x(7);
+  EXPECT_NEAR(slant_range(p, 7, t),
+              std::hypot(10.0 - px, 5000.0), 1e-9);
+}
+
+TEST(SlantRange, PathErrorShiftsRange) {
+  RadarParams p = test_params();
+  PointTarget t{0.0, 5000.0, 1.0f};
+  FlightPathError err;
+  err.dy.assign(p.n_pulses, 3.0); // radar 3 m closer in y
+  EXPECT_NEAR(slant_range(p, 0, t, err) - slant_range(p, 0, t), -3.0, 0.01);
+}
+
+TEST(SixTargetScene, HasSixTargetsInsideSwath) {
+  RadarParams p;
+  const Scene s = six_target_scene(p);
+  ASSERT_EQ(s.targets.size(), 6u);
+  for (const auto& t : s.targets) {
+    EXPECT_GT(t.y, p.near_range_m);
+    EXPECT_LT(t.y, p.far_range_m());
+    EXPECT_GT(t.amplitude, 0.0f);
+  }
+}
+
+TEST(SimulateCompressed, PeakAtPredictedRangeBin) {
+  RadarParams p = test_params(16, 201);
+  Scene s;
+  s.targets = {{0.0, p.near_range_m + 100.0 * p.range_bin_m, 1.0f}};
+  const auto data = simulate_compressed(p, s);
+  ASSERT_EQ(data.rows(), 16u);
+  ASSERT_EQ(data.cols(), 201u);
+
+  for (std::size_t pu = 0; pu < p.n_pulses; ++pu) {
+    const double range = slant_range(p, pu, s.targets[0]);
+    const long expect =
+        std::lround((range - p.near_range_m) / p.range_bin_m);
+    std::size_t peak = 0;
+    for (std::size_t b = 1; b < p.n_range; ++b)
+      if (std::abs(data(pu, b)) > std::abs(data(pu, peak))) peak = b;
+    EXPECT_NEAR(static_cast<double>(peak), static_cast<double>(expect), 1.0);
+  }
+}
+
+TEST(SimulateCompressed, CarrierPhaseMatchesRange) {
+  RadarParams p = test_params(4, 101);
+  Scene s;
+  s.targets = {{0.0, p.near_range_m + 50.0 * p.range_bin_m, 1.0f}};
+  const auto data = simulate_compressed(p, s);
+  const double range = slant_range(p, 0, s.targets[0]);
+  const double expected_phase =
+      -4.0 * kPi / p.wavelength_m() * range;
+  std::size_t peak = 0;
+  for (std::size_t b = 1; b < p.n_range; ++b)
+    if (std::abs(data(0, b)) > std::abs(data(0, peak))) peak = b;
+  const double actual = std::arg(data(0, peak));
+  // Compare phases modulo 2*pi.
+  const double diff = std::remainder(actual - expected_phase, 2.0 * kPi);
+  EXPECT_NEAR(diff, 0.0, 0.2);
+}
+
+TEST(SimulateCompressed, RangeMigrationCurvesAcrossAperture) {
+  // The target's range bin must migrate hyperbolically across pulses —
+  // the curved paths of the paper's Fig. 7(a).
+  RadarParams p = test_params(64, 301);
+  Scene s;
+  s.targets = {{0.0, p.near_range_m + 50.0 * p.range_bin_m, 1.0f}};
+  const auto data = simulate_compressed(p, s);
+  auto peak_bin = [&](std::size_t pu) {
+    std::size_t peak = 0;
+    for (std::size_t b = 1; b < p.n_range; ++b)
+      if (std::abs(data(pu, b)) > std::abs(data(pu, peak))) peak = b;
+    return peak;
+  };
+  // The closest approach is mid-aperture; edges are farther.
+  const std::size_t mid = peak_bin(32);
+  EXPECT_GE(peak_bin(0), mid);
+  EXPECT_GE(peak_bin(63), mid);
+}
+
+TEST(SimulateCompressed, AmplitudeScalesLinearly) {
+  RadarParams p = test_params(4, 101);
+  Scene s1, s2;
+  s1.targets = {{0.0, p.near_range_m + 50 * p.range_bin_m, 1.0f}};
+  s2.targets = {{0.0, p.near_range_m + 50 * p.range_bin_m, 2.0f}};
+  const auto d1 = simulate_compressed(p, s1);
+  const auto d2 = simulate_compressed(p, s2);
+  EXPECT_NEAR(peak_magnitude(d2) / peak_magnitude(d1), 2.0, 1e-4);
+}
+
+TEST(SimulateViaChirp, AgreesWithDirectGenerator) {
+  RadarParams p = test_params(8, 151);
+  Scene s;
+  s.targets = {{0.0, p.near_range_m + 70.0 * p.range_bin_m, 1.0f},
+               {2.0, p.near_range_m + 30.0 * p.range_bin_m, 0.7f}};
+  const auto direct = simulate_compressed(p, s);
+  const auto chain = simulate_via_chirp(p, s);
+
+  // Peak positions must agree pulse by pulse; amplitudes within ~20 %
+  // (different envelope shapes: ideal sinc vs finite chirp compression).
+  for (std::size_t pu = 0; pu < p.n_pulses; ++pu) {
+    std::size_t pd = 0, pc = 0;
+    for (std::size_t b = 1; b < p.n_range; ++b) {
+      if (std::abs(direct(pu, b)) > std::abs(direct(pu, pd))) pd = b;
+      if (std::abs(chain(pu, b)) > std::abs(chain(pu, pc))) pc = b;
+    }
+    EXPECT_NEAR(static_cast<double>(pd), static_cast<double>(pc), 1.0);
+  }
+  EXPECT_NEAR(peak_magnitude(chain) / peak_magnitude(direct), 1.0, 0.25);
+}
+
+TEST(FlightPathError, EmptyMeansZero) {
+  FlightPathError err;
+  EXPECT_TRUE(err.empty());
+  EXPECT_DOUBLE_EQ(err.at_x(5), 0.0);
+  EXPECT_DOUBLE_EQ(err.at_y(5), 0.0);
+}
+
+} // namespace
+} // namespace esarp::sar

@@ -1,0 +1,265 @@
+// esarp — command-line driver for the SAR processing library.
+//
+//   esarp simulate --pulses 256 --range 251 --out raw.esrp [--noise 0.05]
+//   esarp image    --in raw.esrp --algo ffbp|gbp|rda --out img.pgm
+//                  [--interp nn|linear|cubic] [--autofocus] [--looks k]
+//   esarp chip     --in raw.esrp --cores 16 [--no-prefetch] [--autofocus]
+//   esarp analyze  --in raw.esrp
+//
+// Datasets are the library's .esrp container (see sar/io.hpp), so the
+// expensive products can be generated once and reused.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/format.hpp"
+#include "common/pgm.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/ffbp_epiphany.hpp"
+#include "autofocus/integrated.hpp"
+#include "sar/ffbp.hpp"
+#include "sar/gbp.hpp"
+#include "sar/io.hpp"
+#include "sar/metrics.hpp"
+#include "sar/multilook.hpp"
+#include "sar/rda.hpp"
+#include "sar/scene.hpp"
+
+namespace {
+
+using namespace esarp;
+
+/// Minimal --key value / --flag argument map.
+class Args {
+public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::cerr << "unexpected argument: " << key << "\n";
+        ok_ = false;
+        return;
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        kv_[key] = argv[++i];
+      } else {
+        kv_[key] = "";
+      }
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool has(const std::string& k) const {
+    return kv_.count(k) > 0;
+  }
+  [[nodiscard]] std::string str(const std::string& k,
+                                const std::string& dflt = "") const {
+    auto it = kv_.find(k);
+    return it != kv_.end() ? it->second : dflt;
+  }
+  [[nodiscard]] long num(const std::string& k, long dflt) const {
+    auto it = kv_.find(k);
+    return it != kv_.end() ? std::stol(it->second) : dflt;
+  }
+  [[nodiscard]] double real(const std::string& k, double dflt) const {
+    auto it = kv_.find(k);
+    return it != kv_.end() ? std::stod(it->second) : dflt;
+  }
+
+private:
+  std::map<std::string, std::string> kv_;
+  bool ok_ = true;
+};
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  esarp simulate --out f.esrp [--pulses N] [--range M] [--paper]\n"
+      "                 [--targets k] [--noise sigma] [--seed s]\n"
+      "  esarp image    --in f.esrp --out img.pgm [--algo ffbp|gbp|rda]\n"
+      "                 [--interp nn|linear|cubic] [--autofocus]"
+      " [--looks k]\n"
+      "  esarp chip     --in f.esrp [--cores N] [--no-prefetch]\n"
+      "                 [--autofocus] [--out img.pgm]\n"
+      "  esarp analyze  --in f.esrp\n";
+  return 2;
+}
+
+sar::FfbpOptions interp_options(const Args& args) {
+  sar::FfbpOptions opt;
+  const std::string interp = args.str("interp", "nn");
+  if (interp == "linear") opt.interp = sar::Interp::kLinear;
+  else if (interp == "cubic") opt.interp = sar::Interp::kCubic;
+  else if (interp != "nn")
+    throw ContractViolation("unknown --interp: " + interp);
+  return opt;
+}
+
+int cmd_simulate(const Args& args) {
+  sar::Dataset ds;
+  if (args.has("paper")) {
+    ds.params = sar::paper_params();
+  } else {
+    ds.params = sar::test_params(
+        static_cast<std::size_t>(args.num("pulses", 256)),
+        static_cast<std::size_t>(args.num("range", 251)));
+  }
+  Rng rng(static_cast<std::uint64_t>(args.num("seed", 1)));
+
+  sar::Scene scene;
+  const long n_targets = args.num("targets", 6);
+  if (n_targets == 6) {
+    scene = sar::six_target_scene(ds.params);
+  } else {
+    const double x_span = static_cast<double>(ds.params.n_pulses - 1) *
+                          ds.params.pulse_spacing_m;
+    for (long i = 0; i < n_targets; ++i)
+      scene.targets.push_back(
+          {rng.uniform(-0.35 * x_span, 0.35 * x_span),
+           rng.uniform(ds.params.near_range_m + 10.0 * ds.params.range_bin_m,
+                       ds.params.far_range_m() -
+                           10.0 * ds.params.range_bin_m),
+           rng.uniform_f(0.5f, 1.0f)});
+  }
+
+  std::cerr << "simulating " << ds.params.n_pulses << "x" << ds.params.n_range
+            << " raw data, " << scene.targets.size() << " targets...\n";
+  ds.data = sar::simulate_compressed(ds.params, scene);
+  const double noise = args.real("noise", 0.0);
+  if (noise > 0.0) sar::add_noise(ds.data, rng, static_cast<float>(noise));
+
+  const std::string out = args.str("out");
+  if (out.empty()) return usage();
+  sar::save_dataset(out, ds);
+  std::cout << "wrote " << out << "\n";
+  return 0;
+}
+
+int cmd_image(const Args& args) {
+  const std::string in = args.str("in");
+  const std::string out = args.str("out");
+  if (in.empty() || out.empty()) return usage();
+  const sar::Dataset ds = sar::load_dataset(in);
+  const std::string algo = args.str("algo", "ffbp");
+  WallTimer timer;
+
+  Array2D<cf32> image;
+  if (algo == "gbp") {
+    image = sar::gbp(ds.data, ds.params).image.data;
+  } else if (algo == "rda") {
+    image = sar::range_doppler(ds.data, ds.params).image;
+  } else if (algo == "ffbp") {
+    const long looks = args.num("looks", 1);
+    if (looks > 1) {
+      const auto ml = sar::multilook_ffbp(
+          ds.data, ds.params, static_cast<std::size_t>(looks),
+          interp_options(args));
+      write_pgm(out, ml.intensity);
+      std::cout << "multilook(" << looks << ") image written to " << out
+                << " in " << format_seconds(timer.elapsed_s())
+                << "; speckle contrast "
+                << Table::num(sar::speckle_contrast(ml.intensity), 3)
+                << "\n";
+      return 0;
+    }
+    if (args.has("autofocus")) {
+      af::IntegratedOptions aopt;
+      aopt.ffbp = interp_options(args);
+      const auto res = af::ffbp_with_autofocus(ds.data, ds.params, aopt);
+      image = res.image.data;
+      std::size_t applied = 0;
+      for (const auto& c : res.corrections)
+        if (std::abs(c.shift_bins) > 0.01f) ++applied;
+      std::cerr << "autofocus: " << applied << "/"
+                << res.corrections.size() << " corrections applied\n";
+    } else {
+      image = sar::ffbp(ds.data, ds.params, interp_options(args)).image.data;
+    }
+  } else {
+    std::cerr << "unknown --algo: " << algo << "\n";
+    return 2;
+  }
+
+  write_pgm(out, image, {.dynamic_range_db = 45.0});
+  std::cout << algo << " image (" << image.rows() << "x" << image.cols()
+            << ") written to " << out << " in "
+            << format_seconds(timer.elapsed_s()) << "\n";
+  return 0;
+}
+
+int cmd_chip(const Args& args) {
+  const std::string in = args.str("in");
+  if (in.empty()) return usage();
+  const sar::Dataset ds = sar::load_dataset(in);
+
+  core::FfbpMapOptions opt;
+  opt.n_cores = static_cast<int>(args.num("cores", 16));
+  opt.prefetch = !args.has("no-prefetch");
+  af::IntegratedOptions aopt;
+  if (args.has("autofocus")) opt.autofocus = &aopt;
+
+  std::cerr << "simulating " << opt.n_cores << "-core Epiphany FFBP...\n";
+  const auto sim = core::run_ffbp_epiphany(ds.data, ds.params, opt);
+
+  std::cout << "chip time: " << format_seconds(sim.seconds) << " ("
+            << format_cycles(sim.cycles) << " cycles)\n"
+            << sim.perf.summary() << sim.energy.summary() << "\n";
+  if (opt.autofocus != nullptr)
+    std::cout << "autofocus corrections evaluated: "
+              << sim.corrections.size() << "\n";
+
+  const std::string out = args.str("out");
+  if (!out.empty()) {
+    write_pgm(out, sim.image, {.dynamic_range_db = 45.0});
+    std::cout << "image written to " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  const std::string in = args.str("in");
+  if (in.empty()) return usage();
+  const sar::Dataset ds = sar::load_dataset(in);
+  const auto img = sar::ffbp(ds.data, ds.params);
+  const auto rep = sar::analyze_point_target(img.image.data);
+
+  Table t("point-target analysis (FFBP image of " + in + ")");
+  t.header({"Metric", "Range axis", "Azimuth axis"});
+  t.row({"peak bin", Table::num(rep.range.peak_index, 2),
+         Table::num(rep.azimuth.peak_index, 2)});
+  t.row({"-3 dB width (bins)", Table::num(rep.range.width_3db, 2),
+         Table::num(rep.azimuth.width_3db, 2)});
+  t.row({"PSLR (dB)", Table::num(rep.range.pslr_db, 1),
+         Table::num(rep.azimuth.pslr_db, 1)});
+  t.row({"ISLR (dB)", Table::num(rep.range.islr_db, 1),
+         Table::num(rep.azimuth.islr_db, 1)});
+  t.note("image entropy " + Table::num(image_entropy(img.image.data), 2) +
+         " bits, contrast " + Table::num(image_contrast(img.image.data), 2));
+  t.print(std::cout);
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args(argc, argv);
+  if (!args.ok()) return usage();
+  try {
+    if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "image") return cmd_image(args);
+    if (cmd == "chip") return cmd_chip(args);
+    if (cmd == "analyze") return cmd_analyze(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
