@@ -14,6 +14,7 @@
 #include "common/types.hpp"
 #include "sar/params.hpp"
 #include "sar/scene.hpp"
+#include "telemetry/manifest.hpp"
 
 namespace esarp::bench {
 
@@ -51,6 +52,26 @@ inline PaperWorkload make_paper_workload() {
             << " six-target raw data...\n";
   w.data = sar::simulate_compressed(w.params, sar::six_target_scene(w.params));
   return w;
+}
+
+/// Record the standard workload parameters on a run manifest.
+inline void add_workload(telemetry::RunManifest& man,
+                         const sar::RadarParams& p) {
+  man.add_workload("n_pulses", static_cast<double>(p.n_pulses));
+  man.add_workload("n_range", static_cast<double>(p.n_range));
+  man.add_workload("fast_mode", fast_mode() ? 1.0 : 0.0);
+}
+
+/// Write `man` as `<tool>.manifest.json` in out_dir() and log the path.
+/// Every bench calls this once for its headline configuration so
+/// tools/esarp_compare can diff runs (see docs/observability.md).
+inline std::filesystem::path
+write_manifest(const telemetry::RunManifest& man) {
+  const std::filesystem::path path =
+      out_dir() / (man.tool() + ".manifest.json");
+  man.write(path);
+  std::cerr << "wrote " << path.string() << "\n";
+  return path;
 }
 
 /// Format a speedup ratio like the paper's Table I ("4.25").

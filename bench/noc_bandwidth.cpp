@@ -6,7 +6,9 @@
 
 #include "bench_util.hpp"
 #include "common/csv.hpp"
+#include "epiphany/energy.hpp"
 #include "epiphany/machine.hpp"
+#include "epiphany/machine_metrics.hpp"
 
 int main() {
   using namespace esarp;
@@ -60,6 +62,9 @@ int main() {
 
   // --- Off-chip bandwidth: all cores DMA-stream from SDRAM. ---
   double offchip_gbs = 0.0;
+  telemetry::MetricsRegistry offchip_metrics;
+  PerfReport offchip_perf;
+  EnergyReport offchip_energy;
   {
     Machine m(cfg, 64u << 20);
     auto src = m.ext().alloc<std::byte>(16 * kBytesPerFlow);
@@ -75,6 +80,10 @@ int main() {
     }
     const Cycles c = m.run();
     offchip_gbs = 16.0 * kBytesPerFlow / m.seconds(c) / 1e9;
+    collect_machine_metrics(m);
+    offchip_metrics = m.metrics();
+    offchip_perf = m.report();
+    offchip_energy = compute_energy(offchip_perf);
   }
 
   // --- Per-hop latency: probe an idle mesh. ---
@@ -108,5 +117,15 @@ int main() {
   csv.row({"aggregate_gbs", Table::num(aggregate_gbs, 3), "512"});
   csv.row({"offchip_gbs", Table::num(offchip_gbs, 3), "8"});
   csv.row({"hop_latency_cycles", Table::num(per_hop, 3), "1"});
+
+  // Manifest keyed on the off-chip streaming leg (the contended resource).
+  telemetry::RunManifest man("noc_bandwidth");
+  fill_manifest(man, offchip_perf, offchip_energy);
+  man.add_result("bisection_gbs", bisection_gbs);
+  man.add_result("aggregate_gbs", aggregate_gbs);
+  man.add_result("offchip_gbs", offchip_gbs);
+  man.add_result("hop_latency_cycles", per_hop);
+  man.set_metrics(&offchip_metrics);
+  bench::write_manifest(man);
   return 0;
 }

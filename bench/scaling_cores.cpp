@@ -7,6 +7,7 @@
 #include "bench_util.hpp"
 #include "common/csv.hpp"
 #include "core/ffbp_epiphany.hpp"
+#include "epiphany/machine_metrics.hpp"
 
 int main() {
   using namespace esarp;
@@ -25,6 +26,14 @@ int main() {
     core::FfbpMapOptions opt;
     opt.n_cores = cores;
     const auto res = core::run_ffbp_epiphany(w.data, w.params, opt);
+    if (cores == 16) {
+      telemetry::RunManifest man("scaling_cores");
+      ep::fill_manifest(man, res.perf, res.energy);
+      bench::add_workload(man, w.params);
+      man.add_workload("n_cores", 16.0);
+      man.set_metrics(&res.metrics);
+      bench::write_manifest(man);
+    }
     if (cores == 1) t1 = res.seconds;
     const double sp = t1 / res.seconds;
     const double eff = sp / cores;

@@ -12,6 +12,7 @@
 #include "common/csv.hpp"
 #include "core/ffbp_epiphany.hpp"
 #include "epiphany/energy.hpp"
+#include "epiphany/machine_metrics.hpp"
 #include "hostmodel/host_model.hpp"
 #include "sar/ffbp.hpp"
 
@@ -70,5 +71,16 @@ int main() {
   csv.row({"epiphany_par", "16", Table::num(par.seconds * 1e3, 3),
            Table::num(intel_s / par.seconds, 4),
            Table::num(par.energy.avg_watts, 3)});
+
+  // Machine-readable evidence for the headline (16-core SPMD) run.
+  telemetry::RunManifest man("table1_ffbp");
+  ep::fill_manifest(man, par.perf, par.energy);
+  bench::add_workload(man, w.params);
+  man.add_workload("n_cores", 16.0);
+  man.add_result("intel_seconds", intel_s);
+  man.add_result("seq_epiphany_seconds", seq.seconds);
+  man.add_result("speedup_vs_intel", intel_s / par.seconds);
+  man.set_metrics(&par.metrics);
+  bench::write_manifest(man);
   return 0;
 }

@@ -1,0 +1,398 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace esarp {
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline() {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i)
+    for (int s = 0; s < indent_; ++s) os_ << ' ';
+}
+
+void JsonWriter::before_value() {
+  ESARP_EXPECTS(!root_done_);
+  if (stack_.empty()) return; // root value
+  if (stack_.back() == Frame::kObject) {
+    ESARP_EXPECTS(key_pending_); // object members need a key first
+    key_pending_ = false;
+    return;
+  }
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  newline();
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  ESARP_EXPECTS(!stack_.empty() && stack_.back() == Frame::kObject);
+  ESARP_EXPECTS(!key_pending_);
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline();
+  os_ << '}';
+  if (stack_.empty()) root_done_ = true;
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  ESARP_EXPECTS(!stack_.empty() && stack_.back() == Frame::kArray);
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline();
+  os_ << ']';
+  if (stack_.empty()) root_done_ = true;
+}
+
+void JsonWriter::key(std::string_view k) {
+  ESARP_EXPECTS(!stack_.empty() && stack_.back() == Frame::kObject);
+  ESARP_EXPECTS(!key_pending_);
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  newline();
+  os_ << '"' << json_escape(k) << "\":";
+  if (indent_ > 0) os_ << ' ';
+  key_pending_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  before_value();
+  os_ << '"' << json_escape(v) << '"';
+  if (stack_.empty()) root_done_ = true;
+}
+
+void JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  if (stack_.empty()) root_done_ = true;
+}
+
+void JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    os_ << "null"; // JSON has no Inf/NaN
+  } else {
+    char buf[32];
+    const auto [ptr, ec] =
+        std::to_chars(buf, buf + sizeof(buf), v); // shortest round-trip form
+    ESARP_ENSURES(ec == std::errc());
+    os_.write(buf, ptr - buf);
+  }
+  if (stack_.empty()) root_done_ = true;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+  if (stack_.empty()) root_done_ = true;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+  if (stack_.empty()) root_done_ = true;
+}
+
+void JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  if (stack_.empty()) root_done_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Value accessors
+// ---------------------------------------------------------------------------
+
+bool JsonValue::as_bool() const {
+  ESARP_EXPECTS(is_bool());
+  return std::get<bool>(v_);
+}
+
+double JsonValue::as_number() const {
+  ESARP_EXPECTS(is_number());
+  return std::get<double>(v_);
+}
+
+const std::string& JsonValue::as_string() const {
+  ESARP_EXPECTS(is_string());
+  return std::get<std::string>(v_);
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  ESARP_EXPECTS(is_array());
+  return std::get<Array>(v_);
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  ESARP_EXPECTS(is_object());
+  return std::get<Object>(v_);
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const auto& obj = std::get<Object>(v_);
+  const auto it = obj.find(std::string(key));
+  return it != obj.end() ? &it->second : nullptr;
+}
+
+const JsonValue* JsonValue::find_path(std::string_view path) const {
+  const JsonValue* cur = this;
+  while (cur != nullptr && !path.empty()) {
+    const std::size_t dot = path.find('.');
+    const std::string_view head =
+        dot == std::string_view::npos ? path : path.substr(0, dot);
+    path = dot == std::string_view::npos ? std::string_view{}
+                                         : path.substr(dot + 1);
+    cur = cur->find(head);
+  }
+  return cur;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ContractViolation("JSON parse error at offset " +
+                            std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue(nullptr);
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue::Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      std::string k = parse_string();
+      skip_ws();
+      expect(':');
+      obj[std::move(k)] = parse_value();
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return JsonValue(std::move(obj));
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue::Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return JsonValue(std::move(arr));
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode (surrogate pairs unsupported: telemetry emitters
+          // only escape control characters, which are all < U+0800).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    double d = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, d);
+    if (ec != std::errc() || ptr != text_.data() + pos_)
+      fail("malformed number");
+    return JsonValue(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+JsonValue load_json_file(const std::filesystem::path& path) {
+  std::ifstream f(path);
+  if (!f.is_open())
+    throw ContractViolation("cannot open JSON file: " + path.string());
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse_json(ss.str());
+}
+
+} // namespace esarp

@@ -1,0 +1,140 @@
+// Dependency-free JSON support for telemetry artefacts (run manifests,
+// Chrome traces): a streaming writer with automatic comma/indent handling
+// and a small recursive-descent parser used by the regression tooling and
+// the round-trip tests. Not a general-purpose JSON library — documents are
+// machine-generated, so the parser favours strictness over recovery.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace esarp {
+
+/// Escape a string for embedding in a JSON document (adds no quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Streaming JSON writer. Call sequence is validated with assertions:
+///
+///   JsonWriter w(os);
+///   w.begin_object();
+///     w.key("makespan"); w.value(123u);
+///     w.key("levels");   w.begin_array();
+///       w.value(1.5); w.value("seven");
+///     w.end_array();
+///   w.end_object();
+class JsonWriter {
+public:
+  /// `indent` spaces per nesting level; 0 writes a compact single line.
+  explicit JsonWriter(std::ostream& os, int indent = 2)
+      : os_(os), indent_(indent) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object member key; must be followed by exactly one value/container.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v);
+  void value(double v); ///< non-finite values are emitted as null
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void null();
+
+  /// Convenience: key + scalar value in one call.
+  template <typename T>
+  void kv(std::string_view k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+  /// True once the root value is complete (all containers closed).
+  [[nodiscard]] bool done() const { return root_done_; }
+
+private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+
+  void before_value();
+  void newline();
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;
+  bool key_pending_ = false;
+  bool root_done_ = false;
+};
+
+/// Parsed JSON document. Numbers are stored as double (telemetry values
+/// fit: cycle counts stay below 2^53 for any simulation this tool runs).
+class JsonValue {
+public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : v_(nullptr) {}
+  JsonValue(std::nullptr_t) : v_(nullptr) {}
+  JsonValue(bool b) : v_(b) {}
+  JsonValue(double d) : v_(d) {}
+  JsonValue(std::string s) : v_(std::move(s)) {}
+  JsonValue(Array a) : v_(std::move(a)) {}
+  JsonValue(Object o) : v_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(v_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(v_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(v_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(v_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(v_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(v_);
+  }
+
+  /// Typed accessors; throw ContractViolation on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Dotted-path lookup, e.g. find_path("results.makespan_cycles").
+  [[nodiscard]] const JsonValue* find_path(std::string_view path) const;
+
+private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Parse a complete JSON document; throws ContractViolation with position
+/// information on malformed input or trailing garbage.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+/// Read and parse a JSON file; throws ContractViolation if unreadable.
+[[nodiscard]] JsonValue load_json_file(const std::filesystem::path& path);
+
+} // namespace esarp

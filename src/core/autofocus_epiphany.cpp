@@ -6,6 +6,7 @@
 #include "common/assert.hpp"
 #include "common/fastmath.hpp"
 #include "epiphany/graph.hpp"
+#include "epiphany/machine_metrics.hpp"
 #include "autofocus/criterion.hpp"
 #include "autofocus/criterion_kernel.hpp"
 
@@ -156,6 +157,7 @@ ep::Task corr_program(ep::CoreCtx& ctx, const af::AfParams& p,
   std::vector<float> row(n_shifts);
 
   for (std::size_t pair = 0; pair < n_pairs; ++pair) {
+    ctx.begin_span("criterion-block/" + std::to_string(pair));
     criteria[pair].assign(n_shifts, 0.0);
     for (std::size_t sh = 0; sh < n_shifts; ++sh) {
       // Accumulate in float, window-major then sample — the exact order of
@@ -179,6 +181,7 @@ ep::Task corr_program(ep::CoreCtx& ctx, const af::AfParams& p,
     // "provides the final ... result to be written to the off-chip SDRAM").
     co_await ctx.write_ext(out_ext.data() + pair * n_shifts, row.data(),
                            n_shifts * sizeof(float));
+    ctx.end_span();
   }
 }
 
@@ -192,6 +195,7 @@ ep::Task af_sequential_program(ep::CoreCtx& ctx, const af::AfParams& p,
   auto local = ctx.local().alloc_in_bank<cf32>(2 * block_px, 2);
 
   for (std::size_t i = 0; i < pairs.size(); ++i) {
+    ctx.begin_span("criterion-block/" + std::to_string(i));
     ep::DmaJob job =
         ctx.dma_read_ext(local.data(), blocks.data() + 2 * i * block_px,
                          2 * block_px * sizeof(cf32));
@@ -210,6 +214,7 @@ ep::Task af_sequential_program(ep::CoreCtx& ctx, const af::AfParams& p,
     std::vector<float> row(cr.criteria.begin(), cr.criteria.end());
     co_await ctx.write_ext(out.data() + i * n_shifts, row.data(),
                            n_shifts * sizeof(float));
+    ctx.end_span();
   }
 }
 
@@ -232,10 +237,10 @@ std::span<cf32> pack_blocks(ep::Machine& m, std::span<const af::BlockPair> pairs
 
 AfSimResult run_autofocus_sequential_epiphany(
     std::span<const af::BlockPair> pairs, const af::AfParams& p,
-    ep::ChipConfig cfg) {
+    ep::ChipConfig cfg, ep::Tracer* tracer) {
   p.validate();
   ESARP_EXPECTS(!pairs.empty());
-  ep::Machine m(cfg, 16u << 20);
+  ep::Machine m(cfg, 16u << 20, {}, tracer);
   const std::span<cf32> blocks = pack_blocks(m, pairs, p);
   auto out = m.ext().alloc<float>(pairs.size() * p.shift_candidates.size());
 
@@ -253,6 +258,8 @@ AfSimResult run_autofocus_sequential_epiphany(
   res.energy = ep::compute_energy(res.perf);
   res.pixels_per_second =
       static_cast<double>(pairs.size() * p.pixels()) / res.seconds;
+  ep::collect_machine_metrics(m);
+  res.metrics = m.metrics();
   return res;
 }
 
@@ -265,7 +272,7 @@ AfSimResult run_autofocus_mpmd(std::span<const af::BlockPair> pairs,
   ESARP_EXPECTS(p.windows == 3);                    // 13-core pipeline shape
   ESARP_EXPECTS(cfg.core_count() >= 14);
 
-  ep::Machine m(cfg, 16u << 20);
+  ep::Machine m(cfg, 16u << 20, {}, opt.tracer);
   AfShared st;
   st.blocks_ext = pack_blocks(m, pairs, p);
   st.out_ext = m.ext().alloc<float>(pairs.size() * p.shift_candidates.size());
@@ -312,6 +319,8 @@ AfSimResult run_autofocus_mpmd(std::span<const af::BlockPair> pairs,
   res.criteria = st.criteria;
   res.pixels_per_second =
       static_cast<double>(pairs.size() * p.pixels()) / res.seconds;
+  ep::collect_machine_metrics(m);
+  res.metrics = m.metrics();
   return res;
 }
 
@@ -395,6 +404,8 @@ AfGraphResult run_autofocus_graph(std::span<const af::BlockPair> pairs,
       static_cast<double>(pairs.size() * p.pixels()) / res.sim.seconds;
   res.placement_description = net.describe();
   res.weighted_hops = net.weighted_hops();
+  ep::collect_machine_metrics(m);
+  res.sim.metrics = m.metrics();
   return res;
 }
 

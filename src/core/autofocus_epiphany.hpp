@@ -29,6 +29,7 @@
 #include "epiphany/machine.hpp"
 #include "autofocus/af_params.hpp"
 #include "autofocus/workload.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace esarp::core {
 
@@ -40,6 +41,10 @@ enum class AfPlacement {
 struct AfMapOptions {
   AfPlacement placement = AfPlacement::kCompact;
   std::size_t channel_capacity = 8; ///< FIFO depth in messages
+  /// Externally owned tracer handed to the Machine (see Machine's
+  /// shared_tracer parameter); enable before the run for named
+  /// criterion-block spans. Must outlive the run.
+  ep::Tracer* tracer = nullptr;
 };
 
 struct AfSimResult {
@@ -52,13 +57,18 @@ struct AfSimResult {
   ep::PerfReport perf;
   ep::EnergyReport energy;
   int cores_used = 0;
+  /// Snapshot of the machine's telemetry registry after the run (channel
+  /// block histograms, per-link NoC traffic, core counters, ...).
+  telemetry::MetricsRegistry metrics;
 };
 
-/// Sequential (1-core) sweep over all block pairs.
+/// Sequential (1-core) sweep over all block pairs. `tracer` (optional,
+/// externally owned) is handed to the Machine for named spans.
 [[nodiscard]] AfSimResult
 run_autofocus_sequential_epiphany(std::span<const af::BlockPair> pairs,
                                   const af::AfParams& p,
-                                  ep::ChipConfig cfg = {});
+                                  ep::ChipConfig cfg = {},
+                                  ep::Tracer* tracer = nullptr);
 
 /// 13-core MPMD streaming pipeline over all block pairs.
 [[nodiscard]] AfSimResult

@@ -5,6 +5,7 @@
 #include "common/assert.hpp"
 #include "common/fastmath.hpp"
 #include "core/ffbp_layout.hpp"
+#include "epiphany/machine_metrics.hpp"
 #include "sar/merge_kernel.hpp"
 
 namespace esarp::core {
@@ -77,6 +78,7 @@ ep::Task ffbp_core_program(ep::CoreCtx& ctx, const sar::RadarParams& p,
   std::span<cf32> dst = st.buf_b;
 
   for (std::size_t level = 1; level <= n_levels; ++level) {
+    ctx.begin_span("merge-iter/" + std::to_string(level));
     const LevelLayout lc = LevelLayout::at(p, level - 1);
     const LevelLayout lp = LevelLayout::at(p, level);
     const sar::MergeLevelGeom geom = sar::merge_level_geom(p, level);
@@ -96,12 +98,14 @@ ep::Task ffbp_core_program(ep::CoreCtx& ctx, const sar::RadarParams& p,
     const bool af_level =
         opt.autofocus != nullptr && level >= opt.autofocus->first_level;
     if (opt.autofocus != nullptr) {
+      ctx.begin_span("af-estimate/" + std::to_string(level));
       for (std::size_t pair = static_cast<std::size_t>(core_index);
            pair < lp.n_subaps; pair += n) {
         if (!af_level) {
           st.shifts[pair] = 0.0f;
           continue;
         }
+        ctx.begin_span("criterion-block/" + std::to_string(pair));
         const auto a =
             load_subaperture(src, lc, p, level - 1, 2 * pair);
         const auto b =
@@ -117,7 +121,9 @@ ep::Task ffbp_core_program(ep::CoreCtx& ctx, const sar::RadarParams& p,
         st.shifts[pair] = est.applied(opt.autofocus->min_gain);
         st.corrections.push_back(
             {level, pair, st.shifts[pair], est.gain});
+        ctx.end_span();
       }
+      ctx.end_span();
       co_await st.barrier->arrive_and_wait(ctx);
     }
 
@@ -186,8 +192,10 @@ ep::Task ffbp_core_program(ep::CoreCtx& ctx, const sar::RadarParams& p,
       const cf32* buf2 = child_row2.data();
       if (opt.prefetch && opt.double_buffer) {
         // The DMA issued one row ago targets `pong`'s half.
+        ctx.begin_span("dma-prefetch");
         co_await ctx.wait(pending1);
         co_await ctx.wait(pending2);
+        ctx.end_span();
         pre1 = pending_pre1;
         pre2 = pending_pre2;
         buf1 += static_cast<std::size_t>(pong) * n_range;
@@ -200,10 +208,12 @@ ep::Task ffbp_core_program(ep::CoreCtx& ctx, const sar::RadarParams& p,
         }
         pong = 1 - pong;
       } else if (opt.prefetch) {
+        ctx.begin_span("dma-prefetch");
         co_await ctx.compute(kPredictOps);
         issue_prefetch(gr, 0);
         co_await ctx.wait(pending1);
         co_await ctx.wait(pending2);
+        ctx.end_span();
         pre1 = pending_pre1;
         pre2 = pending_pre2;
       }
@@ -257,6 +267,7 @@ ep::Task ffbp_core_program(ep::CoreCtx& ctx, const sar::RadarParams& p,
     }
 
     co_await st.barrier->arrive_and_wait(ctx);
+    ctx.end_span(); // merge-iter
     std::swap(src, dst);
   }
 }
@@ -279,7 +290,8 @@ FfbpSimResult run_ffbp_epiphany(const Array2D<cf32>& data,
   const std::size_t total = p.n_pulses * p.n_range;
   const std::size_t ext_bytes =
       2 * total * sizeof(cf32) + (1u << 20); // two level buffers + slack
-  ep::Machine m(cfg, std::max<std::size_t>(ext_bytes, 8u << 20));
+  ep::Machine m(cfg, std::max<std::size_t>(ext_bytes, 8u << 20), {},
+                opt.tracer);
 
   SharedState st;
   st.buf_a = m.ext().alloc<cf32>(total);
@@ -309,6 +321,22 @@ FfbpSimResult run_ffbp_epiphany(const Array2D<cf32>& data,
   res.energy = ep::compute_energy(res.perf);
   res.prefetch_stats = st.stats;
   res.corrections = std::move(st.corrections);
+
+  // Snapshot telemetry: machine-wide metrics plus the per-level prefetch
+  // hit/miss counters only this mapping knows about.
+  ep::collect_machine_metrics(m);
+  for (const LevelPrefetchStats& ls : st.stats) {
+    const std::string lvl = std::to_string(ls.level);
+    m.metrics()
+        .counter(telemetry::labeled("ffbp.prefetch.local_hits",
+                                    {{"level", lvl}}))
+        .add(ls.local_hits);
+    m.metrics()
+        .counter(telemetry::labeled("ffbp.prefetch.ext_misses",
+                                    {{"level", lvl}}))
+        .add(ls.ext_misses);
+  }
+  res.metrics = m.metrics();
 
   const std::span<cf32> final_buf =
       (p.merge_levels() % 2 == 1) ? st.buf_b : st.buf_a;

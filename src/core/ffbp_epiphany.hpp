@@ -29,6 +29,7 @@
 #include "autofocus/integrated.hpp"
 #include "sar/ffbp.hpp"
 #include "sar/params.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace esarp::core {
 
@@ -52,6 +53,11 @@ struct FfbpMapOptions {
   /// autofocus->ffbp so the result is bit-identical to the host
   /// af::ffbp_with_autofocus. The pointee must outlive the run.
   const af::IntegratedOptions* autofocus = nullptr;
+  /// Externally owned tracer handed to the Machine (see Machine's
+  /// shared_tracer parameter). Enable it before the run to get named
+  /// merge-iteration / dma-prefetch / criterion-block spans and the
+  /// ext-port counter tracks. Must outlive the run.
+  ep::Tracer* tracer = nullptr;
 };
 
 struct LevelPrefetchStats {
@@ -75,6 +81,10 @@ struct FfbpSimResult {
   std::vector<LevelPrefetchStats> prefetch_stats; ///< one entry per level
   /// Applied autofocus corrections (empty unless options.autofocus set).
   std::vector<af::MergeCorrection> corrections;
+  /// Snapshot of the machine's telemetry registry after the run: ext-port
+  /// stall histograms, barrier wait/imbalance, per-link NoC traffic, plus
+  /// per-level prefetch hit/miss counters (`ffbp.prefetch.*{level=N}`).
+  telemetry::MetricsRegistry metrics;
 };
 
 /// Run FFBP on the simulated chip with the given mapping.

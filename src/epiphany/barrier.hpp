@@ -9,16 +9,25 @@
 #include "common/assert.hpp"
 #include "epiphany/core_ctx.hpp"
 #include "epiphany/task.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace esarp::ep {
 
 class SimBarrier {
 public:
+  /// `metrics` (optional, must outlive the barrier) receives per-crossing
+  /// wait-time and wait-imbalance histograms plus a crossings counter.
   SimBarrier(Scheduler& sched, Noc& noc, const ChipConfig& cfg, int parties,
-             Coord master = {0, 0})
+             Coord master = {0, 0},
+             telemetry::MetricsRegistry* metrics = nullptr)
       : sched_(sched), noc_(noc), cfg_(cfg), parties_(parties),
         master_(master) {
     ESARP_EXPECTS(parties > 0);
+    if (metrics != nullptr) {
+      wait_hist_ = &metrics->cycle_histogram("barrier.wait_cycles");
+      imbalance_hist_ = &metrics->cycle_histogram("barrier.imbalance_cycles");
+      crossings_counter_ = &metrics->counter("barrier.crossings");
+    }
   }
 
   SimBarrier(const SimBarrier&) = delete;
@@ -32,10 +41,15 @@ public:
     latest_arrival_ = std::max(latest_arrival_, flag_arrival);
 
     const std::uint64_t my_generation = generation_;
+    if (arrived_ == 0) first_entered_ = entered;
     ++arrived_;
     if (arrived_ == parties_) {
       arrived_ = 0;
       ++generation_;
+      // Wait imbalance: gap between the earliest and latest arrival in this
+      // crossing — the paper's load-balance story in one number.
+      if (imbalance_hist_ != nullptr)
+        imbalance_hist_->observe(static_cast<double>(entered - first_entered_));
       // Release flags: master writes back to every participant; charge the
       // farthest-corner delivery as the common release time.
       const Cycles max_hops =
@@ -53,6 +67,9 @@ public:
       co_await DelayUntil{sched_, release_time_};
     ctx.core().counters.barrier_wait += sched_.now() - entered;
     ctx.tracer().add(ctx.id(), SegmentKind::kBarrier, entered, sched_.now());
+    if (wait_hist_ != nullptr)
+      wait_hist_->observe(static_cast<double>(sched_.now() - entered));
+    if (crossings_counter_ != nullptr) crossings_counter_->add(1);
     ++crossings_;
   }
 
@@ -70,6 +87,10 @@ private:
   std::uint64_t crossings_ = 0;
   Cycles latest_arrival_ = 0;
   Cycles release_time_ = 0;
+  Cycles first_entered_ = 0;
+  telemetry::Histogram* wait_hist_ = nullptr;
+  telemetry::Histogram* imbalance_hist_ = nullptr;
+  telemetry::Counter* crossings_counter_ = nullptr;
   WaitList waiters_;
 };
 

@@ -14,6 +14,7 @@
 #include "common/assert.hpp"
 #include "epiphany/core_ctx.hpp"
 #include "epiphany/task.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace esarp::ep {
 
@@ -28,12 +29,25 @@ template <typename T>
 class Channel {
 public:
   /// `consumer` is the mesh coordinate of the receiving core (where the
-  /// buffer lives). `capacity` is the FIFO depth in messages.
+  /// buffer lives). `capacity` is the FIFO depth in messages. `metrics`
+  /// (optional, must outlive the channel) receives per-channel message
+  /// counters and block-time histograms labeled `{chan=<name>}`.
   Channel(Scheduler& sched, Noc& noc, Coord consumer, std::size_t capacity,
-          std::string name = "chan")
+          std::string name = "chan",
+          telemetry::MetricsRegistry* metrics = nullptr)
       : sched_(sched), noc_(noc), consumer_(consumer), capacity_(capacity),
         name_(std::move(name)) {
     ESARP_EXPECTS(capacity > 0);
+    if (metrics != nullptr) {
+      const auto label = telemetry::labeled("chan.messages", {{"chan", name_}});
+      messages_counter_ = &metrics->counter(label);
+      bytes_counter_ = &metrics->counter(
+          telemetry::labeled("chan.bytes", {{"chan", name_}}));
+      send_block_hist_ = &metrics->cycle_histogram(
+          telemetry::labeled("chan.send_block_cycles", {{"chan", name_}}));
+      recv_block_hist_ = &metrics->cycle_histogram(
+          telemetry::labeled("chan.recv_block_cycles", {{"chan", name_}}));
+    }
   }
 
   Channel(const Channel&) = delete;
@@ -49,6 +63,8 @@ public:
       from.core().state = CoreState::kRunning;
     }
     stats_.send_block_cycles += sched_.now() - entered;
+    if (send_block_hist_ != nullptr)
+      send_block_hist_->observe(static_cast<double>(sched_.now() - entered));
     from.tracer().add(from.id(), SegmentKind::kChanSend, entered,
                       sched_.now());
 
@@ -59,6 +75,8 @@ public:
     q_.push_back(Slot{arrival, std::move(value)});
     stats_.messages += 1;
     stats_.bytes += sizeof(T);
+    if (messages_counter_ != nullptr) messages_counter_->add(1);
+    if (bytes_counter_ != nullptr) bytes_counter_->add(sizeof(T));
     receivers_.wake_all(sched_);
 
     // Producer pays only the injection cost (posted write semantics).
@@ -78,6 +96,9 @@ public:
           q_.pop_front();
           senders_.wake_all(sched_);
           stats_.recv_block_cycles += sched_.now() - entered;
+          if (recv_block_hist_ != nullptr)
+            recv_block_hist_->observe(
+                static_cast<double>(sched_.now() - entered));
           to.core().counters.chan_wait += sched_.now() - entered;
           to.tracer().add(to.id(), SegmentKind::kChanRecv, entered,
                           sched_.now());
@@ -114,6 +135,10 @@ private:
   WaitList senders_;
   WaitList receivers_;
   ChannelStats stats_;
+  telemetry::Counter* messages_counter_ = nullptr;
+  telemetry::Counter* bytes_counter_ = nullptr;
+  telemetry::Histogram* send_block_hist_ = nullptr;
+  telemetry::Histogram* recv_block_hist_ = nullptr;
 };
 
 } // namespace esarp::ep

@@ -30,6 +30,7 @@
 #include "epiphany/scheduler.hpp"
 #include "epiphany/task.hpp"
 #include "epiphany/trace.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace esarp::ep {
 
@@ -42,9 +43,11 @@ class CoreCtx {
 public:
   CoreCtx(Core& core, Scheduler& sched, Noc& noc, ExtPort& ext_port,
           ExternalMemory& ext_mem, const CostModel& cost,
-          const ChipConfig& cfg, Tracer& tracer)
+          const ChipConfig& cfg, Tracer& tracer,
+          telemetry::MetricsRegistry& metrics)
       : core_(core), sched_(sched), noc_(noc), ext_port_(ext_port),
-        ext_mem_(ext_mem), cost_(cost), cfg_(cfg), tracer_(tracer) {}
+        ext_mem_(ext_mem), cost_(cost), cfg_(cfg), tracer_(tracer),
+        metrics_(metrics) {}
 
   CoreCtx(const CoreCtx&) = delete;
   CoreCtx& operator=(const CoreCtx&) = delete;
@@ -59,6 +62,15 @@ public:
   [[nodiscard]] const ChipConfig& config() const { return cfg_; }
   [[nodiscard]] Cycles now() const { return sched_.now(); }
   [[nodiscard]] Tracer& tracer() { return tracer_; }
+  [[nodiscard]] telemetry::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Open a named, nestable trace span on this core (no-op unless tracing
+  /// is enabled). Pair with end_span(); see Tracer::push_span.
+  void begin_span(std::string name) {
+    tracer_.push_span(id(), std::move(name), now());
+  }
+  /// Close this core's innermost open trace span.
+  void end_span() { tracer_.pop_span(id(), now()); }
 
   /// Execute a compute block of counted work from local memory.
   [[nodiscard]] DelayFor compute(const OpCounts& ops) {
@@ -184,6 +196,7 @@ private:
   const CostModel& cost_;
   const ChipConfig& cfg_;
   Tracer& tracer_;
+  telemetry::MetricsRegistry& metrics_;
 };
 
 } // namespace esarp::ep

@@ -32,6 +32,9 @@ Cycles ExtPort::blocking_read(Coord core, std::uint64_t transactions,
   noc_.transfer(core, port_coord_, transactions * bytes_each, now, Mesh::kRead);
   stats_.read_transactions += transactions;
   stats_.read_bytes += transactions * bytes_each;
+  if (read_stall_hist_ != nullptr)
+    read_stall_hist_->observe(static_cast<double>(t - now));
+  sample_backlog(read_backlog_track_, read_chan_, now);
   return t;
 }
 
@@ -45,6 +48,11 @@ Cycles ExtPort::dma_read(Coord core, std::size_t bytes, Cycles now) {
   noc_.transfer(port_coord_, core, bytes, start, Mesh::kRead);
   stats_.read_transactions += 1;
   stats_.read_bytes += bytes;
+  // Queueing delay ahead of this DMA burst (beyond the fixed setup cost).
+  if (dma_queue_hist_ != nullptr)
+    dma_queue_hist_->observe(
+        static_cast<double>(start - (now + cfg_.dma_setup_cycles)));
+  sample_backlog(read_backlog_track_, read_chan_, now);
   return start + cfg_.ext_read_latency + ser + hops;
 }
 
@@ -66,6 +74,10 @@ Cycles ExtPort::posted_write(Coord core, std::size_t bytes, Cycles now) {
   Cycles done = unstalled_done;
   if (backlog_end > unstalled_done + kPostedBacklogAllowance)
     done = backlog_end - kPostedBacklogAllowance;
+  if (write_backpressure_hist_ != nullptr)
+    write_backpressure_hist_->observe(
+        static_cast<double>(done - unstalled_done));
+  sample_backlog(write_backlog_track_, write_chan_, now);
   return done;
 }
 
@@ -77,6 +89,10 @@ Cycles ExtPort::dma_write(Coord core, std::size_t bytes, Cycles now) {
   noc_.transfer(core, port_coord_, bytes, now, Mesh::kOffChipWrite);
   stats_.write_transactions += 1;
   stats_.write_bytes += bytes;
+  if (dma_queue_hist_ != nullptr)
+    dma_queue_hist_->observe(
+        static_cast<double>(start - (now + cfg_.dma_setup_cycles)));
+  sample_backlog(write_backlog_track_, write_chan_, now);
   return start + ser;
 }
 

@@ -13,6 +13,8 @@
 
 #include "epiphany/config.hpp"
 #include "epiphany/noc.hpp"
+#include "epiphany/trace.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace esarp::ep {
 
@@ -25,10 +27,25 @@ struct ExtPortStats {
 
 class ExtPort {
 public:
-  ExtPort(const ChipConfig& cfg, Noc& noc)
+  /// `tracer` (optional) receives eLink queue-depth counter tracks when
+  /// tracing is enabled; `metrics` (optional) receives the stall-duration
+  /// and backpressure histograms. Both must outlive the port.
+  ExtPort(const ChipConfig& cfg, Noc& noc, Tracer* tracer = nullptr,
+          telemetry::MetricsRegistry* metrics = nullptr)
       : cfg_(cfg), noc_(noc),
         // eLink attached at the east edge, middle row (board layout).
-        port_coord_{cfg.rows / 2, cfg.cols - 1} {}
+        port_coord_{cfg.rows / 2, cfg.cols - 1}, tracer_(tracer) {
+    if (metrics != nullptr) {
+      read_stall_hist_ = &metrics->cycle_histogram("ext.read.stall_cycles");
+      write_backpressure_hist_ =
+          &metrics->cycle_histogram("ext.write.backpressure_cycles");
+      dma_queue_hist_ = &metrics->cycle_histogram("ext.dma.queue_cycles");
+    }
+    if (tracer_ != nullptr) {
+      read_backlog_track_ = tracer_->counter_track("ext-port/read-backlog");
+      write_backlog_track_ = tracer_->counter_track("ext-port/write-backlog");
+    }
+  }
 
   [[nodiscard]] Coord coord() const { return port_coord_; }
 
@@ -63,9 +80,24 @@ private:
   /// before the producing core feels backpressure.
   static constexpr Cycles kPostedBacklogAllowance = 64;
 
+  /// Sample the backlog (cycles until the channel drains) on `track`.
+  void sample_backlog(int track, const BusyResource& chan, Cycles now) {
+    if (tracer_ == nullptr || !tracer_->enabled()) return;
+    const double backlog = chan.free_at > now
+                               ? static_cast<double>(chan.free_at - now)
+                               : 0.0;
+    tracer_->counter(track, now, backlog);
+  }
+
   ChipConfig cfg_;
   Noc& noc_;
   Coord port_coord_;
+  Tracer* tracer_ = nullptr;
+  telemetry::Histogram* read_stall_hist_ = nullptr;
+  telemetry::Histogram* write_backpressure_hist_ = nullptr;
+  telemetry::Histogram* dma_queue_hist_ = nullptr;
+  int read_backlog_track_ = -1;
+  int write_backlog_track_ = -1;
   BusyResource read_chan_;  ///< SDRAM read channel occupancy
   BusyResource write_chan_; ///< SDRAM write channel occupancy
   ExtPortStats stats_;

@@ -4,8 +4,11 @@
 
 namespace esarp::ep {
 
-Machine::Machine(ChipConfig cfg, std::size_t ext_bytes, CoreCostParams cost)
-    : cfg_(cfg), cost_(cost), noc_(cfg), ext_port_(cfg, noc_),
+Machine::Machine(ChipConfig cfg, std::size_t ext_bytes, CoreCostParams cost,
+                 Tracer* shared_tracer)
+    : cfg_(cfg), cost_(cost),
+      tracer_(shared_tracer != nullptr ? shared_tracer : &owned_tracer_),
+      noc_(cfg), ext_port_(cfg, noc_, tracer_, &metrics_),
       ext_mem_(ext_bytes), amap_(cfg) {
   ESARP_EXPECTS(cfg.rows > 0 && cfg.cols > 0);
   cores_.reserve(static_cast<std::size_t>(cfg.core_count()));
@@ -14,7 +17,7 @@ Machine::Machine(ChipConfig cfg, std::size_t ext_bytes, CoreCostParams cost)
     cores_.push_back(std::make_unique<Core>(id, coord_of(id), cfg));
     ctxs_.push_back(std::make_unique<CoreCtx>(*cores_.back(), sched_, noc_,
                                               ext_port_, ext_mem_, cost_,
-                                              cfg_, tracer_));
+                                              cfg_, *tracer_, metrics_));
   }
 }
 

@@ -26,6 +26,7 @@
 #include "epiphany/scheduler.hpp"
 #include "epiphany/task.hpp"
 #include "epiphany/trace.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace esarp::ep {
 
@@ -37,9 +38,14 @@ public:
 
 class Machine {
 public:
+  /// `shared_tracer` (optional) substitutes an externally owned Tracer for
+  /// the machine's own, letting several consecutive Machine runs share one
+  /// tracer — either accumulating a combined trace, or one-trace-per-run
+  /// via Tracer::clear() between runs (see the lifecycle note in
+  /// trace.hpp). The machine never clears a shared tracer.
   explicit Machine(ChipConfig cfg = {},
                    std::size_t ext_bytes = 64u * 1024 * 1024,
-                   CoreCostParams cost = {});
+                   CoreCostParams cost = {}, Tracer* shared_tracer = nullptr);
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
@@ -50,16 +56,26 @@ public:
   [[nodiscard]] CoreCtx& ctx(int id);
   [[nodiscard]] ExternalMemory& ext() { return ext_mem_; }
   [[nodiscard]] Noc& noc() { return noc_; }
+  [[nodiscard]] const Noc& noc() const { return noc_; }
   [[nodiscard]] ExtPort& ext_port() { return ext_port_; }
+  [[nodiscard]] const ExtPort& ext_port() const { return ext_port_; }
   [[nodiscard]] Scheduler& sched() { return sched_; }
   [[nodiscard]] const AddressMap& address_map() const { return amap_; }
   [[nodiscard]] const CostModel& cost_model() const { return cost_; }
 
   /// Turn on execution tracing (call before run()). Segments are recorded
   /// per core; export with tracer().write_chrome_json(path).
-  void enable_tracing() { tracer_.enable(); }
-  [[nodiscard]] Tracer& tracer() { return tracer_; }
-  [[nodiscard]] const Tracer& tracer() const { return tracer_; }
+  void enable_tracing() { tracer_->enable(); }
+  [[nodiscard]] Tracer& tracer() { return *tracer_; }
+  [[nodiscard]] const Tracer& tracer() const { return *tracer_; }
+
+  /// Telemetry registry populated during the run by the instrumented
+  /// components (ext port, barriers, channels) and, post-run, by
+  /// collect_machine_metrics() (machine_metrics.hpp).
+  [[nodiscard]] telemetry::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const telemetry::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
 
   [[nodiscard]] Coord coord_of(int id) const {
     return {id / cfg_.cols, id % cfg_.cols};
@@ -76,12 +92,13 @@ public:
                                            std::size_t capacity,
                                            std::string name = "chan") {
     return std::make_unique<Channel<T>>(sched_, noc_, coord_of(consumer_id),
-                                        capacity, std::move(name));
+                                        capacity, std::move(name), &metrics_);
   }
 
   /// Create a barrier over `parties` cores.
   std::unique_ptr<SimBarrier> make_barrier(int parties, Coord master = {0, 0}) {
-    return std::make_unique<SimBarrier>(sched_, noc_, cfg_, parties, master);
+    return std::make_unique<SimBarrier>(sched_, noc_, cfg_, parties, master,
+                                        &metrics_);
   }
 
   /// Run all launched programs to completion. Returns the makespan in
@@ -101,7 +118,9 @@ private:
 
   ChipConfig cfg_;
   CostModel cost_;
-  Tracer tracer_;
+  Tracer owned_tracer_;
+  Tracer* tracer_; ///< owned_tracer_ or the shared one passed at creation
+  telemetry::MetricsRegistry metrics_;
   Scheduler sched_;
   Noc noc_;
   ExtPort ext_port_;

@@ -1,0 +1,129 @@
+#include "epiphany/machine_metrics.hpp"
+
+#include <string>
+
+namespace esarp::ep {
+
+const char* mesh_label(Mesh mesh) {
+  switch (mesh) {
+    case Mesh::kOnChipWrite: return "cmesh";
+    case Mesh::kOffChipWrite: return "xmesh";
+    case Mesh::kRead: return "rmesh";
+  }
+  return "?";
+}
+
+namespace {
+
+void collect_noc(const Noc& noc, telemetry::MetricsRegistry& reg) {
+  for (const Mesh mesh :
+       {Mesh::kOnChipWrite, Mesh::kOffChipWrite, Mesh::kRead}) {
+    const char* name = mesh_label(mesh);
+    const NocStats s = noc.stats(mesh);
+    reg.counter(telemetry::labeled("noc.transfers", {{"mesh", name}}))
+        .add(s.transfers);
+    reg.counter(telemetry::labeled("noc.bytes", {{"mesh", name}}))
+        .add(s.bytes);
+    reg.counter(telemetry::labeled("noc.byte_hops", {{"mesh", name}}))
+        .add(s.byte_hops);
+    reg.gauge(telemetry::labeled("noc.max_link_busy_cycles", {{"mesh", name}}))
+        .set(static_cast<double>(s.max_link_busy));
+    for (const Noc::LinkUsage& link : noc.link_usage(mesh)) {
+      const std::string node = std::to_string(link.node.row) + "_" +
+                               std::to_string(link.node.col);
+      const std::string dir(1, link.direction);
+      reg.counter(telemetry::labeled(
+                      "noc.link.bytes",
+                      {{"mesh", name}, {"node", node}, {"dir", dir}}))
+          .add(link.bytes);
+      reg.counter(telemetry::labeled(
+                      "noc.link.busy_cycles",
+                      {{"mesh", name}, {"node", node}, {"dir", dir}}))
+          .add(link.busy);
+    }
+  }
+}
+
+void collect_cores(Machine& m, telemetry::MetricsRegistry& reg) {
+  Cycles busy = 0, ext_stall = 0, dma_wait = 0, chan_wait = 0,
+         barrier_wait = 0;
+  std::uint64_t flops = 0;
+  for (int id = 0; id < m.core_count(); ++id) {
+    const CoreCounters& c = m.core(id).counters;
+    busy += c.busy;
+    ext_stall += c.ext_stall;
+    dma_wait += c.dma_wait;
+    chan_wait += c.chan_wait;
+    barrier_wait += c.barrier_wait;
+    flops += c.ops.flops();
+    const std::string core = std::to_string(id);
+    reg.counter(telemetry::labeled("core.busy_cycles", {{"core", core}}))
+        .add(c.busy);
+    reg.counter(telemetry::labeled("core.wait_cycles", {{"core", core}}))
+        .add(c.total_wait());
+  }
+  reg.counter("core.total.busy_cycles").add(busy);
+  reg.counter("core.total.ext_stall_cycles").add(ext_stall);
+  reg.counter("core.total.dma_wait_cycles").add(dma_wait);
+  reg.counter("core.total.chan_wait_cycles").add(chan_wait);
+  reg.counter("core.total.barrier_wait_cycles").add(barrier_wait);
+  reg.counter("core.total.flops").add(flops);
+}
+
+} // namespace
+
+void collect_machine_metrics(Machine& m) {
+  telemetry::MetricsRegistry& reg = m.metrics();
+
+  collect_noc(m.noc(), reg);
+  collect_cores(m, reg);
+
+  const ExtPortStats& ext = m.ext_port().stats();
+  reg.counter("ext.read.transactions").add(ext.read_transactions);
+  reg.counter("ext.read.bytes").add(ext.read_bytes);
+  reg.counter("ext.write.transactions").add(ext.write_transactions);
+  reg.counter("ext.write.bytes").add(ext.write_bytes);
+
+  const Tracer& tr = m.tracer();
+  if (tr.enabled()) {
+    for (const SegmentKind kind :
+         {SegmentKind::kCompute, SegmentKind::kExtRead, SegmentKind::kExtWrite,
+          SegmentKind::kDmaWait, SegmentKind::kChanSend,
+          SegmentKind::kChanRecv, SegmentKind::kBarrier}) {
+      const Cycles total = tr.total_cycles(kind);
+      if (total == 0) continue;
+      reg.counter(
+             telemetry::labeled("trace.segment_cycles",
+                                {{"kind", to_string(kind)}}))
+          .add(total);
+    }
+  }
+}
+
+void fill_manifest(telemetry::RunManifest& man, const PerfReport& rep,
+                   const EnergyReport& energy) {
+  const ChipConfig& cfg = rep.cfg;
+  man.add_chip("rows", static_cast<double>(cfg.rows));
+  man.add_chip("cols", static_cast<double>(cfg.cols));
+  man.add_chip("clock_hz", cfg.clock_hz);
+  man.add_chip("local_mem_bytes", static_cast<double>(cfg.local_mem_bytes));
+  man.add_chip("link_bytes_per_cycle",
+               static_cast<double>(cfg.link_bytes_per_cycle));
+  man.add_chip("elink_bytes_per_cycle",
+               static_cast<double>(cfg.elink_bytes_per_cycle));
+  man.add_chip("ext_read_latency", static_cast<double>(cfg.ext_read_latency));
+
+  man.add_result("makespan_cycles", static_cast<double>(rep.makespan));
+  man.add_result("seconds", rep.seconds());
+  man.add_result("utilization", rep.utilization());
+  man.add_result("flops", static_cast<double>(rep.total_ops().flops()));
+  man.add_result("flops_per_second", rep.flops_per_second());
+  man.add_result("noc_bytes", static_cast<double>(rep.noc_total.bytes));
+  man.add_result("noc_byte_hops", static_cast<double>(rep.noc_total.byte_hops));
+  man.add_result("ext_read_bytes", static_cast<double>(rep.ext.read_bytes));
+  man.add_result("ext_write_bytes", static_cast<double>(rep.ext.write_bytes));
+  man.add_result("energy_j", energy.total_j());
+  man.add_result("avg_watts", energy.avg_watts);
+}
+
+} // namespace esarp::ep

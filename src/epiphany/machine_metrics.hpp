@@ -1,0 +1,37 @@
+// Post-run telemetry collection: machine state -> MetricsRegistry, and
+// PerfReport/EnergyReport -> run manifest.
+//
+// The telemetry library (src/telemetry) is deliberately ignorant of the
+// simulator, so the translation from machine internals (per-link NoC
+// occupancy, ext-port totals, per-core counters, trace-segment totals) into
+// named metrics lives here on the epiphany side. Call
+// collect_machine_metrics() once after Machine::run(); it is additive over
+// the registry the live components (ext port, barriers, channels) already
+// populated during the run.
+#pragma once
+
+#include "epiphany/energy.hpp"
+#include "epiphany/machine.hpp"
+#include "epiphany/perf.hpp"
+#include "telemetry/manifest.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace esarp::ep {
+
+/// Short mesh name for metric labels: "cmesh", "xmesh" or "rmesh".
+[[nodiscard]] const char* mesh_label(Mesh mesh);
+
+/// Snapshot machine state into its metrics registry: per-link NoC traffic
+/// counters (`noc.link.bytes{dir=E,mesh=cmesh,node=1_2}` + busy cycles),
+/// per-mesh aggregates, ext-port totals, per-core counters and — when
+/// tracing was on — per-kind traced-cycle totals.
+void collect_machine_metrics(Machine& m);
+
+/// Fill the manifest's chip/results sections from a finished run. The
+/// caller adds workload parameters and attaches a metrics registry itself
+/// (typically set_metrics(&machine.metrics()) after
+/// collect_machine_metrics()).
+void fill_manifest(telemetry::RunManifest& man, const PerfReport& rep,
+                   const EnergyReport& energy);
+
+} // namespace esarp::ep

@@ -1,27 +1,152 @@
 #include "epiphany/trace.hpp"
 
+#include <algorithm>
 #include <fstream>
+#include <set>
 
 #include "common/assert.hpp"
+#include "common/json.hpp"
 
 namespace esarp::ep {
+
+Tracer::CoreStack* Tracer::find_stack(int core) {
+  for (auto& s : stacks_)
+    if (s.core == core) return &s;
+  return nullptr;
+}
+
+const Tracer::CoreStack* Tracer::find_stack(int core) const {
+  for (const auto& s : stacks_)
+    if (s.core == core) return &s;
+  return nullptr;
+}
+
+void Tracer::push_span(int core, std::string name, Cycles start) {
+  if (!enabled_) return;
+  CoreStack* st = find_stack(core);
+  if (st == nullptr) {
+    stacks_.push_back({core, {}});
+    st = &stacks_.back();
+  }
+  st->open.push_back({std::move(name), start});
+}
+
+void Tracer::pop_span(int core, Cycles end) {
+  if (!enabled_) return;
+  CoreStack* st = find_stack(core);
+  if (st == nullptr || st->open.empty()) return;
+  OpenSpan top = std::move(st->open.back());
+  st->open.pop_back();
+  spans_.push_back({core, std::move(top.name), top.start, end,
+                    static_cast<int>(st->open.size())});
+}
+
+std::size_t Tracer::open_spans(int core) const {
+  const CoreStack* st = find_stack(core);
+  return st != nullptr ? st->open.size() : 0;
+}
+
+int Tracer::counter_track(const std::string& name) {
+  for (std::size_t i = 0; i < track_names_.size(); ++i)
+    if (track_names_[i] == name) return static_cast<int>(i);
+  track_names_.push_back(name);
+  return static_cast<int>(track_names_.size() - 1);
+}
+
+void Tracer::clear() {
+  segments_.clear();
+  spans_.clear();
+  samples_.clear();
+  stacks_.clear();
+}
 
 void Tracer::write_chrome_json(const std::filesystem::path& path,
                                double clock_hz) const {
   std::ofstream f(path);
   ESARP_EXPECTS(f.is_open());
   const double to_us = 1e6 / clock_hz;
-  f << "{\"traceEvents\":[\n";
-  bool first = true;
-  for (const auto& s : segments_) {
-    if (!first) f << ",\n";
-    first = false;
-    f << "{\"name\":\"" << to_string(s.kind) << "\",\"ph\":\"X\",\"pid\":0,"
-      << "\"tid\":" << s.core << ",\"ts\":"
-      << static_cast<double>(s.start) * to_us << ",\"dur\":"
-      << static_cast<double>(s.end - s.start) * to_us << "}";
+
+  Cycles last = 0;
+  for (const auto& s : segments_) last = std::max(last, s.end);
+  for (const auto& s : spans_) last = std::max(last, s.end);
+  for (const auto& c : samples_) last = std::max(last, c.time);
+
+  JsonWriter w(f, 0); // compact: traces get large
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+
+  // Thread-name metadata so Perfetto labels each tid as its core.
+  std::set<int> cores;
+  for (const auto& s : segments_) cores.insert(s.core);
+  for (const auto& s : spans_) cores.insert(s.core);
+  for (const auto& st : stacks_)
+    if (!st.open.empty()) cores.insert(st.core);
+  for (const int core : cores) {
+    w.begin_object();
+    w.kv("name", "thread_name");
+    w.kv("ph", "M");
+    w.kv("pid", 0);
+    w.kv("tid", core);
+    w.key("args");
+    w.begin_object();
+    w.kv("name", "core " + std::to_string(core));
+    w.end_object();
+    w.end_object();
   }
-  f << "\n]}\n";
+
+  const auto emit_complete = [&](const char* name, int tid, Cycles start,
+                                 Cycles end, bool unclosed) {
+    w.begin_object();
+    w.kv("name", name);
+    w.kv("ph", "X");
+    w.kv("pid", 0);
+    w.kv("tid", tid);
+    w.kv("ts", static_cast<double>(start) * to_us);
+    w.kv("dur", static_cast<double>(end - start) * to_us);
+    if (unclosed) {
+      w.key("args");
+      w.begin_object();
+      w.kv("unclosed", true);
+      w.end_object();
+    }
+    w.end_object();
+  };
+
+  // Spans before segments: Perfetto resolves equal-timestamp nesting by
+  // emission order, and spans always enclose the segments they cover.
+  for (const auto& s : spans_)
+    emit_complete(s.name.c_str(), s.core, s.start, s.end, false);
+  for (const auto& st : stacks_)
+    for (const auto& open : st.open)
+      emit_complete(open.name.c_str(), st.core, open.start,
+                    std::max(last, open.start), true);
+  for (const auto& s : segments_)
+    emit_complete(to_string(s.kind), s.core, s.start, s.end, false);
+
+  // Counter tracks, time-ordered per track.
+  std::vector<CounterSample> sorted = samples_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const CounterSample& a, const CounterSample& b) {
+                     if (a.track != b.track) return a.track < b.track;
+                     return a.time < b.time;
+                   });
+  for (const auto& c : sorted) {
+    w.begin_object();
+    w.kv("name", track_names_[static_cast<std::size_t>(c.track)]);
+    w.kv("ph", "C");
+    w.kv("pid", 0);
+    w.kv("ts", static_cast<double>(c.time) * to_us);
+    w.key("args");
+    w.begin_object();
+    w.kv("value", c.value);
+    w.end_object();
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+  f << "\n";
   ESARP_ENSURES(f.good());
 }
 
@@ -29,6 +154,13 @@ Cycles Tracer::total_cycles(SegmentKind kind) const {
   Cycles total = 0;
   for (const auto& s : segments_)
     if (s.kind == kind) total += s.end - s.start;
+  return total;
+}
+
+Cycles Tracer::total_span_cycles(const std::string& name) const {
+  Cycles total = 0;
+  for (const auto& s : spans_)
+    if (s.name == name) total += s.end - s.start;
   return total;
 }
 

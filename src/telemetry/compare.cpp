@@ -1,0 +1,165 @@
+#include "telemetry/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/table.hpp"
+
+namespace esarp::telemetry {
+
+bool higher_is_better(const std::string& key) {
+  static const char* kGoodUp[] = {"utilization", "flops",   "throughput",
+                                  "hit_rate",    "px_per_s", "speedup",
+                                  "pixels_per_s"};
+  for (const char* s : kGoodUp)
+    if (key.find(s) != std::string::npos) return true;
+  return false;
+}
+
+namespace {
+
+void check_schema(const JsonValue& v, const char* which) {
+  const JsonValue* schema = v.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string().rfind("esarp-run-manifest/", 0) != 0)
+    throw ContractViolation(std::string(which) +
+                            " manifest: missing or unknown \"schema\"");
+}
+
+/// Flatten one numeric section into key -> value pairs.
+void flatten_numbers(const JsonValue* obj, const std::string& prefix,
+                     std::vector<std::pair<std::string, double>>& out) {
+  if (obj == nullptr || !obj->is_object()) return;
+  for (const auto& [k, v] : obj->as_object())
+    if (v.is_number()) out.emplace_back(prefix + k, v.as_number());
+}
+
+/// Histogram summary scalars worth diffing (count and mean — bucket-level
+/// diffs are too noisy to threshold, the full vectors stay in the files).
+void flatten_histograms(const JsonValue* obj, const std::string& prefix,
+                        std::vector<std::pair<std::string, double>>& out) {
+  if (obj == nullptr || !obj->is_object()) return;
+  for (const auto& [name, h] : obj->as_object()) {
+    const JsonValue* count = h.find("count");
+    const JsonValue* sum = h.find("sum");
+    if (count == nullptr || !count->is_number()) continue;
+    out.emplace_back(prefix + name + ".count", count->as_number());
+    if (sum != nullptr && sum->is_number() && count->as_number() > 0)
+      out.emplace_back(prefix + name + ".mean",
+                       sum->as_number() / count->as_number());
+  }
+}
+
+std::vector<std::pair<std::string, double>>
+flatten_manifest(const JsonValue& m) {
+  std::vector<std::pair<std::string, double>> out;
+  flatten_numbers(m.find("results"), "results.", out);
+  flatten_numbers(m.find_path("metrics.counters"), "metrics.counters.", out);
+  flatten_numbers(m.find_path("metrics.gauges"), "metrics.gauges.", out);
+  flatten_histograms(m.find_path("metrics.histograms"),
+                     "metrics.histograms.", out);
+  return out;
+}
+
+} // namespace
+
+CompareReport compare_manifests(const JsonValue& base,
+                                const JsonValue& current,
+                                const CompareOptions& opt) {
+  check_schema(base, "base");
+  check_schema(current, "current");
+
+  CompareReport rep;
+  const auto b = flatten_manifest(base);
+  const auto c = flatten_manifest(current);
+  std::map<std::string, double> cur_map(c.begin(), c.end());
+
+  for (const auto& [key, bval] : b) {
+    const auto it = cur_map.find(key);
+    if (it == cur_map.end()) {
+      rep.notes.push_back("missing in current: " + key);
+      continue;
+    }
+    const double cval = it->second;
+    cur_map.erase(it);
+
+    CompareLine line;
+    line.key = key;
+    line.base = bval;
+    line.current = cval;
+    if (bval != 0.0) {
+      line.rel_delta = (cval - bval) / std::abs(bval);
+    } else {
+      line.rel_delta = cval == 0.0
+                           ? 0.0
+                           : std::numeric_limits<double>::infinity();
+    }
+
+    // Threshold resolution: explicit per-key override wins; otherwise the
+    // default threshold applies to "results" entries only.
+    const auto ov = opt.per_key.find(key);
+    std::optional<double> threshold;
+    if (ov != opt.per_key.end()) {
+      threshold = ov->second;
+    } else if (key.rfind("results.", 0) == 0) {
+      threshold = opt.default_threshold;
+    }
+
+    if (threshold.has_value()) {
+      line.checked = true;
+      line.threshold = *threshold;
+      const bool both_tiny = std::abs(bval) <= opt.abs_floor &&
+                             std::abs(cval) <= opt.abs_floor;
+      if (!both_tiny) {
+        const double signed_delta =
+            higher_is_better(key) ? -line.rel_delta : line.rel_delta;
+        if (signed_delta > *threshold) {
+          line.regressed = true;
+          ++rep.regressions;
+        }
+      }
+    }
+    rep.lines.push_back(std::move(line));
+  }
+  for (const auto& [key, _] : cur_map)
+    rep.notes.push_back("missing in base: " + key);
+
+  // Regressions first, then checked lines, then the informational rest.
+  std::stable_sort(rep.lines.begin(), rep.lines.end(),
+                   [](const CompareLine& a, const CompareLine& b2) {
+                     if (a.regressed != b2.regressed) return a.regressed;
+                     return a.checked && !b2.checked;
+                   });
+  return rep;
+}
+
+std::string CompareReport::summary(bool verbose) const {
+  std::ostringstream os;
+  Table t(regressions == 0 ? "manifest compare: OK"
+                           : "manifest compare: " +
+                                 std::to_string(regressions) +
+                                 " regression(s)");
+  t.header({"Key", "Base", "Current", "Delta", "Status"});
+  for (const auto& l : lines) {
+    if (!verbose && !l.checked && !l.regressed) continue;
+    std::string status = "info";
+    if (l.checked)
+      status = l.regressed
+                   ? "REGRESSED (>" + Table::num(l.threshold * 100.0, 1) + "%)"
+                   : "ok (<=" + Table::num(l.threshold * 100.0, 1) + "%)";
+    const std::string delta =
+        std::isfinite(l.rel_delta)
+            ? Table::num(l.rel_delta * 100.0, 2) + " %"
+            : "new";
+    t.row({l.key, Table::num(l.base, 4), Table::num(l.current, 4), delta,
+           status});
+  }
+  for (const auto& n : notes) t.note(n);
+  os << t.str();
+  return os.str();
+}
+
+} // namespace esarp::telemetry

@@ -1,0 +1,57 @@
+#include "telemetry/manifest.hpp"
+
+#include <fstream>
+
+#include "common/assert.hpp"
+#include "common/json.hpp"
+
+#ifndef ESARP_VERSION_STRING
+#define ESARP_VERSION_STRING "0.0.0"
+#endif
+
+namespace esarp::telemetry {
+
+const char* esarp_version() { return ESARP_VERSION_STRING; }
+
+namespace {
+
+void write_section(JsonWriter& w, const char* name,
+                   const std::vector<std::pair<std::string, double>>& kv) {
+  w.key(name);
+  w.begin_object();
+  for (const auto& [k, v] : kv) w.kv(k, v);
+  w.end_object();
+}
+
+} // namespace
+
+void RunManifest::write(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "esarp-run-manifest/1");
+  w.kv("tool", tool_);
+  w.kv("version", esarp_version());
+  write_section(w, "chip", chip_);
+  write_section(w, "workload", workload_);
+  write_section(w, "results", results_);
+  w.key("metrics");
+  if (metrics_ != nullptr) {
+    metrics_->write_json(w);
+  } else {
+    MetricsRegistry empty;
+    empty.write_json(w);
+  }
+  w.end_object();
+  os << "\n";
+}
+
+void RunManifest::write(const std::filesystem::path& path) const {
+  if (path.has_parent_path())
+    std::filesystem::create_directories(path.parent_path());
+  std::ofstream f(path);
+  ESARP_EXPECTS(f.is_open());
+  write(f);
+  ESARP_ENSURES(f.good());
+}
+
+} // namespace esarp::telemetry

@@ -1,0 +1,433 @@
+// Telemetry subsystem tests: metrics registry (counters, gauges, histogram
+// bucket edges), named spans + counter tracks on the Tracer (incl. segment
+// accounting and cross-run reuse), JSON writer/parser round trips, run
+// manifests, and the manifest regression comparator.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/json.hpp"
+#include "common/types.hpp"
+#include "epiphany/machine.hpp"
+#include "epiphany/machine_metrics.hpp"
+#include "telemetry/compare.hpp"
+#include "telemetry/manifest.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace esarp {
+namespace {
+
+using ep::Cycles;
+using ep::Machine;
+using ep::SegmentKind;
+using ep::Task;
+using ep::Tracer;
+
+std::filesystem::path temp_file(const char* name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream f(p);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  telemetry::MetricsRegistry reg;
+  reg.counter("a").add(3);
+  reg.counter("a").add(4);
+  reg.gauge("g").set(2.5);
+  EXPECT_EQ(reg.counter("a").value(), 7u);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 2.5);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_NE(reg.find_counter("a"), nullptr);
+  EXPECT_EQ(reg.find_counter("missing"), nullptr);
+}
+
+TEST(Metrics, CounterReferencesAreStable) {
+  telemetry::MetricsRegistry reg;
+  telemetry::Counter& a = reg.counter("stable");
+  for (int i = 0; i < 100; ++i)
+    reg.counter("filler" + std::to_string(i)).add(1);
+  reg.counter("stable").add(5);
+  EXPECT_EQ(a.value(), 5u); // same node despite 100 inserts
+}
+
+TEST(Metrics, HistogramBucketEdges) {
+  // bucket i counts x <= edges[i]; one overflow bucket past the last edge.
+  telemetry::Histogram h({10.0, 20.0, 40.0});
+  h.observe(0.0);   // <= 10
+  h.observe(10.0);  // <= 10 (edge is inclusive)
+  h.observe(10.5);  // <= 20
+  h.observe(40.0);  // <= 40
+  h.observe(41.0);  // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 41.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 101.5);
+}
+
+TEST(Metrics, HistogramRejectsUnsortedEdges) {
+  EXPECT_THROW(telemetry::Histogram({2.0, 1.0}), ContractViolation);
+  EXPECT_THROW(telemetry::Histogram({1.0, 1.0}), ContractViolation);
+  EXPECT_THROW(telemetry::Histogram({}), ContractViolation);
+}
+
+TEST(Metrics, LabeledNamesAreSortedAndStable) {
+  const std::string a =
+      telemetry::labeled("noc.link.bytes", {{"node", "1_2"}, {"dir", "E"}});
+  const std::string b =
+      telemetry::labeled("noc.link.bytes", {{"dir", "E"}, {"node", "1_2"}});
+  EXPECT_EQ(a, b); // label order must not matter
+  EXPECT_EQ(a, "noc.link.bytes{dir=E,node=1_2}");
+}
+
+TEST(Metrics, CycleHistogramSharesEdgesAcrossRuns) {
+  telemetry::MetricsRegistry r1, r2;
+  EXPECT_EQ(r1.cycle_histogram("h").edges(), r2.cycle_histogram("h").edges());
+}
+
+// ----------------------------------------------------------------- tracer
+
+TEST(Tracer, SegmentAccountingPerKind) {
+  Machine m;
+  m.enable_tracing();
+  auto src = m.ext().alloc<float>(256);
+  float dst[256];
+  m.launch(0, [&](ep::CoreCtx& ctx) -> Task {
+    co_await ctx.compute({.fadd = 100});
+    co_await ctx.read_ext(dst, src.data(), sizeof(dst));
+    co_await ctx.compute({.fadd = 50});
+  });
+  m.run();
+  const Tracer& tr = m.tracer();
+  EXPECT_EQ(tr.total_cycles(SegmentKind::kCompute), m.core(0).counters.busy);
+  EXPECT_EQ(tr.total_cycles(SegmentKind::kExtRead),
+            m.core(0).counters.ext_stall);
+  EXPECT_EQ(tr.total_cycles(SegmentKind::kBarrier), 0u);
+}
+
+TEST(Tracer, SpansNestPerCore) {
+  Tracer tr;
+  tr.enable();
+  tr.push_span(0, "outer", 0);
+  tr.push_span(0, "inner", 10);
+  tr.push_span(1, "other-core", 5);
+  EXPECT_EQ(tr.open_spans(0), 2u);
+  tr.pop_span(0, 20); // closes "inner"
+  tr.pop_span(0, 30); // closes "outer"
+  tr.pop_span(1, 15);
+  EXPECT_EQ(tr.open_spans(0), 0u);
+  ASSERT_EQ(tr.spans().size(), 3u);
+  // Innermost closes first, with its opening depth preserved.
+  EXPECT_EQ(tr.spans()[0].name, "inner");
+  EXPECT_EQ(tr.spans()[0].depth, 1);
+  EXPECT_EQ(tr.spans()[1].name, "outer");
+  EXPECT_EQ(tr.spans()[1].depth, 0);
+  EXPECT_EQ(tr.total_span_cycles("outer"), 30u);
+  EXPECT_EQ(tr.total_span_cycles("inner"), 10u);
+}
+
+TEST(Tracer, DisabledSpansAndUnderflowAreNoOps) {
+  Tracer tr; // disabled
+  tr.push_span(0, "ignored", 0);
+  EXPECT_EQ(tr.open_spans(0), 0u);
+  tr.enable();
+  tr.pop_span(0, 10); // pop with no open span: no-op, no crash
+  EXPECT_TRUE(tr.spans().empty());
+}
+
+TEST(Tracer, ClearKeepsEnabledFlagAndTrackNames) {
+  Tracer tr;
+  tr.enable();
+  const int track = tr.counter_track("queue-depth");
+  tr.counter(track, 5, 1.0);
+  tr.add(0, SegmentKind::kCompute, 0, 10);
+  tr.push_span(0, "left-open", 0);
+  tr.clear();
+  EXPECT_TRUE(tr.enabled());
+  EXPECT_TRUE(tr.segments().empty());
+  EXPECT_TRUE(tr.counter_samples().empty());
+  EXPECT_EQ(tr.open_spans(0), 0u);
+  // Same name resolves to the same id after clear().
+  EXPECT_EQ(tr.counter_track("queue-depth"), track);
+}
+
+TEST(Tracer, SharedAcrossConsecutiveMachineRuns) {
+  // Satellite (a): one externally owned tracer, two Machine runs.
+  Tracer tr;
+  tr.enable();
+  auto run_once = [&tr] {
+    Machine m({}, 1u << 20, {}, &tr);
+    m.launch(0, [](ep::CoreCtx& ctx) -> Task {
+      ctx.begin_span("work");
+      co_await ctx.compute({.fadd = 100});
+      ctx.end_span();
+    });
+    m.run();
+  };
+  run_once();
+  const std::size_t after_first = tr.segments().size();
+  EXPECT_GT(after_first, 0u);
+  run_once(); // accumulates without clear()
+  EXPECT_EQ(tr.segments().size(), 2 * after_first);
+  EXPECT_EQ(tr.spans().size(), 2u);
+  tr.clear(); // one-trace-per-run usage
+  run_once();
+  EXPECT_EQ(tr.segments().size(), after_first);
+}
+
+TEST(Tracer, ChromeJsonRoundTripsWithSpansAndCounters) {
+  Tracer tr;
+  tr.enable();
+  tr.add(0, SegmentKind::kCompute, 0, 100);
+  tr.push_span(0, "merge-iter/1", 0);
+  tr.pop_span(0, 100);
+  const int track = tr.counter_track("ext-port/read-backlog");
+  tr.counter(track, 50, 3.0);
+  const auto path = temp_file("esarp_trace_test.json");
+  tr.write_chrome_json(path);
+
+  const JsonValue doc = parse_json(slurp(path));
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  bool saw_span = false, saw_counter = false, saw_segment = false;
+  for (const JsonValue& e : events->as_array()) {
+    const std::string ph = e.find("ph")->as_string();
+    const std::string name = e.find("name")->as_string();
+    if (ph == "X" && name == "merge-iter/1") saw_span = true;
+    if (ph == "X" && name == "compute") saw_segment = true;
+    if (ph == "C" && name == "ext-port/read-backlog") {
+      saw_counter = true;
+      EXPECT_DOUBLE_EQ(
+          e.find_path("args.value")->as_number(), 3.0);
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_segment);
+  EXPECT_TRUE(saw_counter);
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------------------- json
+
+TEST(Json, WriterEscapesAndNestsCompact) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_object();
+  w.kv("s", "a\"b\\c\n");
+  w.key("arr");
+  w.begin_array();
+  w.value(1.5);
+  w.value(std::uint64_t{18446744073709551615ull});
+  w.null();
+  w.end_array();
+  w.end_object();
+  EXPECT_TRUE(w.done());
+  EXPECT_EQ(os.str(),
+            "{\"s\":\"a\\\"b\\\\c\\n\",\"arr\":[1.5,18446744073709551615,"
+            "null]}");
+}
+
+TEST(Json, ParserRoundTripsWriterOutput) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("pi", 3.25);
+  w.kv("neg", std::int64_t{-7});
+  w.kv("flag", true);
+  w.kv("text", "unié");
+  w.end_object();
+  const JsonValue v = parse_json(os.str());
+  EXPECT_DOUBLE_EQ(v.find("pi")->as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(v.find("neg")->as_number(), -7.0);
+  EXPECT_TRUE(v.find("flag")->as_bool());
+  EXPECT_EQ(v.find("text")->as_string(), "unié");
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  EXPECT_THROW(parse_json("{"), ContractViolation);
+  EXPECT_THROW(parse_json("[1,]"), ContractViolation);
+  EXPECT_THROW(parse_json("{} trailing"), ContractViolation);
+  EXPECT_THROW(parse_json("'single'"), ContractViolation);
+}
+
+TEST(Json, FindPathWalksNestedObjects) {
+  const JsonValue v = parse_json(R"({"a":{"b":{"c":42}}})");
+  ASSERT_NE(v.find_path("a.b.c"), nullptr);
+  EXPECT_DOUBLE_EQ(v.find_path("a.b.c")->as_number(), 42.0);
+  EXPECT_EQ(v.find_path("a.b.missing"), nullptr);
+}
+
+// --------------------------------------------------------------- manifest
+
+TEST(Manifest, RoundTripsThroughParser) {
+  telemetry::MetricsRegistry reg;
+  reg.counter("ext.read.bytes").add(1024);
+  reg.gauge("noc.max_link_busy_cycles{mesh=rmesh}").set(77.0);
+  reg.cycle_histogram("ext.read.stall_cycles").observe(100.0);
+
+  telemetry::RunManifest man("unit_test");
+  man.add_chip("rows", 4.0);
+  man.add_workload("n_pulses", 256.0);
+  man.add_result("makespan_cycles", 123456.0);
+  man.set_metrics(&reg);
+
+  std::ostringstream os;
+  man.write(os);
+  const JsonValue doc = parse_json(os.str());
+  EXPECT_EQ(doc.find("schema")->as_string(), "esarp-run-manifest/1");
+  EXPECT_EQ(doc.find("tool")->as_string(), "unit_test");
+  EXPECT_EQ(doc.find("version")->as_string(), telemetry::esarp_version());
+  EXPECT_DOUBLE_EQ(doc.find_path("results.makespan_cycles")->as_number(),
+                   123456.0);
+  EXPECT_DOUBLE_EQ(
+      doc.find_path("metrics.counters")->find("ext.read.bytes")->as_number(),
+      1024.0);
+  const JsonValue* hist =
+      doc.find_path("metrics.histograms")->find("ext.read.stall_cycles");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->find("count")->as_number(), 1.0);
+  EXPECT_EQ(hist->find("edges")->as_array().size(),
+            telemetry::cycle_histogram_edges().size());
+}
+
+TEST(Manifest, WriteCreatesParentDirectories) {
+  const auto dir = temp_file("esarp_manifest_dir");
+  std::filesystem::remove_all(dir);
+  const auto path = dir / "nested" / "m.json";
+  telemetry::RunManifest man("t");
+  man.write(path);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------- compare
+
+JsonValue make_manifest(double makespan, double util) {
+  std::ostringstream os;
+  telemetry::RunManifest man("cmp");
+  man.add_result("makespan_cycles", makespan);
+  man.add_result("utilization", util);
+  man.write(os);
+  return parse_json(os.str());
+}
+
+TEST(Compare, SelfCompareIsClean) {
+  const JsonValue a = make_manifest(1000.0, 0.5);
+  const auto rep = telemetry::compare_manifests(a, a);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.regressions, 0);
+}
+
+TEST(Compare, MakespanGrowthPastThresholdRegresses) {
+  const JsonValue base = make_manifest(1000.0, 0.5);
+  const JsonValue worse = make_manifest(1100.0, 0.5); // +10% > 5% default
+  const auto rep = telemetry::compare_manifests(base, worse);
+  EXPECT_FALSE(rep.ok());
+  // Within threshold passes.
+  const JsonValue close = make_manifest(1030.0, 0.5);
+  EXPECT_TRUE(telemetry::compare_manifests(base, close).ok());
+}
+
+TEST(Compare, DirectionInferredFromKeyName) {
+  EXPECT_TRUE(telemetry::higher_is_better("results.utilization"));
+  EXPECT_TRUE(telemetry::higher_is_better("results.flops_per_second"));
+  EXPECT_FALSE(telemetry::higher_is_better("results.makespan_cycles"));
+  EXPECT_FALSE(telemetry::higher_is_better("results.energy_j"));
+  // utilization dropping 20% is a regression; rising 20% is not.
+  const JsonValue base = make_manifest(1000.0, 0.5);
+  EXPECT_FALSE(
+      telemetry::compare_manifests(base, make_manifest(1000.0, 0.4)).ok());
+  EXPECT_TRUE(
+      telemetry::compare_manifests(base, make_manifest(1000.0, 0.6)).ok());
+}
+
+TEST(Compare, PerKeyThresholdOverridesDefault) {
+  const JsonValue base = make_manifest(1000.0, 0.5);
+  const JsonValue slight = make_manifest(1020.0, 0.5); // +2%
+  telemetry::CompareOptions opt;
+  opt.per_key["results.makespan_cycles"] = 0.01; // 1%: now regresses
+  EXPECT_FALSE(telemetry::compare_manifests(base, slight, opt).ok());
+}
+
+TEST(Compare, RejectsNonManifestDocuments) {
+  const JsonValue junk = parse_json(R"({"hello":"world"})");
+  EXPECT_THROW(telemetry::compare_manifests(junk, junk), ContractViolation);
+}
+
+// --------------------------------------------- machine-level integration
+
+TEST(MachineMetrics, PopulatedByInstrumentedRun) {
+  Machine m;
+  auto src = m.ext().alloc<float>(1024);
+  auto barrier = m.make_barrier(2);
+  for (int c = 0; c < 2; ++c) {
+    m.launch(c, [&, c](ep::CoreCtx& ctx) -> Task {
+      float buf[256];
+      co_await ctx.read_ext(buf, src.data() + 256 * c, sizeof(buf));
+      co_await ctx.compute({.fadd = 100u * (1u + static_cast<unsigned>(c))});
+      co_await barrier->arrive_and_wait(ctx);
+    });
+  }
+  m.run();
+  ep::collect_machine_metrics(m);
+  const telemetry::MetricsRegistry& reg = m.metrics();
+
+  // Live instrumentation: ext-port stall histogram and barrier metrics.
+  const telemetry::Histogram* stalls =
+      reg.find_histogram("ext.read.stall_cycles");
+  ASSERT_NE(stalls, nullptr);
+  EXPECT_EQ(stalls->count(), 2u);
+  ASSERT_NE(reg.find_counter("barrier.crossings"), nullptr);
+  EXPECT_EQ(reg.find_counter("barrier.crossings")->value(), 2u);
+  const telemetry::Histogram* imb =
+      reg.find_histogram("barrier.imbalance_cycles");
+  ASSERT_NE(imb, nullptr);
+  EXPECT_EQ(imb->count(), 1u); // one crossing -> one imbalance sample
+
+  // Post-run collection: ext totals, per-core counters, per-link traffic.
+  EXPECT_EQ(reg.find_counter("ext.read.bytes")->value(), 2048u);
+  EXPECT_EQ(
+      reg.find_counter(telemetry::labeled("core.busy_cycles", {{"core", "0"}}))
+          ->value(),
+      m.core(0).counters.busy);
+  bool any_link = false;
+  for (const auto& [name, c] : reg.counters())
+    if (name.rfind("noc.link.bytes{", 0) == 0 && c.value() > 0)
+      any_link = true;
+  EXPECT_TRUE(any_link);
+}
+
+TEST(MachineMetrics, ChannelCountersLabeledByName) {
+  Machine m;
+  auto chan = m.make_channel<int>(1, 2, "pipe");
+  m.launch(0, [&](ep::CoreCtx& ctx) -> Task {
+    for (int i = 0; i < 5; ++i) co_await chan->send(ctx, i);
+  });
+  m.launch(1, [&](ep::CoreCtx& ctx) -> Task {
+    for (int i = 0; i < 5; ++i) (void)co_await chan->recv(ctx);
+  });
+  m.run();
+  const auto* msgs = m.metrics().find_counter(
+      telemetry::labeled("chan.messages", {{"chan", "pipe"}}));
+  ASSERT_NE(msgs, nullptr);
+  EXPECT_EQ(msgs->value(), 5u);
+}
+
+} // namespace
+} // namespace esarp

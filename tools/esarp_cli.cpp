@@ -4,10 +4,14 @@
 //   esarp image    --in raw.esrp --algo ffbp|gbp|rda --out img.pgm
 //                  [--interp nn|linear|cubic] [--autofocus] [--looks k]
 //   esarp chip     --in raw.esrp --cores 16 [--no-prefetch] [--autofocus]
+//                  [--trace t.json] [--metrics m.json]
 //   esarp analyze  --in raw.esrp
+//   esarp report   --in m.manifest.json
 //
 // Datasets are the library's .esrp container (see sar/io.hpp), so the
-// expensive products can be generated once and reused.
+// expensive products can be generated once and reused. --trace writes a
+// Chrome/Perfetto trace of the chip run; --metrics writes a run manifest
+// (docs/observability.md) that tools/esarp_compare can diff.
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -15,12 +19,15 @@
 #include <string>
 
 #include "common/format.hpp"
+#include "common/json.hpp"
 #include "common/pgm.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "core/ffbp_epiphany.hpp"
+#include "epiphany/machine_metrics.hpp"
+#include "telemetry/manifest.hpp"
 #include "autofocus/integrated.hpp"
 #include "sar/ffbp.hpp"
 #include "sar/gbp.hpp"
@@ -86,8 +93,10 @@ int usage() {
       "                 [--interp nn|linear|cubic] [--autofocus]"
       " [--looks k]\n"
       "  esarp chip     --in f.esrp [--cores N] [--no-prefetch]\n"
-      "                 [--autofocus] [--out img.pgm]\n"
-      "  esarp analyze  --in f.esrp\n";
+      "                 [--autofocus] [--out img.pgm] [--trace t.json]\n"
+      "                 [--metrics m.json]\n"
+      "  esarp analyze  --in f.esrp\n"
+      "  esarp report   --in m.manifest.json\n";
   return 2;
 }
 
@@ -204,6 +213,14 @@ int cmd_chip(const Args& args) {
   af::IntegratedOptions aopt;
   if (args.has("autofocus")) opt.autofocus = &aopt;
 
+  const std::string trace_path = args.str("trace");
+  if (args.has("trace") && trace_path.empty()) return usage();
+  ep::Tracer tracer;
+  if (!trace_path.empty()) {
+    tracer.enable();
+    opt.tracer = &tracer;
+  }
+
   std::cerr << "simulating " << opt.n_cores << "-core Epiphany FFBP...\n";
   const auto sim = core::run_ffbp_epiphany(ds.data, ds.params, opt);
 
@@ -214,11 +231,73 @@ int cmd_chip(const Args& args) {
     std::cout << "autofocus corrections evaluated: "
               << sim.corrections.size() << "\n";
 
+  if (!trace_path.empty()) {
+    tracer.write_chrome_json(trace_path, sim.perf.cfg.clock_hz);
+    std::cout << "trace written to " << trace_path << " ("
+              << tracer.size() << " segments, " << tracer.spans().size()
+              << " spans)\n";
+  }
+
+  const std::string metrics_path = args.str("metrics");
+  if (args.has("metrics") && metrics_path.empty()) return usage();
+  if (!metrics_path.empty()) {
+    telemetry::RunManifest man("esarp_chip");
+    ep::fill_manifest(man, sim.perf, sim.energy);
+    man.add_workload("n_pulses", static_cast<double>(ds.params.n_pulses));
+    man.add_workload("n_range", static_cast<double>(ds.params.n_range));
+    man.add_workload("n_cores", static_cast<double>(opt.n_cores));
+    man.add_workload("prefetch", opt.prefetch ? 1.0 : 0.0);
+    man.set_metrics(&sim.metrics);
+    man.write(std::filesystem::path(metrics_path));
+    std::cout << "metrics manifest written to " << metrics_path << "\n";
+  }
+
   const std::string out = args.str("out");
   if (!out.empty()) {
     write_pgm(out, sim.image, {.dynamic_range_db = 45.0});
     std::cout << "image written to " << out << "\n";
   }
+  return 0;
+}
+
+/// Human-readable view of a run manifest written by --metrics or a bench.
+int cmd_report(const Args& args) {
+  const std::string in = args.str("in");
+  if (in.empty()) return usage();
+  const JsonValue doc = load_json_file(in);
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string().rfind("esarp-run-manifest/", 0) != 0)
+    throw ContractViolation(in + " is not an esarp run manifest");
+
+  const auto* tool = doc.find("tool");
+  const auto* version = doc.find("version");
+  Table t("run manifest: " +
+          (tool != nullptr && tool->is_string() ? tool->as_string() : "?") +
+          " (esarp " +
+          (version != nullptr && version->is_string() ? version->as_string()
+                                                      : "?") +
+          ")");
+  t.header({"Section", "Key", "Value"});
+  for (const char* section : {"chip", "workload", "results"}) {
+    const JsonValue* sec = doc.find(section);
+    if (sec == nullptr || !sec->is_object()) continue;
+    for (const auto& [key, v] : sec->as_object())
+      t.row({section, key, v.is_number() ? Table::num(v.as_number(), 6)
+                                         : std::string("?")});
+  }
+  const JsonValue* counters = doc.find_path("metrics.counters");
+  const JsonValue* hists = doc.find_path("metrics.histograms");
+  t.note("metrics: " +
+         std::to_string(counters != nullptr && counters->is_object()
+                            ? counters->as_object().size()
+                            : 0) +
+         " counters, " +
+         std::to_string(hists != nullptr && hists->is_object()
+                            ? hists->as_object().size()
+                            : 0) +
+         " histograms (use tools/esarp_compare to diff runs)");
+  t.print(std::cout);
   return 0;
 }
 
@@ -257,6 +336,7 @@ int main(int argc, char** argv) {
     if (cmd == "image") return cmd_image(args);
     if (cmd == "chip") return cmd_chip(args);
     if (cmd == "analyze") return cmd_analyze(args);
+    if (cmd == "report") return cmd_report(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,78 @@
+// esarp_compare — regression check between two run manifests.
+//
+//   esarp_compare base.manifest.json current.manifest.json
+//                 [--threshold 0.05] [--metric key=thr ...] [--verbose]
+//
+// Diffs the "results" sections with a relative threshold (regression
+// direction inferred from the key name: throughput-like keys regress
+// downward, time/energy/stall-like keys upward). Metrics entries are
+// informational unless opted in with --metric, e.g.
+//
+//   esarp_compare a.json b.json --metric results.makespan_cycles=0.01
+//       --metric "metrics.counters.ext.read.bytes=0.0"
+//
+// Exit status: 0 = no regression, 1 = regression past threshold,
+// 2 = usage or unreadable/invalid manifest. CI runs a self-compare of the
+// fast-mode table1_ffbp manifest as a smoke check (.github/workflows).
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "telemetry/compare.hpp"
+
+int main(int argc, char** argv) {
+  using namespace esarp;
+
+  std::vector<std::string> paths;
+  telemetry::CompareOptions opt;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--threshold") {
+      if (++i >= argc) { paths.clear(); break; }
+      opt.default_threshold = std::stod(argv[i]);
+    } else if (arg == "--metric") {
+      if (++i >= argc) { paths.clear(); break; }
+      const std::string spec = argv[i];
+      const std::size_t eq = spec.rfind('=');
+      if (eq == std::string::npos || eq == 0) { paths.clear(); break; }
+      opt.per_key[spec.substr(0, eq)] = std::stod(spec.substr(eq + 1));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown option: " << arg << "\n";
+      paths.clear();
+      break;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::cerr << "usage: esarp_compare base.json current.json"
+                 " [--threshold X] [--metric key=thr ...] [--verbose]\n";
+    return 2;
+  }
+
+  try {
+    const JsonValue base = load_json_file(paths[0]);
+    const JsonValue current = load_json_file(paths[1]);
+    const telemetry::CompareReport rep =
+        telemetry::compare_manifests(base, current, opt);
+    std::cout << rep.summary(verbose);
+    if (!rep.ok()) {
+      std::cout << "\nREGRESSION: " << rep.regressions
+                << " metric(s) past threshold (base " << paths[0]
+                << ", current " << paths[1] << ")\n";
+      return 1;
+    }
+    std::cout << "\nOK: no regression (" << paths[1] << " vs " << paths[0]
+              << ")\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
