@@ -4,6 +4,7 @@
 // complex interpolation kernels such as cubic interpolation" — at a
 // compute cost this table quantifies on both architectures.
 #include <iostream>
+#include <iterator>
 
 #include "bench_util.hpp"
 #include "common/csv.hpp"
@@ -40,38 +41,52 @@ int main() {
                 {"kernel", "entropy", "rmse_vs_gbp", "intel_ms",
                  "epiphany_ms", "flops_per_pixel"});
 
-  for (const auto& v : variants) {
-    std::cerr << "variant: " << v.name << "...\n";
-    const auto host_res = sar::ffbp(w.data, w.params, v.opt);
-    const double intel_s = intel.seconds(host_res.host_work);
+  // Each kernel runs the host FFBP and the simulated chip independently
+  // against the shared (read-only) workload and GBP reference: fan out
+  // across host threads (ESARP_JOBS); results gathered by index.
+  struct Metrics {
+    double entropy, err, intel_s, sim_s, fpp;
+  };
+  host::SweepRunner pool(bench::sweep_jobs());
+  std::cerr << "evaluating " << std::size(variants)
+            << " interpolation kernels (" << pool.jobs()
+            << " host thread(s))...\n";
+  const auto metrics =
+      pool.run(std::size(variants), [&](std::size_t vi) -> Metrics {
+        const auto& v = variants[vi];
+        const auto host_res = sar::ffbp(w.data, w.params, v.opt);
+        const double intel_s = intel.seconds(host_res.host_work);
 
-    core::FfbpMapOptions mopt;
-    mopt.n_cores = 16;
-    mopt.algo = v.opt;
-    const auto sim = core::run_ffbp_epiphany(w.data, w.params, mopt);
+        core::FfbpMapOptions mopt;
+        mopt.n_cores = 16;
+        mopt.algo = v.opt;
+        const auto sim = core::run_ffbp_epiphany(w.data, w.params, mopt);
 
-    // Compare against GBP on the rows GBP computed (decimation-aware).
-    double err;
-    {
-      Array2D<cf32> fd(host_res.image.data.rows() / 4,
-                       host_res.image.data.cols());
-      Array2D<cf32> gd(fd.rows(), fd.cols());
-      for (std::size_t i = 0; i < fd.rows(); ++i)
-        for (std::size_t j = 0; j < fd.cols(); ++j) {
-          fd(i, j) = host_res.image.data(4 * i, j);
-          gd(i, j) = g.image.data(4 * i, j);
-        }
-      err = relative_rmse(fd, gd);
-    }
+        // Compare against GBP on the rows GBP computed
+        // (decimation-aware).
+        Array2D<cf32> fd(host_res.image.data.rows() / 4,
+                         host_res.image.data.cols());
+        Array2D<cf32> gd(fd.rows(), fd.cols());
+        for (std::size_t i = 0; i < fd.rows(); ++i)
+          for (std::size_t j = 0; j < fd.cols(); ++j) {
+            fd(i, j) = host_res.image.data(4 * i, j);
+            gd(i, j) = g.image.data(4 * i, j);
+          }
 
-    const double fpp =
-        static_cast<double>(sar::merge_pixel_ops(v.opt).flops());
-    t.row({v.name, Table::num(image_entropy(host_res.image.data), 2),
-           Table::num(err, 4), bench::ms(intel_s), bench::ms(sim.seconds),
-           Table::num(fpp, 0)});
-    csv.row({v.name, Table::num(image_entropy(host_res.image.data), 4),
-             Table::num(err, 6), Table::num(intel_s * 1e3, 2),
-             Table::num(sim.seconds * 1e3, 2), Table::num(fpp, 0)});
+        return {image_entropy(host_res.image.data),
+                relative_rmse(fd, gd), intel_s, sim.seconds,
+                static_cast<double>(sar::merge_pixel_ops(v.opt).flops())};
+      });
+
+  for (std::size_t vi = 0; vi < std::size(variants); ++vi) {
+    const auto& v = variants[vi];
+    const auto& m = metrics[vi];
+    t.row({v.name, Table::num(m.entropy, 2), Table::num(m.err, 4),
+           bench::ms(m.intel_s), bench::ms(m.sim_s),
+           Table::num(m.fpp, 0)});
+    csv.row({v.name, Table::num(m.entropy, 4), Table::num(m.err, 6),
+             Table::num(m.intel_s * 1e3, 2), Table::num(m.sim_s * 1e3, 2),
+             Table::num(m.fpp, 0)});
   }
   t.note("GBP reference entropy: " +
          Table::num(image_entropy(g.image.data), 2) +

@@ -22,17 +22,32 @@ int main() {
     pairs.push_back(
         af::synthetic_block_pair(rng, p, rng.uniform_f(-0.5f, 0.5f)));
 
-  std::cerr << "simulating compact (paper Fig. 9) placement...\n";
-  core::AfMapOptions compact;
-  const auto a = core::run_autofocus_mpmd(pairs, p, compact);
-
-  std::cerr << "simulating scattered placement...\n";
-  core::AfMapOptions scattered;
-  scattered.placement = core::AfPlacement::kScattered;
-  const auto b = core::run_autofocus_mpmd(pairs, p, scattered);
-
-  std::cerr << "simulating auto-placed process network...\n";
-  const auto g = core::run_autofocus_graph(pairs, p);
+  // The three placements are independent simulations: fan them out across
+  // host threads (ESARP_JOBS); results are gathered by index and are
+  // byte-identical for any thread count.
+  struct Variant {
+    core::AfSimResult mpmd;
+    core::AfGraphResult graph;
+  };
+  host::SweepRunner pool(bench::sweep_jobs());
+  std::cerr << "simulating compact / scattered / auto-graph placements ("
+            << pool.jobs() << " host thread(s))...\n";
+  auto variants = pool.run(3, [&](std::size_t i) {
+    Variant v;
+    if (i == 0) {
+      v.mpmd = core::run_autofocus_mpmd(pairs, p, core::AfMapOptions{});
+    } else if (i == 1) {
+      core::AfMapOptions scattered;
+      scattered.placement = core::AfPlacement::kScattered;
+      v.mpmd = core::run_autofocus_mpmd(pairs, p, scattered);
+    } else {
+      v.graph = core::run_autofocus_graph(pairs, p);
+    }
+    return v;
+  });
+  const auto& a = variants[0].mpmd;
+  const auto& b = variants[1].mpmd;
+  const auto& g = variants[2].graph;
 
   const auto& an = a.perf.noc_write_onchip;
   const auto& bn = b.perf.noc_write_onchip;

@@ -22,34 +22,47 @@ int main() {
     return static_cast<double>(c) / kWords;
   };
 
-  // Local-store traffic: one load + one store slot per 8-byte word.
-  const double local = run([](CoreCtx& ctx) -> Task {
-    co_await ctx.compute({.load = 2 * kWords, .store = 2 * kWords});
-  });
-
-  // Posted external writes, 8 bytes each.
-  const double posted = run([](CoreCtx& ctx) -> Task {
-    auto dst = ctx.ext().alloc<double>(kWords);
-    const double v = 1.0;
-    for (std::uint64_t i = 0; i < kWords; ++i)
-      co_await ctx.write_ext(&dst[i], &v, 8);
-  });
-
-  // Blocking external reads, 8 bytes each (the sequential-FFBP pattern).
-  const double blocking = run([](CoreCtx& ctx) -> Task {
-    co_await ctx.read_ext_gather(kWords, 8);
-  });
-
-  // DMA bulk read of the same volume into local memory, in row-sized
-  // chunks (the SPMD-FFBP prefetch pattern).
-  const double dma = run([](CoreCtx& ctx) -> Task {
-    auto src = ctx.ext().alloc<double>(kWords);
-    auto buf = ctx.local().alloc<double>(1024);
-    for (std::uint64_t i = 0; i < kWords; i += 1024) {
-      DmaJob j = ctx.dma_read_ext(buf.data(), &src[i], 1024 * 8);
-      co_await ctx.wait(j);
+  // The four synthetic kernels are independent single-core machines: fan
+  // them out across host threads (ESARP_JOBS); gathered by index.
+  host::SweepRunner pool(bench::sweep_jobs());
+  const auto costs = pool.run(4, [&](std::size_t i) -> double {
+    switch (i) {
+      case 0:
+        // Local-store traffic: one load + one store slot per 8-byte word.
+        return run([](CoreCtx& ctx) -> Task {
+          co_await ctx.compute({.load = 2 * kWords, .store = 2 * kWords});
+        });
+      case 1:
+        // Posted external writes, 8 bytes each.
+        return run([](CoreCtx& ctx) -> Task {
+          auto dst = ctx.ext().alloc<double>(kWords);
+          const double v = 1.0;
+          for (std::uint64_t j = 0; j < kWords; ++j)
+            co_await ctx.write_ext(&dst[j], &v, 8);
+        });
+      case 2:
+        // Blocking external reads, 8 bytes each (the sequential-FFBP
+        // pattern).
+        return run([](CoreCtx& ctx) -> Task {
+          co_await ctx.read_ext_gather(kWords, 8);
+        });
+      default:
+        // DMA bulk read of the same volume into local memory, in
+        // row-sized chunks (the SPMD-FFBP prefetch pattern).
+        return run([](CoreCtx& ctx) -> Task {
+          auto src = ctx.ext().alloc<double>(kWords);
+          auto buf = ctx.local().alloc<double>(1024);
+          for (std::uint64_t j = 0; j < kWords; j += 1024) {
+            DmaJob jb = ctx.dma_read_ext(buf.data(), &src[j], 1024 * 8);
+            co_await ctx.wait(jb);
+          }
+        });
     }
   });
+  const double local = costs[0];
+  const double posted = costs[1];
+  const double blocking = costs[2];
+  const double dma = costs[3];
 
   Table t("External-memory access cost (cycles per 8-byte word)");
   t.header({"Access pattern", "Cycles/word", "vs posted write"});

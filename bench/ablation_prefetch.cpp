@@ -5,6 +5,7 @@
 // iterations it still requires contributing data to be read from the
 // external memory" — visible here as the per-level prefetch hit rate.
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/csv.hpp"
@@ -14,15 +15,31 @@ int main() {
   using namespace esarp;
   const auto w = bench::make_paper_workload();
 
-  std::cerr << "16-core FFBP with DMA prefetch...\n";
   core::FfbpMapOptions with;
   with.n_cores = 16;
-  const auto a = core::run_ffbp_epiphany(w.data, w.params, with);
-
-  std::cerr << "16-core FFBP without prefetch (all reads blocking)...\n";
   core::FfbpMapOptions without = with;
   without.prefetch = false;
-  const auto b = core::run_ffbp_epiphany(w.data, w.params, without);
+  // Double buffering needs two rows per 8 KB data bank: only possible up
+  // to 512 range bins — NOT at the paper's 1001 (the bank-budget finding).
+  const bool can_double_buffer =
+      w.params.n_range * sizeof(cf32) * 2 <= 8192;
+  std::vector<core::FfbpMapOptions> variants = {with, without};
+  if (can_double_buffer) {
+    core::FfbpMapOptions dbl = with;
+    dbl.double_buffer = true;
+    variants.push_back(dbl);
+  }
+
+  // Independent simulations: fan out across host threads (ESARP_JOBS);
+  // results are gathered by index, byte-identical for any thread count.
+  host::SweepRunner pool(bench::sweep_jobs());
+  std::cerr << "simulating " << variants.size() << " prefetch variants ("
+            << pool.jobs() << " host thread(s))...\n";
+  auto results = pool.run(variants.size(), [&](std::size_t i) {
+    return core::run_ffbp_epiphany(w.data, w.params, variants[i]);
+  });
+  const auto& a = results[0];
+  const auto& b = results[1];
 
   Table t("FFBP SPMD: DMA prefetch ablation (16 cores)");
   t.header({"Configuration", "Time (ms)", "Ext-read stall (Mcycles)",
@@ -34,12 +51,8 @@ int main() {
          Table::num(static_cast<double>(b.perf.total_ext_stall()) / 1e6, 1),
          format_bytes(b.perf.ext.read_bytes),
          Table::num(b.seconds / a.seconds, 2) + "x"});
-  // Double buffering needs two rows per 8 KB data bank: only possible up
-  // to 512 range bins — NOT at the paper's 1001 (the bank-budget finding).
-  if (w.params.n_range * sizeof(cf32) * 2 <= 8192) {
-    core::FfbpMapOptions dbl = with;
-    dbl.double_buffer = true;
-    const auto c = core::run_ffbp_epiphany(w.data, w.params, dbl);
+  if (can_double_buffer) {
+    const auto& c = results[2];
     t.row({"double-buffered prefetch", bench::ms(c.seconds),
            Table::num(static_cast<double>(c.perf.total_ext_stall()) / 1e6,
                       1),

@@ -12,9 +12,11 @@
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
+#include "host/sweep_runner.hpp"
 #include "sar/params.hpp"
 #include "sar/scene.hpp"
 #include "telemetry/manifest.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace esarp::bench {
 
@@ -72,6 +74,32 @@ write_manifest(const telemetry::RunManifest& man) {
   man.write(path);
   std::cerr << "wrote " << path.string() << "\n";
   return path;
+}
+
+/// Worker-thread count for SweepRunner-based benches: ESARP_JOBS when set,
+/// else 1 (the deterministic reference schedule; results are identical for
+/// any value, only host wall-clock changes).
+inline int sweep_jobs() { return host::sweep_jobs_from_env(1); }
+
+/// Record engine throughput on a run manifest (docs/performance.md):
+/// `engine_events` (deterministic, regression-checked by esarp_compare's
+/// default results threshold) as a result, and the host-side wall-clock /
+/// events-per-second / jobs — which legitimately vary run to run — as
+/// informational metrics gauges on `reg`. Call before set_metrics(&reg).
+inline void add_engine_stats(telemetry::RunManifest& man,
+                             telemetry::MetricsRegistry* reg,
+                             std::uint64_t events, double wall_seconds,
+                             int jobs) {
+  // "engine_events" is the per-run count fill_manifest() records; the
+  // sweep-level total gets its own key so the two never collide.
+  man.add_result("engine_events_total", static_cast<double>(events));
+  if (reg != nullptr) {
+    reg->gauge("engine.wall_seconds").set(wall_seconds);
+    reg->gauge("engine.events_per_second")
+        .set(wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds
+                                : 0.0);
+    reg->gauge("engine.jobs").set(static_cast<double>(jobs));
+  }
 }
 
 /// Format a speedup ratio like the paper's Table I ("4.25").

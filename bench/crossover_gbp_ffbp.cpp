@@ -5,16 +5,45 @@
 // O(N^2 M) back-projection work grows a factor N/log2(N) faster than
 // FFBP's O(N M log N), and GBP additionally re-streams the whole raw data
 // set once per output row.
+//
+// Each aperture size is an independent (GBP, FFBP) simulation pair, fanned
+// out across host threads via host::SweepRunner (ESARP_JOBS); results are
+// gathered by sweep index and are byte-identical for any thread count.
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/csv.hpp"
 #include "core/ffbp_epiphany.hpp"
 #include "core/gbp_epiphany.hpp"
+#include "epiphany/machine_metrics.hpp"
 #include "sar/scene.hpp"
 
 int main() {
   using namespace esarp;
+
+  std::vector<std::size_t> sizes;
+  const std::size_t max_n = bench::fast_mode() ? 128 : 256;
+  for (std::size_t n = 32; n <= max_n; n *= 2) sizes.push_back(n);
+
+  struct Pair {
+    core::GbpSimResult g;
+    core::FfbpSimResult f;
+  };
+  host::SweepRunner pool(bench::sweep_jobs());
+  std::cerr << "simulating " << sizes.size() << " aperture sizes x "
+            << "{GBP, FFBP} (" << pool.jobs() << " host thread(s))...\n";
+  WallTimer sweep_timer;
+  auto results = pool.run(sizes.size(), [&](std::size_t i) {
+    const auto p = sar::test_params(sizes[i], 161);
+    const auto data = sar::simulate_compressed(p, sar::six_target_scene(p));
+    Pair pr{core::run_gbp_epiphany(data, p, 16), {}};
+    core::FfbpMapOptions fopt;
+    fopt.n_cores = 16;
+    pr.f = core::run_ffbp_epiphany(data, p, fopt);
+    return pr;
+  });
+  const double sweep_s = sweep_timer.elapsed_s();
 
   Table t("GBP vs FFBP on the simulated 16-core Epiphany");
   t.header({"Pulses", "GBP time (ms)", "FFBP time (ms)", "FFBP advantage",
@@ -23,17 +52,12 @@ int main() {
                 {"pulses", "gbp_ms", "ffbp_ms", "advantage", "gbp_ext_mb",
                  "ffbp_ext_mb"});
 
-  const std::size_t max_n = bench::fast_mode() ? 128 : 256;
-  for (std::size_t n = 32; n <= max_n; n *= 2) {
-    const auto p = sar::test_params(n, 161);
-    const auto data = sar::simulate_compressed(p, sar::six_target_scene(p));
-    std::cerr << "n=" << n << ": GBP...\n";
-    const auto g = core::run_gbp_epiphany(data, p, 16);
-    std::cerr << "n=" << n << ": FFBP...\n";
-    core::FfbpMapOptions fopt;
-    fopt.n_cores = 16;
-    const auto f = core::run_ffbp_epiphany(data, p, fopt);
-
+  std::uint64_t events = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::size_t n = sizes[i];
+    const auto& g = results[i].g;
+    const auto& f = results[i].f;
+    events += g.perf.engine_events + f.perf.engine_events;
     const double gbp_flops =
         static_cast<double>(g.perf.total_ops().flops());
     const double ffbp_flops =
@@ -48,6 +72,19 @@ int main() {
                      static_cast<double>(g.perf.ext.read_bytes) / 1e6,
                      static_cast<double>(f.perf.ext.read_bytes) / 1e6});
   }
+
+  // Manifest for the largest aperture plus sweep-level engine throughput.
+  const auto& head = results.back();
+  telemetry::RunManifest man("crossover_gbp_ffbp");
+  man.add_result("gbp_seconds", head.g.seconds);
+  man.add_result("ffbp_seconds", head.f.seconds);
+  man.add_result("ffbp_advantage", head.g.seconds / head.f.seconds);
+  man.add_workload("n_pulses", static_cast<double>(sizes.back()));
+  man.add_workload("n_range", 161.0);
+  man.add_workload("fast_mode", bench::fast_mode() ? 1.0 : 0.0);
+  bench::add_engine_stats(man, nullptr, events, sweep_s, pool.jobs());
+  bench::write_manifest(man);
+
   t.note("FFBP's advantage grows ~N/log2(N): the reason time-domain SAR "
          "needs factorisation to be real-time capable (paper Section I)");
   t.print(std::cout);

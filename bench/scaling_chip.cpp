@@ -3,11 +3,16 @@
 // takes the SPMD FFBP (which the paper argues scales naturally) from the
 // 16-core E16G3 to an E64G4-class 8x8 chip (64 cores, 800 MHz, 65 nm)
 // and reports where the shared 8 GB/s eLink starts to cap the speedup.
+//
+// The per-chip simulations are independent, so they fan out across host
+// threads via host::SweepRunner (ESARP_JOBS); results are gathered by
+// sweep index and are byte-identical for any thread count.
 #include <iostream>
 
 #include "bench_util.hpp"
 #include "common/csv.hpp"
 #include "core/ffbp_epiphany.hpp"
+#include "epiphany/machine_metrics.hpp"
 
 int main() {
   using namespace esarp;
@@ -23,10 +28,21 @@ int main() {
   e64.rows = 8;
   e64.cols = 8;
   e64.clock_hz = 800e6; // E64G4 spec clock
-  const Chip chips[] = {
+  const std::vector<Chip> chips = {
       {"E16G3 4x4 @ 1 GHz", e16, 16},
       {"E64G4 8x8 @ 800 MHz", e64, 64},
   };
+
+  host::SweepRunner pool(bench::sweep_jobs());
+  std::cerr << "simulating " << chips.size() << " chip configurations ("
+            << pool.jobs() << " host thread(s))...\n";
+  WallTimer sweep_timer;
+  auto results = pool.run(chips.size(), [&](std::size_t i) {
+    core::FfbpMapOptions opt;
+    opt.n_cores = chips[i].cores;
+    return core::run_ffbp_epiphany(w.data, w.params, opt, chips[i].cfg);
+  });
+  const double sweep_s = sweep_timer.elapsed_s();
 
   Table t("FFBP SPMD across Epiphany generations");
   t.header({"Chip", "Cores", "Time (ms)", "Speedup vs E16",
@@ -34,13 +50,12 @@ int main() {
   CsvWriter csv(bench::out_dir() / "scaling_chip.csv",
                 {"chip", "cores", "time_ms", "util", "power_w"});
 
-  double t16 = 0.0;
-  for (const auto& chip : chips) {
-    std::cerr << "simulating " << chip.name << "...\n";
-    core::FfbpMapOptions opt;
-    opt.n_cores = chip.cores;
-    const auto res = core::run_ffbp_epiphany(w.data, w.params, opt, chip.cfg);
-    if (t16 == 0.0) t16 = res.seconds;
+  const double t16 = results.front().seconds;
+  std::uint64_t events = 0;
+  for (std::size_t i = 0; i < chips.size(); ++i) {
+    const Chip& chip = chips[i];
+    const auto& res = results[i];
+    events += res.perf.engine_events;
     // eLink read-channel utilisation: serialised read cycles / makespan.
     const double elink_util =
         static_cast<double>(res.perf.ext.read_bytes) /
@@ -56,6 +71,19 @@ int main() {
              Table::num(res.perf.utilization(), 4),
              Table::num(res.energy.avg_watts, 3)});
   }
+
+  // Manifest for the headline (E64) configuration plus sweep-level engine
+  // throughput (docs/performance.md).
+  auto& e64_res = results.back();
+  telemetry::RunManifest man("scaling_chip");
+  ep::fill_manifest(man, e64_res.perf, e64_res.energy);
+  bench::add_workload(man, w.params);
+  man.add_workload("n_cores", 64.0);
+  bench::add_engine_stats(man, &e64_res.metrics, events, sweep_s,
+                          pool.jobs());
+  man.set_metrics(&e64_res.metrics);
+  bench::write_manifest(man);
+
   t.note("same SPMD source scales to the larger chip unchanged (the SPMD "
          "productivity argument of Section VI-B); the eLink becomes the "
          "limiter as core count quadruples while off-chip bandwidth stays "

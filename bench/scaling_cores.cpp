@@ -3,6 +3,7 @@
 // increasing the number of compute nodes". Sweeps the SPMD mapping over
 // 1..16 cores on the paper-size workload.
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/csv.hpp"
@@ -20,21 +21,26 @@ int main() {
                 {"cores", "time_ms", "speedup", "efficiency", "power_w",
                  "energy_mj"});
 
-  double t1 = 0.0;
-  for (int cores : {1, 2, 4, 8, 16}) {
-    std::cerr << "simulating " << cores << "-core FFBP...\n";
+  // The core counts are independent simulations of the same workload:
+  // fan out across host threads (ESARP_JOBS); gathered by sweep index.
+  const std::vector<int> core_counts = {1, 2, 4, 8, 16};
+  host::SweepRunner pool(bench::sweep_jobs());
+  std::cerr << "simulating " << core_counts.size()
+            << " core counts (" << pool.jobs() << " host thread(s))...\n";
+  WallTimer sweep_timer;
+  auto results = pool.run(core_counts.size(), [&](std::size_t i) {
     core::FfbpMapOptions opt;
-    opt.n_cores = cores;
-    const auto res = core::run_ffbp_epiphany(w.data, w.params, opt);
-    if (cores == 16) {
-      telemetry::RunManifest man("scaling_cores");
-      ep::fill_manifest(man, res.perf, res.energy);
-      bench::add_workload(man, w.params);
-      man.add_workload("n_cores", 16.0);
-      man.set_metrics(&res.metrics);
-      bench::write_manifest(man);
-    }
-    if (cores == 1) t1 = res.seconds;
+    opt.n_cores = core_counts[i];
+    return core::run_ffbp_epiphany(w.data, w.params, opt);
+  });
+  const double sweep_s = sweep_timer.elapsed_s();
+
+  const double t1 = results.front().seconds;
+  std::uint64_t events = 0;
+  for (std::size_t i = 0; i < core_counts.size(); ++i) {
+    const int cores = core_counts[i];
+    const auto& res = results[i];
+    events += res.perf.engine_events;
     const double sp = t1 / res.seconds;
     const double eff = sp / cores;
     t.row({std::to_string(cores), bench::ms(res.seconds),
@@ -44,6 +50,18 @@ int main() {
     csv.row_numeric({static_cast<double>(cores), res.seconds * 1e3, sp, eff,
                      res.energy.avg_watts, res.energy.total_j() * 1e3});
   }
+
+  // Manifest for the 16-core configuration plus sweep-level engine
+  // throughput (docs/performance.md).
+  auto& head = results.back();
+  telemetry::RunManifest man("scaling_cores");
+  ep::fill_manifest(man, head.perf, head.energy);
+  bench::add_workload(man, w.params);
+  man.add_workload("n_cores", 16.0);
+  bench::add_engine_stats(man, &head.metrics, events, sweep_s,
+                          pool.jobs());
+  man.set_metrics(&head.metrics);
+  bench::write_manifest(man);
   t.note("all configurations DMA-prefetch child rows; the 1-core row is "
          "the prefetching mapping, not the naive sequential version of "
          "Table I");

@@ -158,17 +158,25 @@ ep::Task ffbp_core_program(ep::CoreCtx& ctx, const sar::RadarParams& p,
       auto [a1, a2] = predict(ti);
       pending_pre1 = a1;
       pending_pre2 = a2;
-      pending1 = ctx.dma_read_ext(
-          child_row1.data() + static_cast<std::size_t>(half) *
-                                  (opt.double_buffer ? n_range : 0),
-          src.data() + lc.offset(2 * subap, static_cast<std::size_t>(a1)),
-          row_bytes);
-      pending2 = ctx.dma_read_ext(
-          child_row2.data() + static_cast<std::size_t>(half) *
-                                  (opt.double_buffer ? n_range : 0),
-          src.data() +
-              lc.offset(2 * subap + 1, static_cast<std::size_t>(a2)),
-          row_bytes);
+      cf32* dst1 = child_row1.data() + static_cast<std::size_t>(half) *
+                                           (opt.double_buffer ? n_range : 0);
+      cf32* dst2 = child_row2.data() + static_cast<std::size_t>(half) *
+                                           (opt.double_buffer ? n_range : 0);
+      const cf32* src1 =
+          src.data() + lc.offset(2 * subap, static_cast<std::size_t>(a1));
+      const cf32* src2 =
+          src.data() + lc.offset(2 * subap + 1, static_cast<std::size_t>(a2));
+      if (ctx.config().burst_transfers) {
+        // Both child rows as one burst job: one wait event per prefetch
+        // instead of two, identical cycle accounting (see DmaSeg docs).
+        const ep::DmaSeg segs[2] = {{dst1, src1, row_bytes},
+                                    {dst2, src2, row_bytes}};
+        pending1 = ctx.dma_read_ext_burst(segs);
+        pending2 = ep::DmaJob{}; // completes at 0: wait() is a no-op
+      } else {
+        pending1 = ctx.dma_read_ext(dst1, src1, row_bytes);
+        pending2 = ctx.dma_read_ext(dst2, src2, row_bytes);
+      }
     };
 
     if (opt.prefetch && opt.double_buffer && begin < end) {

@@ -47,13 +47,21 @@ ep::Task gbp_core_program(ep::CoreCtx& ctx, const sar::RadarParams& p,
 
     for (std::size_t pu = 0; pu < p.n_pulses; pu += 2) {
       // Stream the next two pulses through the data banks.
-      ep::DmaJob j1 = ctx.dma_read_ext(
-          pulse_a.data(), st.data_ext.data() + pu * n_range, row_bytes);
-      ep::DmaJob j2 = ctx.dma_read_ext(
-          pulse_b.data(), st.data_ext.data() + (pu + 1) * n_range,
-          row_bytes);
-      co_await ctx.wait(j1);
-      co_await ctx.wait(j2);
+      if (ctx.config().burst_transfers) {
+        const ep::DmaSeg segs[2] = {
+            {pulse_a.data(), st.data_ext.data() + pu * n_range, row_bytes},
+            {pulse_b.data(), st.data_ext.data() + (pu + 1) * n_range,
+             row_bytes}};
+        co_await ctx.wait(ctx.dma_read_ext_burst(segs));
+      } else {
+        ep::DmaJob j1 = ctx.dma_read_ext(
+            pulse_a.data(), st.data_ext.data() + pu * n_range, row_bytes);
+        ep::DmaJob j2 = ctx.dma_read_ext(
+            pulse_b.data(), st.data_ext.data() + (pu + 1) * n_range,
+            row_bytes);
+        co_await ctx.wait(j1);
+        co_await ctx.wait(j2);
+      }
 
       for (std::size_t j = 0; j < n_range; ++j) {
         const float r = static_cast<float>(grid.r_of(j));

@@ -10,6 +10,13 @@ AddressMap::AddressMap(const ChipConfig& cfg, int first_row, int first_col,
       ext_base_(ext_base), ext_size_(ext_size) {
   ESARP_EXPECTS(first_row >= 1 && first_row + cfg.rows <= 64);
   ESARP_EXPECTS(first_col >= 1 && first_col + cfg.cols <= 64);
+  bases_.reserve(static_cast<std::size_t>(cfg.rows) * cfg.cols);
+  for (int r = 0; r < cfg.rows; ++r)
+    for (int c = 0; c < cfg.cols; ++c) {
+      const Addr id = (static_cast<Addr>(first_row_ + r) << 6) |
+                      static_cast<Addr>(first_col_ + c);
+      bases_.push_back(id << kApertureBits);
+    }
   const Addr first_core = core_base({0, 0});
   const Addr last_core_end =
       core_base({cfg.rows - 1, cfg.cols - 1}) + (Addr{1} << kApertureBits);
@@ -29,9 +36,8 @@ AddressMap::AddressMap(const ChipConfig& cfg, int first_row, int first_col,
 Addr AddressMap::core_base(Coord c) const {
   ESARP_EXPECTS(c.row >= 0 && c.row < cfg_.rows);
   ESARP_EXPECTS(c.col >= 0 && c.col < cfg_.cols);
-  const Addr id = (static_cast<Addr>(first_row_ + c.row) << 6) |
-                  static_cast<Addr>(first_col_ + c.col);
-  return id << kApertureBits;
+  return bases_[static_cast<std::size_t>(c.row) * cfg_.cols +
+                static_cast<std::size_t>(c.col)];
 }
 
 Addr AddressMap::encode_core(Coord c, Addr offset) const {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "epiphany/config.hpp"
 
@@ -61,6 +62,9 @@ public:
 
 private:
   static constexpr Addr kApertureBits = 20; // 1 MB per core
+  /// Aperture base of core (row, col) at index row * cols + col; filled at
+  /// construction so the hot translation path is a table lookup.
+  std::vector<Addr> bases_;
   ChipConfig cfg_;
   int first_row_;
   int first_col_;

@@ -61,6 +61,12 @@ struct ChipConfig {
                                     ///< bursts which stream at eLink rate
   Cycles dma_setup_cycles = 20;  ///< DMA descriptor programming overhead
 
+  // Simulation engine (host-side) knobs — no effect on simulated cycles.
+  bool burst_transfers = true; ///< issue multi-segment DMA prefetches as one
+                               ///< analytically-costed burst job (identical
+                               ///< Cycles totals, fewer scheduler events);
+                               ///< false = legacy per-chunk jobs + waits
+
   // Derived helpers.
   [[nodiscard]] int core_count() const { return rows * cols; }
   [[nodiscard]] double seconds(Cycles c) const {

@@ -19,6 +19,8 @@
 #pragma once
 
 #include <cstring>
+#include <span>
+#include <vector>
 
 #include "common/opcounts.hpp"
 #include "epiphany/config.hpp"
@@ -37,6 +39,13 @@ namespace esarp::ep {
 /// Handle for an in-flight DMA transfer.
 struct DmaJob {
   Cycles done_at = 0;
+};
+
+/// One segment of a burst DMA transfer (see CoreCtx::dma_read_ext_burst).
+struct DmaSeg {
+  void* dst = nullptr;
+  const void* src = nullptr;
+  std::size_t bytes = 0;
 };
 
 class CoreCtx {
@@ -129,6 +138,26 @@ public:
     return DmaJob{ext_port_.dma_read(coord(), bytes, now())};
   }
 
+  /// Start a burst of DMA read segments SDRAM -> local store as one job.
+  /// Cycle-for-cycle equivalent to one dma_read_ext per segment followed by
+  /// a wait on each (same per-segment setup, channel queueing and stat
+  /// accounting; the returned job completes with the last segment), but the
+  /// whole burst costs a single scheduler event to await — the engine's
+  /// burst-level transfer modeling (ChipConfig::burst_transfers).
+  [[nodiscard]] DmaJob dma_read_ext_burst(std::span<const DmaSeg> segs) {
+    ESARP_EXPECTS(!segs.empty());
+    burst_sizes_.clear();
+    for (const DmaSeg& s : segs) {
+      ESARP_EXPECTS(ext_mem_.owns(s.src));
+      ESARP_EXPECTS(core_.mem().owns(s.dst));
+      std::memcpy(s.dst, s.src, s.bytes);
+      core_.counters.dma_transfers += 1;
+      core_.counters.dma_bytes += s.bytes;
+      burst_sizes_.push_back(s.bytes);
+    }
+    return DmaJob{ext_port_.dma_read_burst(coord(), burst_sizes_, now())};
+  }
+
   /// Start a DMA write local store -> SDRAM. Returns immediately.
   [[nodiscard]] DmaJob dma_write_ext(void* dst, const void* src,
                                      std::size_t bytes) {
@@ -197,6 +226,7 @@ private:
   const ChipConfig& cfg_;
   Tracer& tracer_;
   telemetry::MetricsRegistry& metrics_;
+  std::vector<std::size_t> burst_sizes_; ///< scratch for dma_read_ext_burst
 };
 
 } // namespace esarp::ep

@@ -56,6 +56,20 @@ Cycles ExtPort::dma_read(Coord core, std::size_t bytes, Cycles now) {
   return start + cfg_.ext_read_latency + ser + hops;
 }
 
+Cycles ExtPort::dma_read_burst(Coord core,
+                               std::span<const std::size_t> seg_bytes,
+                               Cycles now) {
+  ESARP_EXPECTS(!seg_bytes.empty());
+  // Each segment is a separate DMA descriptor: it pays its own setup and
+  // serialises on the SDRAM read channel behind its predecessors, exactly
+  // as if the segments had been issued one dma_read call at a time. The
+  // burst only changes how many *scheduler* events the waiting core needs.
+  Cycles done = now;
+  for (std::size_t bytes : seg_bytes)
+    done = std::max(done, dma_read(core, bytes, now));
+  return done;
+}
+
 Cycles ExtPort::posted_write(Coord core, std::size_t bytes, Cycles now) {
   ESARP_EXPECTS(bytes > 0);
   // Core-side cost: stores issue at one double word per cycle.

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "epiphany/config.hpp"
 #include "epiphany/noc.hpp"
@@ -60,6 +61,15 @@ public:
   /// then streams at eLink bandwidth. Returns the completion time (the core
   /// does not stall; await the returned time to synchronise).
   Cycles dma_read(Coord core, std::size_t bytes, Cycles now);
+
+  /// Burst of independent DMA read segments issued back-to-back at `now`.
+  /// Cycle-for-cycle equivalent to calling dma_read once per segment (each
+  /// segment pays its own setup and queues on the read channel) but costed
+  /// analytically in one call, so a kernel can await a whole prefetch
+  /// burst with a single scheduler event. Returns the completion time of
+  /// the last segment.
+  Cycles dma_read_burst(Coord core, std::span<const std::size_t> seg_bytes,
+                        Cycles now);
 
   /// Posted write of `bytes` from `core` to SDRAM. Returns the cycle at
   /// which the *core* may continue (issue time plus any backpressure stall

@@ -76,6 +76,7 @@ Cycles Machine::run() {
 PerfReport Machine::report() const {
   PerfReport rep;
   rep.cfg = cfg_;
+  rep.engine_events = sched_.events_processed();
   rep.per_core.reserve(cores_.size());
   for (const auto& c : cores_) {
     rep.per_core.push_back(c->counters);

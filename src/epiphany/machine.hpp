@@ -109,6 +109,12 @@ public:
   /// Seconds of chip time for a cycle count at the configured clock.
   [[nodiscard]] double seconds(Cycles c) const { return cfg_.seconds(c); }
 
+  /// Scheduler events resumed so far (engine throughput numerator for the
+  /// events/sec fields in run manifests).
+  [[nodiscard]] std::uint64_t events_processed() const {
+    return sched_.events_processed();
+  }
+
   /// Aggregate performance report over the last run.
   [[nodiscard]] PerfReport report() const;
 

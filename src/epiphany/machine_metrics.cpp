@@ -124,6 +124,7 @@ void fill_manifest(telemetry::RunManifest& man, const PerfReport& rep,
   man.add_result("ext_write_bytes", static_cast<double>(rep.ext.write_bytes));
   man.add_result("energy_j", energy.total_j());
   man.add_result("avg_watts", energy.avg_watts);
+  man.add_result("engine_events", static_cast<double>(rep.engine_events));
 }
 
 } // namespace esarp::ep

@@ -10,6 +10,18 @@ Noc::Noc(const ChipConfig& cfg) : cfg_(cfg) {
   const std::size_t n_links =
       static_cast<std::size_t>(cfg_.rows) * cfg_.cols * 4;
   for (auto& mesh : links_) mesh.assign(n_links, BusyResource{});
+  const std::size_t n_nodes = static_cast<std::size_t>(cfg_.rows) * cfg_.cols;
+  route_cache_.resize(n_nodes * n_nodes);
+}
+
+const std::vector<std::size_t>& Noc::cached_route(Coord src, Coord dst) const {
+  const std::size_t n_nodes = static_cast<std::size_t>(cfg_.rows) * cfg_.cols;
+  const std::size_t key =
+      (static_cast<std::size_t>(src.row) * cfg_.cols + src.col) * n_nodes +
+      static_cast<std::size_t>(dst.row) * cfg_.cols + dst.col;
+  std::vector<std::size_t>& cached = route_cache_[key];
+  if (cached.empty()) route(src, dst, cached);
+  return cached;
 }
 
 std::size_t Noc::link_index(Coord node, int dir) const {
@@ -42,21 +54,20 @@ Cycles Noc::transfer(Coord src, Coord dst, std::size_t bytes, Cycles now,
   auto& links = links_[static_cast<int>(mesh)];
   auto& st = stats_[static_cast<int>(mesh)];
 
-  route(src, dst, scratch_route_);
+  const std::vector<std::size_t>& path = cached_route(src, dst);
   const Cycles serialization = cfg_.cycles_for_bytes_on_link(bytes);
 
   // Wormhole approximation: the message starts when every link on the path
   // is free, holds each link for the serialisation time, and the tail
   // arrives after per-hop latency plus serialisation.
   Cycles start = now;
-  for (std::size_t idx : scratch_route_)
-    start = std::max(start, links[idx].free_at);
-  for (std::size_t idx : scratch_route_) {
+  for (std::size_t idx : path) start = std::max(start, links[idx].free_at);
+  for (std::size_t idx : path) {
     links[idx].acquire(start, serialization, bytes);
     st.max_link_busy = std::max(st.max_link_busy, links[idx].total_busy);
   }
 
-  const Cycles hops = static_cast<Cycles>(scratch_route_.size());
+  const Cycles hops = static_cast<Cycles>(path.size());
   st.transfers += 1;
   st.bytes += bytes;
   st.byte_hops += bytes * hops;
@@ -67,11 +78,10 @@ Cycles Noc::probe(Coord src, Coord dst, std::size_t bytes, Cycles now,
                   Mesh mesh) const {
   if (src == dst || bytes == 0) return now;
   const auto& links = links_[static_cast<int>(mesh)];
-  route(src, dst, scratch_route_);
+  const std::vector<std::size_t>& path = cached_route(src, dst);
   Cycles start = now;
-  for (std::size_t idx : scratch_route_)
-    start = std::max(start, links[idx].free_at);
-  const Cycles hops = static_cast<Cycles>(scratch_route_.size());
+  for (std::size_t idx : path) start = std::max(start, links[idx].free_at);
+  const Cycles hops = static_cast<Cycles>(path.size());
   return start + hops * cfg_.hop_latency +
          cfg_.cycles_for_bytes_on_link(bytes);
 }

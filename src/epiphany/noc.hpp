@@ -85,11 +85,17 @@ private:
   [[nodiscard]] std::size_t link_index(Coord node, int dir) const;
   /// Appends the link indices of the XY route src->dst to `out`.
   void route(Coord src, Coord dst, std::vector<std::size_t>& out) const;
+  /// Memoized XY route src->dst (routes are static, so each pair is
+  /// computed once and reused by every later transfer/probe).
+  [[nodiscard]] const std::vector<std::size_t>& cached_route(Coord src,
+                                                             Coord dst) const;
 
   ChipConfig cfg_;
   std::array<std::vector<BusyResource>, kMeshCount> links_;
   std::array<NocStats, kMeshCount> stats_;
-  mutable std::vector<std::size_t> scratch_route_;
+  /// Route cache indexed by src * n_nodes + dst; an empty vector means
+  /// "not computed yet" (src == dst never reaches the cache).
+  mutable std::vector<std::vector<std::size_t>> route_cache_;
 };
 
 } // namespace esarp::ep

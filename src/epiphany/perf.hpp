@@ -15,6 +15,10 @@ namespace esarp::ep {
 struct PerfReport {
   ChipConfig cfg;
   Cycles makespan = 0; ///< cycles until the last core finished
+  /// Scheduler events the engine processed for this run (host-side engine
+  /// throughput; does not affect — and must not be affected by — any
+  /// simulated-cycle result).
+  std::uint64_t engine_events = 0;
   std::vector<CoreCounters> per_core;
   NocStats noc_total;
   NocStats noc_read;

@@ -1,0 +1,29 @@
+#include "host/sweep_runner.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace esarp::host {
+
+int sweep_jobs_from_env(int fallback) {
+  if (const char* env = std::getenv("ESARP_JOBS")) {
+    try {
+      const int jobs = std::stoi(env);
+      if (jobs >= 1) return jobs;
+    } catch (const std::exception&) {
+      // Fall through to the fallback on unparsable values.
+    }
+  }
+  if (fallback >= 1) return fallback;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+SweepRunner::SweepRunner(int jobs) : jobs_(jobs) {
+  if (jobs_ <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs_ = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+}
+
+} // namespace esarp::host

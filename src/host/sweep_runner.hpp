@@ -1,0 +1,106 @@
+// SweepRunner — deterministic host-side parallelism for parameter sweeps.
+//
+// Every bench in this repo runs dozens of *independent* `ep::Machine`
+// simulations (chip sizes, core counts, algorithm variants). A Machine is
+// self-contained — its Scheduler, Noc, ExtPort and metrics are all
+// instance state — so independent runs can fan out across host threads
+// without sharing anything. SweepRunner does exactly that and nothing
+// more:
+//
+//   host::SweepRunner pool(jobs);           // jobs <= 1 -> run inline
+//   auto results = pool.run(n, [&](std::size_t i) { return simulate(i); });
+//
+// Determinism contract: `fn(i)` must depend only on `i` (no shared mutable
+// state, no wall-clock, no global RNG). Results are collected by task
+// index, so the returned vector — and anything derived from it, like run
+// manifests — is byte-identical for any thread count, including 1. The
+// tests in tests/test_sweep_runner.cpp enforce this.
+//
+// Simulated time is untouched: each Machine keeps its own virtual clock,
+// so parallel sweeps change host wall-clock only, never simulated cycles.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace esarp::host {
+
+/// Number of worker threads a sweep should use: the `ESARP_JOBS`
+/// environment variable when set (>= 1), otherwise `fallback`, otherwise
+/// (fallback <= 0) the hardware concurrency.
+[[nodiscard]] int sweep_jobs_from_env(int fallback = 1);
+
+class SweepRunner {
+public:
+  /// `jobs` <= 0 selects std::thread::hardware_concurrency().
+  explicit SweepRunner(int jobs = 0);
+
+  [[nodiscard]] int jobs() const { return jobs_; }
+
+  /// Run `fn(0) ... fn(n-1)` across the pool and return the results in
+  /// index order regardless of completion order. With jobs() == 1 the
+  /// tasks run inline on the calling thread (no threads spawned), which is
+  /// the reference schedule the parallel schedules must reproduce. The
+  /// first exception thrown by any task is rethrown after all workers
+  /// finish.
+  template <typename Fn>
+  auto run(std::size_t n, Fn&& fn)
+      -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+    using R = std::invoke_result_t<Fn&, std::size_t>;
+    std::vector<std::optional<R>> slots(n);
+
+    if (jobs_ <= 1 || n <= 1) {
+      for (std::size_t i = 0; i < n; ++i) slots[i].emplace(fn(i));
+    } else {
+      std::atomic<std::size_t> next{0};
+      std::atomic<bool> failed{false};
+      std::exception_ptr error;
+      std::mutex error_mu;
+      auto worker = [&]() {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n || failed.load(std::memory_order_relaxed)) return;
+          try {
+            slots[i].emplace(fn(i));
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock(error_mu);
+            if (!error) error = std::current_exception();
+            failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+      };
+      const std::size_t n_threads =
+          std::min(static_cast<std::size_t>(jobs_), n);
+      std::vector<std::thread> threads;
+      threads.reserve(n_threads);
+      for (std::size_t t = 0; t < n_threads; ++t)
+        threads.emplace_back(worker);
+      for (std::thread& t : threads) t.join();
+      if (error) std::rethrow_exception(error);
+    }
+
+    std::vector<R> out;
+    out.reserve(n);
+    for (std::optional<R>& s : slots) {
+      ESARP_ENSURES(s.has_value());
+      out.push_back(std::move(*s));
+    }
+    return out;
+  }
+
+private:
+  int jobs_;
+};
+
+} // namespace esarp::host

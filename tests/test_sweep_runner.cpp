@@ -1,0 +1,157 @@
+// SweepRunner determinism contract (docs/performance.md): fanning
+// independent Machine runs across host threads must produce byte-identical
+// results for ANY thread count, and the burst transfer model must produce
+// exactly the same simulated cycle counts as the per-chunk model it
+// replaces.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/autofocus_epiphany.hpp"
+#include "core/ffbp_epiphany.hpp"
+#include "core/gbp_epiphany.hpp"
+#include "epiphany/machine_metrics.hpp"
+#include "host/sweep_runner.hpp"
+#include "autofocus/workload.hpp"
+#include "sar/scene.hpp"
+#include "telemetry/manifest.hpp"
+
+namespace esarp {
+namespace {
+
+TEST(SweepRunner, GathersResultsInIndexOrder) {
+  host::SweepRunner pool(4);
+  EXPECT_EQ(pool.jobs(), 4);
+  const auto out =
+      pool.run(100, [](std::size_t i) { return 3 * i + 1; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 3 * i + 1);
+}
+
+TEST(SweepRunner, SingleJobRunsInline) {
+  host::SweepRunner pool(1);
+  const auto caller = std::this_thread::get_id();
+  const auto ids = pool.run(
+      3, [&](std::size_t) { return std::this_thread::get_id(); });
+  for (const auto& id : ids) EXPECT_EQ(id, caller);
+}
+
+TEST(SweepRunner, PropagatesWorkerExceptions) {
+  host::SweepRunner pool(4);
+  EXPECT_THROW(pool.run(8,
+                        [](std::size_t i) -> int {
+                          if (i == 5) throw std::runtime_error("boom");
+                          return 0;
+                        }),
+               std::runtime_error);
+}
+
+TEST(SweepRunner, JobsFromEnvironment) {
+  ::setenv("ESARP_JOBS", "3", 1);
+  EXPECT_EQ(host::sweep_jobs_from_env(1), 3);
+  ::unsetenv("ESARP_JOBS");
+  EXPECT_EQ(host::sweep_jobs_from_env(7), 7);
+  EXPECT_GE(host::sweep_jobs_from_env(0), 1); // hardware fallback
+}
+
+/// Runs the same FFBP core-count sweep with `jobs` host threads and
+/// returns the serialized per-run manifests (no wall-clock fields, so the
+/// bytes must not depend on the thread count).
+std::string sweep_manifests(int jobs) {
+  const auto p = sar::test_params(32, 101);
+  const auto data = sar::simulate_compressed(p, sar::six_target_scene(p));
+  const std::vector<int> cores = {1, 2, 4, 8};
+
+  host::SweepRunner pool(jobs);
+  const auto results = pool.run(cores.size(), [&](std::size_t i) {
+    core::FfbpMapOptions opt;
+    opt.n_cores = cores[i];
+    return core::run_ffbp_epiphany(data, p, opt);
+  });
+
+  std::ostringstream os;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    telemetry::RunManifest man("sweep_determinism");
+    ep::fill_manifest(man, results[i].perf, results[i].energy);
+    man.add_workload("n_cores", static_cast<double>(cores[i]));
+    man.write(os);
+  }
+  return os.str();
+}
+
+TEST(SweepRunner, ManifestsAreThreadCountInvariant) {
+  const std::string serial = sweep_manifests(1);
+  EXPECT_EQ(serial, sweep_manifests(4));
+  const int hw =
+      static_cast<int>(std::thread::hardware_concurrency());
+  EXPECT_EQ(serial, sweep_manifests(std::max(hw, 2)));
+}
+
+// ---------------------------------------------------------------------
+// Burst transfer model: ChipConfig::burst_transfers collapses per-chunk
+// DMA/ext-port loops into single analytically-costed events. The ISSUE
+// contract is exact equivalence of the simulated timing.
+
+TEST(BurstTransfers, FfbpCyclesAndImageMatchPerChunk) {
+  const auto p = sar::test_params(32, 101);
+  const auto data = sar::simulate_compressed(p, sar::six_target_scene(p));
+  core::FfbpMapOptions opt;
+  opt.n_cores = 16;
+
+  ep::ChipConfig burst;
+  burst.burst_transfers = true;
+  ep::ChipConfig chunked;
+  chunked.burst_transfers = false;
+
+  const auto a = core::run_ffbp_epiphany(data, p, opt, burst);
+  const auto b = core::run_ffbp_epiphany(data, p, opt, chunked);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.image, b.image);
+  EXPECT_EQ(a.perf.ext.read_bytes, b.perf.ext.read_bytes);
+  // Burst mode fuses the two per-level prefetch DMAs into one wait, so it
+  // must process strictly fewer engine events for the same timing.
+  EXPECT_LT(a.perf.engine_events, b.perf.engine_events);
+}
+
+TEST(BurstTransfers, GbpCyclesMatchPerChunk) {
+  const auto p = sar::test_params(32, 101);
+  const auto data = sar::simulate_compressed(p, sar::six_target_scene(p));
+
+  ep::ChipConfig burst;
+  burst.burst_transfers = true;
+  ep::ChipConfig chunked;
+  chunked.burst_transfers = false;
+
+  const auto a = core::run_gbp_epiphany(data, p, 16, burst);
+  const auto b = core::run_gbp_epiphany(data, p, 16, chunked);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.image, b.image);
+}
+
+TEST(BurstTransfers, AutofocusCyclesMatchPerChunk) {
+  af::AfParams p;
+  Rng rng(123);
+  std::vector<af::BlockPair> pairs;
+  for (int i = 0; i < 4; ++i)
+    pairs.push_back(
+        af::synthetic_block_pair(rng, p, rng.uniform_f(-0.5f, 0.5f)));
+
+  ep::ChipConfig burst;
+  burst.burst_transfers = true;
+  ep::ChipConfig chunked;
+  chunked.burst_transfers = false;
+
+  const auto a = core::run_autofocus_mpmd(pairs, p, {}, burst);
+  const auto b = core::run_autofocus_mpmd(pairs, p, {}, chunked);
+  EXPECT_EQ(a.cycles, b.cycles);
+}
+
+} // namespace
+} // namespace esarp

@@ -3,8 +3,8 @@
 //   esarp simulate --pulses 256 --range 251 --out raw.esrp [--noise 0.05]
 //   esarp image    --in raw.esrp --algo ffbp|gbp|rda --out img.pgm
 //                  [--interp nn|linear|cubic] [--autofocus] [--looks k]
-//   esarp chip     --in raw.esrp --cores 16 [--no-prefetch] [--autofocus]
-//                  [--trace t.json] [--metrics m.json]
+//   esarp chip     --in raw.esrp --cores 16 [--jobs N] [--no-prefetch]
+//                  [--autofocus] [--trace t.json] [--metrics m.json]
 //   esarp analyze  --in raw.esrp
 //   esarp report   --in m.manifest.json
 //
@@ -12,11 +12,13 @@
 // expensive products can be generated once and reused. --trace writes a
 // Chrome/Perfetto trace of the chip run; --metrics writes a run manifest
 // (docs/observability.md) that tools/esarp_compare can diff.
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/format.hpp"
 #include "common/json.hpp"
@@ -27,6 +29,7 @@
 #include "common/timer.hpp"
 #include "core/ffbp_epiphany.hpp"
 #include "epiphany/machine_metrics.hpp"
+#include "host/sweep_runner.hpp"
 #include "telemetry/manifest.hpp"
 #include "autofocus/integrated.hpp"
 #include "sar/ffbp.hpp"
@@ -92,9 +95,9 @@ int usage() {
       "  esarp image    --in f.esrp --out img.pgm [--algo ffbp|gbp|rda]\n"
       "                 [--interp nn|linear|cubic] [--autofocus]"
       " [--looks k]\n"
-      "  esarp chip     --in f.esrp [--cores N] [--no-prefetch]\n"
-      "                 [--autofocus] [--out img.pgm] [--trace t.json]\n"
-      "                 [--metrics m.json]\n"
+      "  esarp chip     --in f.esrp [--cores N[,N...]] [--jobs N]\n"
+      "                 [--no-prefetch] [--autofocus] [--out img.pgm]\n"
+      "                 [--trace t.json] [--metrics m.json]\n"
       "  esarp analyze  --in f.esrp\n"
       "  esarp report   --in m.manifest.json\n";
   return 2;
@@ -202,13 +205,36 @@ int cmd_image(const Args& args) {
   return 0;
 }
 
+/// Parse a `--cores` value: either one count ("16") or a comma-separated
+/// sweep ("4,8,16").
+std::vector<int> parse_cores(const std::string& spec) {
+  std::vector<int> cores;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) cores.push_back(std::stoi(tok));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (cores.empty()) throw ContractViolation("empty --cores list");
+  return cores;
+}
+
 int cmd_chip(const Args& args) {
   const std::string in = args.str("in");
   if (in.empty()) return usage();
   const sar::Dataset ds = sar::load_dataset(in);
 
+  // --cores may name a sweep; --jobs N fans the independent simulations
+  // over N host threads (default 1). Results are deterministic and
+  // identical for any --jobs value (docs/performance.md).
+  const std::vector<int> core_counts = parse_cores(args.str("cores", "16"));
+  const int jobs = static_cast<int>(args.num("jobs", 1));
+
   core::FfbpMapOptions opt;
-  opt.n_cores = static_cast<int>(args.num("cores", 16));
+  opt.n_cores = core_counts.back();
   opt.prefetch = !args.has("no-prefetch");
   af::IntegratedOptions aopt;
   if (args.has("autofocus")) opt.autofocus = &aopt;
@@ -221,8 +247,36 @@ int cmd_chip(const Args& args) {
     opt.tracer = &tracer;
   }
 
-  std::cerr << "simulating " << opt.n_cores << "-core Epiphany FFBP...\n";
-  const auto sim = core::run_ffbp_epiphany(ds.data, ds.params, opt);
+  host::SweepRunner pool(jobs);
+  std::cerr << "simulating " << core_counts.size()
+            << " Epiphany FFBP configuration(s) (" << pool.jobs()
+            << " host thread(s))...\n";
+  WallTimer sweep_timer;
+  // The trace, metrics manifest, image, and summary all describe the last
+  // configuration in the list; earlier entries print one summary line.
+  auto results = pool.run(core_counts.size(), [&](std::size_t i) {
+    core::FfbpMapOptions o = opt;
+    o.n_cores = core_counts[i];
+    if (i + 1 != core_counts.size()) o.tracer = nullptr;
+    return core::run_ffbp_epiphany(ds.data, ds.params, o);
+  });
+  const double sweep_s = sweep_timer.elapsed_s();
+  const auto& sim = results.back();
+
+  std::uint64_t events = 0;
+  for (std::size_t i = 0; i < core_counts.size(); ++i) {
+    events += results[i].perf.engine_events;
+    if (i + 1 != core_counts.size())
+      std::cout << core_counts[i]
+                << "-core chip time: " << format_seconds(results[i].seconds)
+                << " (" << format_cycles(results[i].cycles) << " cycles)\n";
+  }
+  std::cerr << "engine: " << events << " events in "
+            << format_seconds(sweep_s) << " ("
+            << format_rate(static_cast<double>(events) /
+                               std::max(sweep_s, 1e-12),
+                           "events")
+            << ")\n";
 
   std::cout << "chip time: " << format_seconds(sim.seconds) << " ("
             << format_cycles(sim.cycles) << " cycles)\n"
