@@ -26,12 +26,15 @@ int main() {
         const int src = m.id_of({r, half == 0 ? 1 : 2});
         const int dst_core = m.id_of({r, half == 0 ? 2 : 1});
         const Coord dst = m.coord_of(dst_core);
-        m.launch(src, [dst](CoreCtx& ctx) -> Task {
+        // Each receiver gets one incoming flow: a real local-store sink
+        // (the hazard sanitizer rejects remote windows into host memory).
+        auto sink = m.core(dst_core).mem().alloc<std::byte>(1024);
+        m.launch(src, [dst, sink](CoreCtx& ctx) -> Task {
           std::byte payload[1024] = {};
-          std::byte sink[1024];
           for (std::size_t sent = 0; sent < kBytesPerFlow;
                sent += sizeof(payload))
-            co_await ctx.write_remote(dst, sink, payload, sizeof(payload));
+            co_await ctx.write_remote(dst, sink.data(), payload,
+                                      sizeof(payload));
         });
       }
     }
@@ -48,12 +51,15 @@ int main() {
     for (int id = 0; id < 16; ++id) {
       const Coord src = m.coord_of(id);
       const Coord dst{src.row, (src.col + 1) % 4};
-      m.launch(id, [dst](CoreCtx& ctx) -> Task {
+      // The ring gives every core exactly one upstream neighbour, so one
+      // local-store sink per destination core suffices.
+      auto sink = m.core(m.id_of(dst)).mem().alloc<std::byte>(1024);
+      m.launch(id, [dst, sink](CoreCtx& ctx) -> Task {
         std::byte payload[1024] = {};
-        std::byte sink[1024];
         for (std::size_t sent = 0; sent < kBytesPerFlow;
              sent += sizeof(payload))
-          co_await ctx.write_remote(dst, sink, payload, sizeof(payload));
+          co_await ctx.write_remote(dst, sink.data(), payload,
+                                    sizeof(payload));
       });
     }
     const Cycles c = m.run();

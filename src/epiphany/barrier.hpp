@@ -34,6 +34,8 @@ public:
   SimBarrier& operator=(const SimBarrier&) = delete;
 
   TaskT<void> arrive_and_wait(CoreCtx& ctx) {
+    if (ctx.checker() != nullptr)
+      ctx.checker()->on_barrier_arrive(this, parties_, ctx.id());
     const Cycles entered = sched_.now();
     // Arrival flag: 8-byte write to the master core.
     const Cycles flag_arrival = noc_.transfer(ctx.coord(), master_, 8,

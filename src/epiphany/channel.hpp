@@ -70,6 +70,8 @@ public:
 
     const Cycles arrival = noc_.transfer(from.coord(), consumer_, sizeof(T),
                                          sched_.now(), Mesh::kOnChipWrite);
+    if (from.checker() != nullptr)
+      from.checker()->on_chan_send(this, name_, from.id());
     from.core().counters.msgs_sent += 1;
     from.core().counters.msg_bytes_sent += sizeof(T);
     q_.push_back(Slot{arrival, std::move(value)});
@@ -94,6 +96,8 @@ public:
         if (q_.front().ready_at <= sched_.now()) {
           T v = std::move(q_.front().value);
           q_.pop_front();
+          if (to.checker() != nullptr)
+            to.checker()->on_chan_recv(this, name_, to.id());
           senders_.wake_all(sched_);
           stats_.recv_block_cycles += sched_.now() - entered;
           if (recv_block_hist_ != nullptr)

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace esarp::ep {
 
@@ -32,6 +33,23 @@ constexpr int hop_distance(Coord a, Coord b) {
   const int dc = a.col > b.col ? a.col - b.col : b.col - a.col;
   return dr + dc;
 }
+
+/// Configuration of the esarp::check hazard sanitizer (docs/static-analysis.md).
+/// Kept here (rather than in src/check/) so ChipConfig can embed it without a
+/// dependency cycle; the machinery itself lives in check/check.hpp. The
+/// ESARP_CHECK / ESARP_CHECK_SUPPRESS / ESARP_CHECK_JSON / ESARP_CHECK_ABORT
+/// environment variables override these fields at Machine construction, so a
+/// whole test or bench run can be switched to checked mode without code
+/// changes. Checking never alters simulated time: cycle counts, images and
+/// run manifests are bit-identical with and without it.
+struct CheckOptions {
+  bool enabled = false;         ///< hook the sanitizer into the simulation
+  bool abort_on_hazard = true;  ///< throw check::CheckFailure at end of run
+                                ///< when unsuppressed diagnostics exist
+  std::string suppressions;     ///< path to a suppression file ("" = none)
+  std::string json_out;         ///< write a JSON report here ("" = console only)
+  std::size_t max_diagnostics = 100; ///< cap on recorded diagnostics
+};
 
 struct ChipConfig {
   int rows = 4;
@@ -66,6 +84,10 @@ struct ChipConfig {
                                ///< analytically-costed burst job (identical
                                ///< Cycles totals, fewer scheduler events);
                                ///< false = legacy per-chunk jobs + waits
+
+  // Hazard sanitizer (host-side checking layer; no effect on simulated
+  // cycles — see CheckOptions above and docs/static-analysis.md).
+  CheckOptions check;
 
   // Derived helpers.
   [[nodiscard]] int core_count() const { return rows * cols; }

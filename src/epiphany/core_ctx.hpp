@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "check/check.hpp"
 #include "common/opcounts.hpp"
 #include "epiphany/config.hpp"
 #include "epiphany/core.hpp"
@@ -36,9 +37,11 @@
 
 namespace esarp::ep {
 
-/// Handle for an in-flight DMA transfer.
+/// Handle for an in-flight DMA transfer. `check_id` identifies the job to
+/// the hazard sanitizer (0 = unchecked run or null job; see check.hpp).
 struct DmaJob {
   Cycles done_at = 0;
+  std::uint64_t check_id = 0;
 };
 
 /// One segment of a burst DMA transfer (see CoreCtx::dma_read_ext_burst).
@@ -50,13 +53,18 @@ struct DmaSeg {
 
 class CoreCtx {
 public:
+  /// `checker` (optional) hooks the esarp::check hazard sanitizer into
+  /// every memory/DMA/NoC operation issued through this context. All hooks
+  /// are pure shadow-state updates: they never touch the scheduler, so a
+  /// checked run is cycle-identical to an unchecked one.
   CoreCtx(Core& core, Scheduler& sched, Noc& noc, ExtPort& ext_port,
           ExternalMemory& ext_mem, const CostModel& cost,
           const ChipConfig& cfg, Tracer& tracer,
-          telemetry::MetricsRegistry& metrics)
+          telemetry::MetricsRegistry& metrics,
+          check::CheckContext* checker = nullptr)
       : core_(core), sched_(sched), noc_(noc), ext_port_(ext_port),
         ext_mem_(ext_mem), cost_(cost), cfg_(cfg), tracer_(tracer),
-        metrics_(metrics) {}
+        metrics_(metrics), check_(checker) {}
 
   CoreCtx(const CoreCtx&) = delete;
   CoreCtx& operator=(const CoreCtx&) = delete;
@@ -72,14 +80,20 @@ public:
   [[nodiscard]] Cycles now() const { return sched_.now(); }
   [[nodiscard]] Tracer& tracer() { return tracer_; }
   [[nodiscard]] telemetry::MetricsRegistry& metrics() { return metrics_; }
+  /// The hazard sanitizer attached to this machine, or nullptr.
+  [[nodiscard]] check::CheckContext* checker() { return check_; }
 
   /// Open a named, nestable trace span on this core (no-op unless tracing
   /// is enabled). Pair with end_span(); see Tracer::push_span.
   void begin_span(std::string name) {
+    if (check_ != nullptr) check_->on_span_push(id(), name);
     tracer_.push_span(id(), std::move(name), now());
   }
   /// Close this core's innermost open trace span.
-  void end_span() { tracer_.pop_span(id(), now()); }
+  void end_span() {
+    if (check_ != nullptr) check_->on_span_pop(id());
+    tracer_.pop_span(id(), now());
+  }
 
   /// Execute a compute block of counted work from local memory.
   [[nodiscard]] DelayFor compute(const OpCounts& ops) {
@@ -94,6 +108,10 @@ public:
   [[nodiscard]] DelayUntil read_ext(void* dst, const void* src,
                                     std::size_t bytes) {
     ESARP_EXPECTS(ext_mem_.owns(src));
+    if (check_ != nullptr) {
+      check_->on_ext_access(id(), src, bytes, /*is_read=*/true, "read_ext");
+      check_->on_local_access(id(), dst, bytes, /*is_write=*/true, "read_ext");
+    }
     std::memcpy(dst, src, bytes);
     const Cycles done = ext_port_.blocking_read(coord(), 1, bytes, now());
     core_.counters.ext_stall += done - now();
@@ -120,6 +138,11 @@ public:
   [[nodiscard]] DelayUntil write_ext(void* dst, const void* src,
                                      std::size_t bytes) {
     ESARP_EXPECTS(ext_mem_.owns(dst));
+    if (check_ != nullptr) {
+      check_->on_ext_access(id(), dst, bytes, /*is_read=*/false, "write_ext");
+      check_->on_local_access(id(), src, bytes, /*is_write=*/false,
+                              "write_ext");
+    }
     std::memcpy(dst, src, bytes);
     const Cycles done = ext_port_.posted_write(coord(), bytes, now());
     core_.counters.ext_write_bytes += bytes;
@@ -135,7 +158,16 @@ public:
     std::memcpy(dst, src, bytes);
     core_.counters.dma_transfers += 1;
     core_.counters.dma_bytes += bytes;
-    return DmaJob{ext_port_.dma_read(coord(), bytes, now())};
+    const Cycles done = ext_port_.dma_read(coord(), bytes, now());
+    std::uint64_t check_id = 0;
+    if (check_ != nullptr) {
+      check_id = check_->open_dma_job(id());
+      check_->on_ext_access(id(), src, bytes, /*is_read=*/true,
+                            "dma_read_ext");
+      check_->on_dma_segment(id(), check_id, dst, bytes,
+                             /*writes_local=*/true, done, "dma_read_ext");
+    }
+    return DmaJob{done, check_id};
   }
 
   /// Start a burst of DMA read segments SDRAM -> local store as one job.
@@ -155,7 +187,21 @@ public:
       core_.counters.dma_bytes += s.bytes;
       burst_sizes_.push_back(s.bytes);
     }
-    return DmaJob{ext_port_.dma_read_burst(coord(), burst_sizes_, now())};
+    const Cycles done = ext_port_.dma_read_burst(coord(), burst_sizes_, now());
+    std::uint64_t check_id = 0;
+    if (check_ != nullptr) {
+      check_id = check_->open_dma_job(id());
+      for (const DmaSeg& s : segs) {
+        check_->on_ext_access(id(), s.src, s.bytes, /*is_read=*/true,
+                              "dma_read_ext_burst");
+        // Every segment window stays hazardous until the whole burst
+        // completes — kernels must await the job, not individual segments.
+        check_->on_dma_segment(id(), check_id, s.dst, s.bytes,
+                               /*writes_local=*/true, done,
+                               "dma_read_ext_burst");
+      }
+    }
+    return DmaJob{done, check_id};
   }
 
   /// Start a DMA write local store -> SDRAM. Returns immediately.
@@ -165,11 +211,21 @@ public:
     std::memcpy(dst, src, bytes);
     core_.counters.dma_transfers += 1;
     core_.counters.dma_bytes += bytes;
-    return DmaJob{ext_port_.dma_write(coord(), bytes, now())};
+    const Cycles done = ext_port_.dma_write(coord(), bytes, now());
+    std::uint64_t check_id = 0;
+    if (check_ != nullptr) {
+      check_id = check_->open_dma_job(id());
+      check_->on_ext_access(id(), dst, bytes, /*is_read=*/false,
+                            "dma_write_ext");
+      check_->on_dma_segment(id(), check_id, src, bytes,
+                             /*writes_local=*/false, done, "dma_write_ext");
+    }
+    return DmaJob{done, check_id};
   }
 
   /// Block until a DMA job completes.
   [[nodiscard]] DelayUntil wait(DmaJob job) {
+    if (check_ != nullptr) check_->on_dma_wait(id(), job.check_id);
     if (job.done_at > now()) {
       core_.counters.dma_wait += job.done_at - now();
       tracer_.add(id(), SegmentKind::kDmaWait, now(), job.done_at);
@@ -184,6 +240,11 @@ public:
     std::memcpy(dst, src, bytes);
     const Cycles arrival =
         noc_.transfer(coord(), dst_core, bytes, now(), Mesh::kOnChipWrite);
+    if (check_ != nullptr) {
+      check_->on_local_access(id(), src, bytes, /*is_write=*/false,
+                              "write_remote");
+      check_->on_remote_write(id(), dst_core, dst, bytes, arrival);
+    }
     core_.counters.msgs_sent += 1;
     core_.counters.msg_bytes_sent += bytes;
     // Writer only pays injection (stores issue at link rate), not delivery.
@@ -198,6 +259,11 @@ public:
   /// push data with writes instead.
   [[nodiscard]] DelayUntil read_remote(Coord src_core, void* dst,
                                        const void* src, std::size_t bytes) {
+    if (check_ != nullptr) {
+      check_->on_remote_read(id(), src_core, src, bytes);
+      check_->on_local_access(id(), dst, bytes, /*is_write=*/true,
+                              "read_remote");
+    }
     std::memcpy(dst, src, bytes);
     const Cycles hops = static_cast<Cycles>(hop_distance(coord(), src_core)) *
                         cfg_.hop_latency;
@@ -226,6 +292,7 @@ private:
   const ChipConfig& cfg_;
   Tracer& tracer_;
   telemetry::MetricsRegistry& metrics_;
+  check::CheckContext* check_; ///< hazard sanitizer hooks, or nullptr
   std::vector<std::size_t> burst_sizes_; ///< scratch for dma_read_ext_burst
 };
 

@@ -5,6 +5,13 @@
 // for exactly two pulses of 1001 complex pixels (16,016 bytes). The
 // allocator enforces capacity, so kernels that exceed a bank budget fail
 // loudly instead of silently using impossible hardware.
+//
+// An optional observer (attach_observer) lets the esarp::check hazard
+// sanitizer shadow the allocation state: it is told about every allocation,
+// reset and contract violation, which is how stale-span writes and
+// bank-budget overflows get diagnosed with core id + simulated cycle
+// (docs/static-analysis.md). With no observer attached the allocator
+// behaves exactly as before.
 #pragma once
 
 #include <cstddef>
@@ -16,6 +23,25 @@
 
 namespace esarp::ep {
 
+/// Interface the hazard sanitizer implements to shadow a core's local
+/// store. All callbacks fire synchronously from the allocator; violation
+/// callbacks fire immediately *before* the corresponding ContractViolation
+/// is thrown, so the diagnostic is recorded even though the throw unwinds
+/// the kernel.
+class LocalMemoryObserver {
+public:
+  virtual ~LocalMemoryObserver() = default;
+  virtual void on_local_alloc(int core, std::size_t offset,
+                              std::size_t bytes) = 0;
+  virtual void on_local_reset(int core) = 0;
+  /// An allocation request violated a contract (`what` says which: bank
+  /// collision or capacity overflow). `requested`/`limit` describe the
+  /// failed request.
+  virtual void on_local_violation(int core, const char* what,
+                                  std::size_t requested,
+                                  std::size_t limit) = 0;
+};
+
 class LocalMemory {
 public:
   LocalMemory(std::size_t bytes, int banks)
@@ -26,6 +52,13 @@ public:
   [[nodiscard]] std::size_t capacity() const { return store_.size(); }
   [[nodiscard]] int banks() const { return banks_; }
   [[nodiscard]] std::size_t bank_size() const { return bank_size_; }
+
+  /// Attach the hazard-sanitizer observer (nullptr detaches). `core_id` is
+  /// echoed back on every callback.
+  void attach_observer(LocalMemoryObserver* obs, int core_id) {
+    observer_ = obs;
+    core_id_ = core_id;
+  }
 
   /// Allocate n objects of T, 8-byte aligned, anywhere in free space.
   template <typename T>
@@ -40,6 +73,9 @@ public:
   std::span<T> alloc_in_bank(std::size_t n, int bank) {
     ESARP_EXPECTS(bank >= 0 && bank < banks_);
     const std::size_t base = static_cast<std::size_t>(bank) * bank_size_;
+    if (base < cursor_ && observer_ != nullptr)
+      observer_->on_local_violation(core_id_, "alloc_in_bank collision", base,
+                                    cursor_);
     ESARP_EXPECTS(base >= cursor_); // banks must be claimed in order
     return alloc_at<T>(n, base);
   }
@@ -62,19 +98,30 @@ public:
     return store_.size() - cursor_;
   }
 
-  /// Release all allocations (between kernel launches).
-  void reset() { cursor_ = 0; }
+  /// Release all allocations (between kernel launches). Spans handed out
+  /// before the reset become stale; the sanitizer flags accesses through
+  /// them until the memory is re-allocated.
+  void reset() {
+    cursor_ = 0;
+    if (observer_ != nullptr) observer_->on_local_reset(core_id_);
+  }
 
 private:
   template <typename T>
   std::span<T> alloc_at(std::size_t n, std::size_t from) {
     const std::size_t aligned = (from + 7) & ~std::size_t{7};
     const std::size_t bytes = n * sizeof(T);
-    if (aligned + bytes > store_.size())
+    if (aligned + bytes > store_.size()) {
+      if (observer_ != nullptr)
+        observer_->on_local_violation(core_id_, "local store overflow",
+                                      aligned + bytes, store_.size());
       throw ContractViolation(
           "LocalMemory overflow: request exceeds the 32 KB local store");
+    }
     cursor_ = aligned + bytes;
     high_water_ = cursor_ > high_water_ ? cursor_ : high_water_;
+    if (observer_ != nullptr && bytes > 0)
+      observer_->on_local_alloc(core_id_, aligned, bytes);
     return {reinterpret_cast<T*>(store_.data() + aligned), n};
   }
 
@@ -83,6 +130,8 @@ private:
   std::size_t bank_size_;
   std::size_t cursor_ = 0;
   std::size_t high_water_ = 0;
+  LocalMemoryObserver* observer_ = nullptr;
+  int core_id_ = -1;
 };
 
 } // namespace esarp::ep

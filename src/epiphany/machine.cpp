@@ -13,12 +13,19 @@ Machine::Machine(ChipConfig cfg, std::size_t ext_bytes, CoreCostParams cost,
   ESARP_EXPECTS(cfg.rows > 0 && cfg.cols > 0);
   cores_.reserve(static_cast<std::size_t>(cfg.core_count()));
   ctxs_.reserve(static_cast<std::size_t>(cfg.core_count()));
+  // The sanitizer is created before the contexts so every CoreCtx can carry
+  // the hook pointer; env vars (ESARP_CHECK etc.) can force it on/off.
+  if (check::options_with_env(cfg_.check).enabled)
+    checker_ = std::make_unique<check::CheckContext>(cfg_, sched_);
   for (int id = 0; id < cfg.core_count(); ++id) {
     cores_.push_back(std::make_unique<Core>(id, coord_of(id), cfg));
-    ctxs_.push_back(std::make_unique<CoreCtx>(*cores_.back(), sched_, noc_,
-                                              ext_port_, ext_mem_, cost_,
-                                              cfg_, *tracer_, metrics_));
+    ctxs_.push_back(std::make_unique<CoreCtx>(
+        *cores_.back(), sched_, noc_, ext_port_, ext_mem_, cost_, cfg_,
+        *tracer_, metrics_, checker_.get()));
+    if (checker_ != nullptr)
+      checker_->register_core(id, coord_of(id), &cores_.back()->mem());
   }
+  if (checker_ != nullptr) checker_->register_ext(&ext_mem_);
 }
 
 Core& Machine::core(int id) {
@@ -56,8 +63,16 @@ Cycles Machine::run() {
   for (auto& p : programs_) sched_.schedule_at(0, p.task.handle());
   const Cycles end = sched_.run();
 
-  // Surface kernel failures and deadlocks.
-  for (auto& p : programs_) p.task.rethrow_if_error();
+  // Surface kernel failures and deadlocks. The sanitizer still runs its
+  // teardown checks (and writes its reports) on those paths, but only a
+  // clean run lets it abort with CheckFailure — a kernel exception or
+  // SimDeadlock is the more precise error and must not be masked.
+  try {
+    for (auto& p : programs_) p.task.rethrow_if_error();
+  } catch (...) {
+    if (checker_ != nullptr) checker_->finalize(/*allow_throw=*/false);
+    throw;
+  }
   std::ostringstream blocked;
   bool any_blocked = false;
   for (auto& p : programs_) {
@@ -67,9 +82,12 @@ Cycles Machine::run() {
               << to_string(core(p.core_id).state) << ")";
     }
   }
-  if (any_blocked)
+  if (any_blocked) {
+    if (checker_ != nullptr) checker_->finalize(/*allow_throw=*/false);
     throw SimDeadlock("simulation quiesced with blocked cores:" +
                       blocked.str());
+  }
+  if (checker_ != nullptr) checker_->finalize(/*allow_throw=*/true);
   return end;
 }
 

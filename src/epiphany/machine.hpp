@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/check.hpp"
 #include "epiphany/address_map.hpp"
 #include "epiphany/barrier.hpp"
 #include "epiphany/channel.hpp"
@@ -77,6 +78,14 @@ public:
     return metrics_;
   }
 
+  /// The hazard sanitizer, or nullptr when checking is off. Created when
+  /// ChipConfig::check.enabled is set or ESARP_CHECK=1 is in the
+  /// environment (see check/check.hpp); run() finalizes it.
+  [[nodiscard]] check::CheckContext* checker() { return checker_.get(); }
+  [[nodiscard]] const check::CheckContext* checker() const {
+    return checker_.get();
+  }
+
   [[nodiscard]] Coord coord_of(int id) const {
     return {id / cfg_.cols, id % cfg_.cols};
   }
@@ -103,7 +112,9 @@ public:
 
   /// Run all launched programs to completion. Returns the makespan in
   /// cycles. Rethrows the first kernel exception; throws SimDeadlock if
-  /// programs remain blocked with no pending events.
+  /// programs remain blocked with no pending events. On a checked run
+  /// (checker() != nullptr) the sanitizer is finalized here: clean runs
+  /// with unsuppressed diagnostics throw check::CheckFailure.
   Cycles run();
 
   /// Seconds of chip time for a cycle count at the configured clock.
@@ -134,6 +145,9 @@ private:
   AddressMap amap_;
   std::vector<std::unique_ptr<Core>> cores_;
   std::vector<std::unique_ptr<CoreCtx>> ctxs_;
+  /// Null when checking is off. Declared after cores_/ctxs_: the dtor
+  /// detaches observers from the cores' local stores, so it must run first.
+  std::unique_ptr<check::CheckContext> checker_;
   struct Launched {
     int core_id;
     Task task;

@@ -1,0 +1,72 @@
+// Contract-macro audit: ESARP_EXPECTS / ESARP_ENSURES / ESARP_REQUIRE must
+// throw ContractViolation in EVERY build type. This translation unit forces
+// NDEBUG before including assert.hpp, so even a Debug CI build exercises
+// the Release-mode expansion of the macros — if someone ever gates them on
+// NDEBUG (the <cassert> trap), these tests fail immediately.
+#ifndef NDEBUG
+#define NDEBUG 1
+#endif
+
+#include "common/assert.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace esarp {
+namespace {
+
+TEST(Contracts, ExpectsThrowsWithNdebugDefined) {
+#ifndef NDEBUG
+  FAIL() << "test must compile with NDEBUG forced";
+#endif
+  EXPECT_THROW(ESARP_EXPECTS(1 == 2), ContractViolation);
+  EXPECT_NO_THROW(ESARP_EXPECTS(1 == 1));
+}
+
+TEST(Contracts, EnsuresThrowsWithNdebugDefined) {
+  EXPECT_THROW(ESARP_ENSURES(false), ContractViolation);
+  EXPECT_NO_THROW(ESARP_ENSURES(true));
+}
+
+TEST(Contracts, ViolationMessageNamesExpressionAndLocation) {
+  try {
+    ESARP_EXPECTS(2 + 2 == 5);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos);
+    EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, RequireThrowsWithMessage) {
+  try {
+    ESARP_REQUIRE(false, "bank 2 must hold two pulses");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bank 2 must hold two pulses"), std::string::npos);
+    EXPECT_NE(what.find("false"), std::string::npos);
+  }
+}
+
+TEST(Contracts, RequireMessageOnlyEvaluatedOnFailure) {
+  int evaluations = 0;
+  auto msg = [&] {
+    ++evaluations;
+    return std::string("never shown");
+  };
+  ESARP_REQUIRE(true, msg());
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_THROW(ESARP_REQUIRE(false, msg()), ContractViolation);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Contracts, ViolationIsALogicError) {
+  // Callers (tests, the CLI) catch std::logic_error for programmer errors.
+  EXPECT_THROW(ESARP_EXPECTS(false), std::logic_error);
+}
+
+} // namespace
+} // namespace esarp

@@ -301,13 +301,15 @@ TEST(Energy, MoreWorkMoreJoules) {
 
 TEST(Machine, WriteRemoteMovesDataWithInjectCost) {
   Machine m;
-  int dst_value = 0;
+  // The destination must live in the target core's local store — the
+  // hazard sanitizer (ESARP_CHECK=1) flags windows into host memory.
+  auto dst = m.core(m.id_of({0, 1})).mem().alloc<int>(1);
   const int src_value = 42;
   m.launch(0, [&](CoreCtx& ctx) -> Task {
-    co_await ctx.write_remote({0, 1}, &dst_value, &src_value, sizeof(int));
+    co_await ctx.write_remote({0, 1}, dst.data(), &src_value, sizeof(int));
   });
   const Cycles end = m.run();
-  EXPECT_EQ(dst_value, 42);
+  EXPECT_EQ(dst[0], 42);
   EXPECT_LE(end, 4u); // writer only pays injection
 }
 
@@ -381,17 +383,21 @@ TEST(Machine, ReadRemoteMovesDataAndStallsForRoundTrip) {
 }
 
 TEST(Machine, RemoteReadSlowerThanRemoteWrite) {
-  // The asymmetry the paper's pipelines exploit: push with writes.
+  // The asymmetry the paper's pipelines exploit: push with writes. Remote
+  // windows target real local-store bytes on core (3,3) so the hazard
+  // sanitizer accepts the traffic.
   Machine mw, mr;
-  int buf = 0;
+  auto wdst = mw.core(mw.id_of({3, 3})).mem().alloc<int>(1);
+  auto rsrc = mr.core(mr.id_of({3, 3})).mem().alloc<int>(1);
+  int out = 0;
   const int v = 5;
   mw.launch(0, [&](CoreCtx& ctx) -> Task {
     for (int i = 0; i < 100; ++i)
-      co_await ctx.write_remote({3, 3}, &buf, &v, sizeof(int));
+      co_await ctx.write_remote({3, 3}, wdst.data(), &v, sizeof(int));
   });
   mr.launch(0, [&](CoreCtx& ctx) -> Task {
     for (int i = 0; i < 100; ++i)
-      co_await ctx.read_remote({3, 3}, &buf, &v, sizeof(int));
+      co_await ctx.read_remote({3, 3}, &out, rsrc.data(), sizeof(int));
   });
   EXPECT_LT(mw.run(), mr.run() / 3);
 }

@@ -1,0 +1,154 @@
+// LocalMemory edge paths: bank-claim ordering, the paper's exact two-pulse
+// bank budget (16,016 bytes in the upper two banks), zero-size allocations,
+// alignment rounding, and the observer callbacks the hazard sanitizer
+// depends on.
+#include "epiphany/local_memory.hpp"
+
+#include <complex>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace esarp::ep {
+namespace {
+
+using cf32 = std::complex<float>;
+
+constexpr std::size_t kStore = 32u * 1024;
+constexpr int kBanks = 4;
+constexpr std::size_t kBank = kStore / kBanks; // 8 KB
+
+TEST(LocalMemory, BanksClaimedInOrder) {
+  LocalMemory mem(kStore, kBanks);
+  auto a = mem.alloc_in_bank<float>(16, 1);
+  EXPECT_EQ(mem.offset_of(a.data()), kBank);
+  auto b = mem.alloc_in_bank<float>(16, 2);
+  EXPECT_EQ(mem.offset_of(b.data()), 2 * kBank);
+}
+
+TEST(LocalMemory, AllocInBankCollisionThrows) {
+  LocalMemory mem(kStore, kBanks);
+  (void)mem.alloc_in_bank<float>(16, 2);
+  // Bank 1 starts below the cursor bank 2 left behind: out-of-order claim.
+  EXPECT_THROW((void)mem.alloc_in_bank<float>(16, 1), ContractViolation);
+}
+
+TEST(LocalMemory, CollisionWithinSameBankThrows) {
+  LocalMemory mem(kStore, kBanks);
+  (void)mem.alloc_in_bank<float>(16, 1);
+  // Re-claiming the same bank would overlap the earlier allocation.
+  EXPECT_THROW((void)mem.alloc_in_bank<float>(16, 1), ContractViolation);
+}
+
+TEST(LocalMemory, TwoPulseFillOfUpperBanksExactlyFits) {
+  // Paper Section V-B: two pulses of 1001 complex pixels = 16,016 bytes in
+  // the two upper data banks (banks 2 and 3, 16,384 bytes).
+  LocalMemory mem(kStore, kBanks);
+  auto pulses = mem.alloc_in_bank<cf32>(2 * 1001, 2);
+  EXPECT_EQ(pulses.size_bytes(), 16'016u);
+  EXPECT_EQ(mem.offset_of(pulses.data()), 2 * kBank);
+  EXPECT_EQ(mem.used(), 2 * kBank + 16'016u);
+  EXPECT_EQ(mem.free_bytes(), 16'384u - 16'016u);
+  // A third pulse cannot fit: the budget discipline is real.
+  EXPECT_THROW((void)mem.alloc<cf32>(1001), ContractViolation);
+}
+
+TEST(LocalMemory, ExactCapacityFillLeavesZeroFree) {
+  LocalMemory mem(kStore, kBanks);
+  auto all = mem.alloc<std::byte>(kStore);
+  EXPECT_EQ(all.size(), kStore);
+  EXPECT_EQ(mem.free_bytes(), 0u);
+  EXPECT_THROW((void)mem.alloc<std::byte>(1), ContractViolation);
+  // ...but a zero-byte allocation still succeeds at full capacity.
+  auto empty = mem.alloc<std::byte>(0);
+  EXPECT_EQ(empty.size(), 0u);
+}
+
+TEST(LocalMemory, ZeroSizeAllocDoesNotAdvanceAlignedCursor) {
+  LocalMemory mem(kStore, kBanks);
+  (void)mem.alloc<std::byte>(8);
+  const std::size_t before = mem.used();
+  (void)mem.alloc<float>(0);
+  EXPECT_EQ(mem.used(), before);
+}
+
+TEST(LocalMemory, MisalignedSizesRoundUpToEightBytes) {
+  LocalMemory mem(kStore, kBanks);
+  auto a = mem.alloc<std::byte>(3); // cursor 3
+  auto b = mem.alloc<float>(1);     // aligned to 8
+  EXPECT_EQ(mem.offset_of(a.data()), 0u);
+  EXPECT_EQ(mem.offset_of(b.data()), 8u);
+  auto c = mem.alloc<std::byte>(1); // 8 + 4 = 12 -> aligned to 16
+  EXPECT_EQ(mem.offset_of(c.data()), 16u);
+}
+
+TEST(LocalMemory, HighWaterSurvivesReset) {
+  LocalMemory mem(kStore, kBanks);
+  (void)mem.alloc<std::byte>(1000);
+  mem.reset();
+  EXPECT_EQ(mem.used(), 0u);
+  EXPECT_EQ(mem.high_water(), 1000u);
+  (void)mem.alloc<std::byte>(10);
+  EXPECT_EQ(mem.high_water(), 1000u);
+}
+
+/// Observer double for the callbacks the hazard sanitizer relies on.
+class RecordingObserver final : public LocalMemoryObserver {
+public:
+  struct Alloc {
+    int core;
+    std::size_t offset;
+    std::size_t bytes;
+  };
+  std::vector<Alloc> allocs;
+  std::vector<int> resets;
+  std::vector<std::string> violations;
+
+  void on_local_alloc(int core, std::size_t offset,
+                      std::size_t bytes) override {
+    allocs.push_back({core, offset, bytes});
+  }
+  void on_local_reset(int core) override { resets.push_back(core); }
+  void on_local_violation(int core, const char* what, std::size_t,
+                          std::size_t) override {
+    violations.push_back(std::to_string(core) + ":" + what);
+  }
+};
+
+TEST(LocalMemory, ObserverSeesAllocsResetsAndViolations) {
+  LocalMemory mem(kStore, kBanks);
+  RecordingObserver obs;
+  mem.attach_observer(&obs, 7);
+
+  (void)mem.alloc<float>(4);
+  ASSERT_EQ(obs.allocs.size(), 1u);
+  EXPECT_EQ(obs.allocs[0].core, 7);
+  EXPECT_EQ(obs.allocs[0].offset, 0u);
+  EXPECT_EQ(obs.allocs[0].bytes, 16u);
+
+  (void)mem.alloc<float>(0); // zero-size: no callback
+  EXPECT_EQ(obs.allocs.size(), 1u);
+
+  mem.reset();
+  ASSERT_EQ(obs.resets.size(), 1u);
+  EXPECT_EQ(obs.resets[0], 7);
+
+  EXPECT_THROW((void)mem.alloc<std::byte>(kStore + 1), ContractViolation);
+  ASSERT_EQ(obs.violations.size(), 1u);
+  EXPECT_EQ(obs.violations[0], "7:local store overflow");
+
+  (void)mem.alloc_in_bank<float>(4, 2);
+  EXPECT_THROW((void)mem.alloc_in_bank<float>(4, 1), ContractViolation);
+  ASSERT_EQ(obs.violations.size(), 2u);
+  EXPECT_EQ(obs.violations[1], "7:alloc_in_bank collision");
+
+  // Detach: no further callbacks.
+  mem.attach_observer(nullptr, -1);
+  mem.reset();
+  EXPECT_EQ(obs.resets.size(), 1u);
+}
+
+} // namespace
+} // namespace esarp::ep

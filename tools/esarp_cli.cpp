@@ -97,7 +97,7 @@ int usage() {
       " [--looks k]\n"
       "  esarp chip     --in f.esrp [--cores N[,N...]] [--jobs N]\n"
       "                 [--no-prefetch] [--autofocus] [--out img.pgm]\n"
-      "                 [--trace t.json] [--metrics m.json]\n"
+      "                 [--trace t.json] [--metrics m.json] [--check]\n"
       "  esarp analyze  --in f.esrp\n"
       "  esarp report   --in m.manifest.json\n";
   return 2;
@@ -239,6 +239,11 @@ int cmd_chip(const Args& args) {
   af::IntegratedOptions aopt;
   if (args.has("autofocus")) opt.autofocus = &aopt;
 
+  // --check turns on the hazard sanitizer (docs/static-analysis.md); the
+  // ESARP_CHECK_* env vars refine it (suppressions, JSON report, abort).
+  ep::ChipConfig chip_cfg;
+  chip_cfg.check.enabled = args.has("check");
+
   const std::string trace_path = args.str("trace");
   if (args.has("trace") && trace_path.empty()) return usage();
   ep::Tracer tracer;
@@ -258,7 +263,7 @@ int cmd_chip(const Args& args) {
     core::FfbpMapOptions o = opt;
     o.n_cores = core_counts[i];
     if (i + 1 != core_counts.size()) o.tracer = nullptr;
-    return core::run_ffbp_epiphany(ds.data, ds.params, o);
+    return core::run_ffbp_epiphany(ds.data, ds.params, o, chip_cfg);
   });
   const double sweep_s = sweep_timer.elapsed_s();
   const auto& sim = results.back();
