@@ -14,7 +14,7 @@
 #include "sar/ffbp.hpp"
 #include "sar/gbp.hpp"
 
-int main() {
+static int bench_body() {
   using namespace esarp;
   const auto w = bench::make_paper_workload();
   const host::HostModel intel;
@@ -94,3 +94,5 @@ int main() {
   t.print(std::cout);
   return 0;
 }
+
+int main() { return esarp::bench::guarded_main("ablation_interpolation", bench_body); }

@@ -12,7 +12,7 @@
 #include "core/autofocus_epiphany.hpp"
 #include "autofocus/workload.hpp"
 
-int main() {
+static int bench_body() {
   using namespace esarp;
   af::AfParams p;
   Rng rng(99);
@@ -93,3 +93,5 @@ int main() {
   std::cout << "\nautomatic placement:\n" << g.placement_description;
   return 0;
 }
+
+int main() { return esarp::bench::guarded_main("ablation_mapping", bench_body); }

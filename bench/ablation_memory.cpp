@@ -10,7 +10,7 @@
 #include "common/csv.hpp"
 #include "epiphany/machine.hpp"
 
-int main() {
+static int bench_body() {
   using namespace esarp;
   using namespace esarp::ep;
   constexpr std::uint64_t kWords = 8192; // 64 KB in 8-byte accesses
@@ -86,3 +86,5 @@ int main() {
   csv.row({"dma_read", Table::num(dma, 4)});
   return 0;
 }
+
+int main() { return esarp::bench::guarded_main("ablation_memory", bench_body); }

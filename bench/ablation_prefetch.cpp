@@ -11,7 +11,7 @@
 #include "common/csv.hpp"
 #include "core/ffbp_epiphany.hpp"
 
-int main() {
+static int bench_body() {
   using namespace esarp;
   const auto w = bench::make_paper_workload();
 
@@ -84,3 +84,5 @@ int main() {
   h.print(std::cout);
   return 0;
 }
+
+int main() { return esarp::bench::guarded_main("ablation_prefetch", bench_body); }

@@ -15,7 +15,7 @@
 #include "sar/presum.hpp"
 #include "sar/scene.hpp"
 
-int main() {
+static int bench_body() {
   using namespace esarp;
   const auto p = sar::test_params(64, 201);
   sar::Scene s;
@@ -71,3 +71,5 @@ int main() {
   t.print(std::cout);
   return 0;
 }
+
+int main() { return esarp::bench::guarded_main("ablation_presum", bench_body); }

@@ -14,7 +14,7 @@
 #include "sar/ffbp.hpp"
 #include "sar/scene.hpp"
 
-int main() {
+static int bench_body() {
   using namespace esarp;
   const auto p = sar::test_params(128, 257);
   sar::Scene s;
@@ -90,3 +90,5 @@ int main() {
   t.print(std::cout);
   return 0;
 }
+
+int main() { return esarp::bench::guarded_main("ablation_window", bench_body); }

@@ -16,7 +16,7 @@
 #include "sar/ffbp.hpp"
 #include "sar/scene.hpp"
 
-int main() {
+static int bench_body() {
   using namespace esarp;
   // The geometry where the per-merge shift model is valid: a short
   // aperture whose smooth path error appears as measurable (>= 1/4 bin)
@@ -115,3 +115,5 @@ int main() {
   t.print(std::cout);
   return 0;
 }
+
+int main() { return esarp::bench::guarded_main("autofocus_loop", bench_body); }

@@ -102,6 +102,23 @@ inline void add_engine_stats(telemetry::RunManifest& man,
   }
 }
 
+/// Standard bench entry point: run `body` and turn any escaped exception
+/// into a named nonzero exit instead of std::terminate. This matters for
+/// sweep benches (SweepRunner rethrows the first worker exception): a
+/// throwing sweep point must fail the bench — and therefore CI — rather
+/// than abort mid-write and leave a stale or partial manifest behind for
+/// esarp_compare to diff against. Manifest writes themselves are atomic
+/// (tmp + rename in RunManifest::write), so the last complete artefact
+/// survives a failed re-run.
+inline int guarded_main(const char* tool, int (*body)()) {
+  try {
+    return body();
+  } catch (const std::exception& e) {
+    std::cerr << tool << ": FAILED: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 /// Format a speedup ratio like the paper's Table I ("4.25").
 inline std::string speedup(double ref_time, double time) {
   return Table::num(ref_time / time, 2);

@@ -19,7 +19,7 @@
 #include "epiphany/machine_metrics.hpp"
 #include "sar/scene.hpp"
 
-int main() {
+static int bench_body() {
   using namespace esarp;
 
   std::vector<std::size_t> sizes;
@@ -90,3 +90,5 @@ int main() {
   t.print(std::cout);
   return 0;
 }
+
+int main() { return esarp::bench::guarded_main("crossover_gbp_ffbp", bench_body); }

@@ -15,7 +15,7 @@
 #include "autofocus/workload.hpp"
 #include "sar/ffbp.hpp"
 
-int main() {
+static int bench_body() {
   using namespace esarp;
   const host::HostModel intel;
 
@@ -93,3 +93,5 @@ int main() {
   bench::write_manifest(man);
   return 0;
 }
+
+int main() { return esarp::bench::guarded_main("energy_efficiency", bench_body); }

@@ -17,7 +17,7 @@
 #include "sar/ffbp.hpp"
 #include "sar/gbp.hpp"
 
-int main() {
+static int bench_body() {
   using namespace esarp;
   const auto w = bench::make_paper_workload();
   const auto dir = bench::out_dir();
@@ -89,3 +89,5 @@ int main() {
            Table::num(relative_rmse(f_host.image.data, g.image.data), 6)});
   return 0;
 }
+
+int main() { return esarp::bench::guarded_main("fig7_images", bench_body); }

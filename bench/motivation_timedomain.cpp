@@ -19,7 +19,7 @@
 #include "sar/rda.hpp"
 #include "sar/scene.hpp"
 
-int main() {
+static int bench_body() {
   using namespace esarp;
   const auto p = sar::test_params(64, 161);
   sar::Scene s;
@@ -93,3 +93,5 @@ int main() {
   t.print(std::cout);
   return 0;
 }
+
+int main() { return esarp::bench::guarded_main("motivation_timedomain", bench_body); }

@@ -10,7 +10,7 @@
 #include "epiphany/machine.hpp"
 #include "epiphany/machine_metrics.hpp"
 
-int main() {
+static int bench_body() {
   using namespace esarp;
   using namespace esarp::ep;
   const ChipConfig cfg;
@@ -135,3 +135,5 @@ int main() {
   bench::write_manifest(man);
   return 0;
 }
+
+int main() { return esarp::bench::guarded_main("noc_bandwidth", bench_body); }

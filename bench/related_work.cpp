@@ -10,7 +10,7 @@
 #include "hostmodel/parallel_host_model.hpp"
 #include "sar/ffbp.hpp"
 
-int main() {
+static int bench_body() {
   using namespace esarp;
   const auto w = bench::make_paper_workload();
 
@@ -66,3 +66,5 @@ int main() {
            Table::num(epi.energy.avg_watts, 3), Table::num(j_epi, 4)});
   return 0;
 }
+
+int main() { return esarp::bench::guarded_main("related_work", bench_body); }

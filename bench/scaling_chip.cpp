@@ -14,7 +14,7 @@
 #include "core/ffbp_epiphany.hpp"
 #include "epiphany/machine_metrics.hpp"
 
-int main() {
+static int bench_body() {
   using namespace esarp;
   const auto w = bench::make_paper_workload();
 
@@ -91,3 +91,5 @@ int main() {
   t.print(std::cout);
   return 0;
 }
+
+int main() { return esarp::bench::guarded_main("scaling_chip", bench_body); }

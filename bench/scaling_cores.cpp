@@ -10,7 +10,7 @@
 #include "core/ffbp_epiphany.hpp"
 #include "epiphany/machine_metrics.hpp"
 
-int main() {
+static int bench_body() {
   using namespace esarp;
   const auto w = bench::make_paper_workload();
 
@@ -70,3 +70,5 @@ int main() {
   t.print(std::cout);
   return 0;
 }
+
+int main() { return esarp::bench::guarded_main("scaling_cores", bench_body); }

@@ -14,7 +14,7 @@
 #include "autofocus/criterion.hpp"
 #include "autofocus/workload.hpp"
 
-int main() {
+static int bench_body() {
   using namespace esarp;
   af::AfParams p;
   const std::size_t n_pairs = bench::fast_mode() ? 16 : 64;
@@ -95,3 +95,5 @@ int main() {
   bench::write_manifest(man);
   return 0;
 }
+
+int main() { return esarp::bench::guarded_main("table1_autofocus", bench_body); }

@@ -16,7 +16,7 @@
 #include "hostmodel/host_model.hpp"
 #include "sar/ffbp.hpp"
 
-int main() {
+static int bench_body() {
   using namespace esarp;
   const auto w = bench::make_paper_workload();
 
@@ -84,3 +84,5 @@ int main() {
   bench::write_manifest(man);
   return 0;
 }
+
+int main() { return esarp::bench::guarded_main("table1_ffbp", bench_body); }

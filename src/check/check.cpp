@@ -96,7 +96,18 @@ void CheckContext::report_at(Hazard kind, int core, ep::Cycles cycle,
       !cores_[static_cast<std::size_t>(core)].spans.empty())
     d.span = cores_[static_cast<std::size_t>(core)].spans.back();
   d.message = std::move(message);
+  // Fault-campaign composition (docs/fault-injection.md): anything detected
+  // while the offending core is inside a "fault/..." span is a consequence
+  // of an injected fault being recovered, not a kernel bug.
+  if (d.span.rfind("fault/", 0) == 0) d.suppressed = true;
+  // Graceful degradation legally tears down with shrunken barriers and
+  // drained-but-unreceived channels; those findings are noise once the
+  // machine reports that faults actually degraded the run.
+  if (fault_degraded_ &&
+      (d.kind == Hazard::kChannel || d.kind == Hazard::kBarrier))
+    d.suppressed = true;
   for (const std::string& rule : suppressions_) {
+    if (d.suppressed) break;
     if (suppression_matches(rule, d.kind, d.message)) {
       d.suppressed = true;
       break;

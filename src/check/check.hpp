@@ -166,6 +166,13 @@ public:
   void on_local_violation(int core, const char* what, std::size_t requested,
                           std::size_t limit) override;
 
+  /// Fault-campaign mode (set by Machine::run when an attached injector
+  /// actually fired): channel/barrier diagnostics from this point on are
+  /// auto-suppressed, because recovery legitimately shrinks barrier parties
+  /// and abandons in-flight messages (docs/fault-injection.md). All other
+  /// hazard classes keep aborting checked runs.
+  void set_fault_degraded() { fault_degraded_ = true; }
+
   // --- End of run ---------------------------------------------------------
   /// Teardown checks (unreceived channel messages, cores stuck at
   /// barriers), then report: console summary to stderr, JSON report when
@@ -270,6 +277,7 @@ private:
   std::uint64_t next_job_ = 1;
   std::size_t dropped_ = 0;
   bool finalized_ = false;
+  bool fault_degraded_ = false; ///< see set_fault_degraded()
 };
 
 } // namespace esarp::check

@@ -218,9 +218,37 @@ public:
   }
 
 private:
+  /// Containers nest on the host call stack (parse_value recurses), so a
+  /// hostile or corrupted document could otherwise overflow it. Manifests
+  /// nest ~4 deep; 128 is far above any legitimate producer.
+  static constexpr int kMaxDepth = 128;
+
+  /// RAII nesting accounting for parse_object / parse_array (both have
+  /// multiple return paths).
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : p_(p) {
+      if (++p_.depth_ > kMaxDepth)
+        p_.fail("nesting deeper than " + std::to_string(kMaxDepth) +
+                " levels");
+    }
+    ~DepthGuard() { --p_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+  private:
+    Parser& p_;
+  };
+
   [[noreturn]] void fail(const std::string& why) const {
     throw ContractViolation("JSON parse error at offset " +
                             std::to_string(pos_) + ": " + why);
+  }
+
+  /// Message suffix for errors that usually mean a partially written or
+  /// truncated file (e.g. a manifest from an interrupted run).
+  [[nodiscard]] static std::string truncated_hint() {
+    return " (input ends mid-document; file truncated or still being "
+           "written?)";
   }
 
   void skip_ws() {
@@ -231,7 +259,8 @@ private:
   }
 
   char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
+    if (pos_ >= text_.size())
+      fail("unexpected end of input" + truncated_hint());
     return text_[pos_];
   }
 
@@ -267,6 +296,7 @@ private:
   }
 
   JsonValue parse_object() {
+    const DepthGuard depth(*this);
     expect('{');
     JsonValue::Object obj;
     skip_ws();
@@ -289,6 +319,7 @@ private:
   }
 
   JsonValue parse_array() {
+    const DepthGuard depth(*this);
     expect('[');
     JsonValue::Array arr;
     skip_ws();
@@ -310,14 +341,16 @@ private:
     expect('"');
     std::string out;
     for (;;) {
-      if (pos_ >= text_.size()) fail("unterminated string");
+      if (pos_ >= text_.size())
+        fail("unterminated string" + truncated_hint());
       const char c = text_[pos_++];
       if (c == '"') return out;
       if (c != '\\') {
         out += c;
         continue;
       }
-      if (pos_ >= text_.size()) fail("unterminated escape");
+      if (pos_ >= text_.size())
+        fail("unterminated escape" + truncated_hint());
       const char e = text_[pos_++];
       switch (e) {
         case '"': out += '"'; break;
@@ -329,7 +362,8 @@ private:
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          if (pos_ + 4 > text_.size())
+            fail("truncated \\u escape" + truncated_hint());
           unsigned cp = 0;
           for (int i = 0; i < 4; ++i) {
             const char h = text_[pos_++];
@@ -378,6 +412,7 @@ private:
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0; ///< current container nesting (DepthGuard)
 };
 
 } // namespace

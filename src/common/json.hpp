@@ -131,7 +131,9 @@ private:
 };
 
 /// Parse a complete JSON document; throws ContractViolation with position
-/// information on malformed input or trailing garbage.
+/// information on malformed input or trailing garbage. Inputs that end
+/// mid-document get a "truncated" hint (partially written manifests), and
+/// containers may nest at most 128 levels (stack-overflow guard).
 [[nodiscard]] JsonValue parse_json(std::string_view text);
 
 /// Read and parse a JSON file; throws ContractViolation if unreadable.

@@ -29,6 +29,7 @@
 #include "epiphany/machine.hpp"
 #include "autofocus/af_params.hpp"
 #include "autofocus/workload.hpp"
+#include "fault/injector.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace esarp::core {
@@ -45,6 +46,9 @@ struct AfMapOptions {
   /// shared_tracer parameter); enable before the run for named
   /// criterion-block spans. Must outlive the run.
   ep::Tracer* tracer = nullptr;
+  /// Nonzero arms the scheduler watchdog (ep::WatchdogExpired past this
+  /// many simulated cycles), mirroring FfbpMapOptions::max_cycles.
+  ep::Cycles max_cycles = 0;
 };
 
 struct AfSimResult {
@@ -60,6 +64,12 @@ struct AfSimResult {
   /// Snapshot of the machine's telemetry registry after the run (channel
   /// block histograms, per-link NoC traffic, core counters, ...).
   telemetry::MetricsRegistry metrics;
+  /// Fault-campaign totals (all zero unless ChipConfig::faults is enabled).
+  fault::FaultSummary faults;
+  /// True when the campaign degraded the result: a fail-stopped core broke
+  /// a window pipeline and the correlator rescored from the surviving
+  /// windows (docs/fault-injection.md).
+  bool degraded = false;
 };
 
 /// Sequential (1-core) sweep over all block pairs. `tracer` (optional,

@@ -6,6 +6,7 @@
 #include "common/fastmath.hpp"
 #include "core/ffbp_layout.hpp"
 #include "epiphany/machine_metrics.hpp"
+#include "epiphany/resilient.hpp"
 #include "sar/merge_kernel.hpp"
 
 namespace esarp::core {
@@ -26,6 +27,13 @@ struct SharedState {
   // level being produced, plus the applied-correction log.
   std::vector<float> shifts;
   std::vector<af::MergeCorrection> corrections;
+  // Fault-campaign checkpoints in SDRAM (empty outside a campaign), one
+  // array per merge level: row_done[level-1][row] flips to 1 once that
+  // output row is verified in the destination buffer, af_done[level-1][pair]
+  // once that pair's shift is published. Survivors of a fail-stop scan them
+  // to repartition the unfinished work (docs/fault-injection.md).
+  std::vector<std::span<std::uint32_t>> row_done;
+  std::vector<std::span<std::uint32_t>> af_done;
 };
 
 /// Rebuild a child subaperture (level `lvl`, index `subap`) from its SDRAM
@@ -280,6 +288,302 @@ ep::Task ffbp_core_program(ep::CoreCtx& ctx, const sar::RadarParams& p,
   }
 }
 
+/// Live launch-set cores at `now` under the campaign's fail-stop schedule.
+/// Pure in (plan, now): at a common post-barrier cycle every survivor
+/// computes the identical set, which is what makes the repartition
+/// bookkeeping below coordinator-free.
+std::vector<int> alive_cores(const fault::FaultInjector& inj, int n_cores,
+                             ep::Cycles now) {
+  std::vector<int> alive;
+  alive.reserve(static_cast<std::size_t>(n_cores));
+  for (int c = 0; c < n_cores; ++c)
+    if (!inj.fail_stop_due(c, static_cast<std::uint64_t>(now)))
+      alive.push_back(c);
+  return alive;
+}
+
+[[nodiscard]] std::size_t rank_of(const std::vector<int>& alive, int core) {
+  for (std::size_t i = 0; i < alive.size(); ++i)
+    if (alive[i] == core) return i;
+  // A core only ranks itself after passing its own fail_stop_due() check,
+  // so it is always in the set it just computed.
+  ESARP_REQUIRE(false, "core not in its own live set");
+  return 0;
+}
+
+/// Fault-campaign variant of ffbp_core_program, selected whenever the
+/// machine carries a FaultInjector (docs/fault-injection.md). Same inner
+/// arithmetic, hardened control flow:
+///
+///  - ctx.fail_stop_due() is polled at every work-item boundary (row, af
+///    pair, pass); a due core records its failure and stops without
+///    arriving at the barrier, so the survivors' failure detection (which
+///    uses the same oracle) has no false positives.
+///  - All SDRAM payload traffic goes through the reliable_* wrappers:
+///    checksum-verified, retried with exponential backoff on injected
+///    corruption / drops / bit flips.
+///  - Each merge level runs as repartition passes over the SDRAM row_done
+///    checkpoint flags: process your slice of the unfinished rows, cross
+///    the (failure-detecting) barrier, rescan — surviving cores pick up a
+///    fail-stopped core's rows instead of deadlocking. Rows are idempotent,
+///    so a row caught mid-flight by a failure is simply recomputed.
+///  - Autofocus degrades instead of redistributing: pairs a failed core
+///    never finished fall back to a zero shift (uncompensated merge) and
+///    are counted as fault.af_pairs_dropped.
+///
+/// The prefetch pipeline is single-buffered here — verification serializes
+/// each transfer anyway — and with plan.resilient == false the wrappers and
+/// the barrier degenerate to the plain protocol while the fail-stop polls
+/// stay on: that configuration demonstrates the pre-recovery behaviour,
+/// where one fail-stopped core deadlocks the whole chip (SimDeadlock).
+ep::Task ffbp_core_program_resilient(ep::CoreCtx& ctx,
+                                     const sar::RadarParams& p,
+                                     const FfbpMapOptions& opt,
+                                     SharedState& st, int core_index) {
+  fault::FaultInjector& inj = *ctx.fault_injector();
+  const bool resilient = inj.plan().resilient;
+  const std::size_t n_levels = p.merge_levels();
+  const std::size_t n_range = p.n_range;
+  const std::size_t row_bytes = n_range * sizeof(cf32);
+  const std::size_t n = static_cast<std::size_t>(opt.n_cores);
+
+  auto out_row = ctx.local().alloc_in_bank<cf32>(n_range, 1);
+  auto child_row1 = ctx.local().alloc_in_bank<cf32>(n_range, 2);
+  auto child_row2 = ctx.local().alloc_in_bank<cf32>(n_range, 3);
+
+  const sar::FfbpOptions algo =
+      opt.autofocus != nullptr ? opt.autofocus->ffbp : opt.algo;
+  const OpCounts pixel_ops = sar::merge_pixel_ops(algo);
+  const float r0f = static_cast<float>(p.near_range_m);
+  const float drf = static_cast<float>(p.range_bin_m);
+
+  std::span<cf32> src = st.buf_a;
+  std::span<cf32> dst = st.buf_b;
+
+  for (std::size_t level = 1; level <= n_levels; ++level) {
+    ctx.begin_span("merge-iter/" + std::to_string(level));
+    const LevelLayout lc = LevelLayout::at(p, level - 1);
+    const LevelLayout lp = LevelLayout::at(p, level);
+    const sar::MergeLevelGeom geom = sar::merge_level_geom(p, level);
+    const sar::ChildGrid& grid = geom.child;
+    const std::size_t rows_total = lp.rows_total();
+
+    // --- Autofocus phase. Level entry is a uniform instant (launch or the
+    // aligned barrier release), so every survivor strides over the same
+    // live set.
+    const bool af_level =
+        opt.autofocus != nullptr && level >= opt.autofocus->first_level;
+    if (opt.autofocus != nullptr) {
+      if (ctx.fail_stop_due()) {
+        ctx.mark_failed();
+        co_return;
+      }
+      const std::vector<int> alive = alive_cores(inj, opt.n_cores, ctx.now());
+      const std::size_t stride = resilient ? alive.size() : n;
+      const std::size_t first = resilient
+                                    ? rank_of(alive, core_index)
+                                    : static_cast<std::size_t>(core_index);
+      std::span<std::uint32_t> af_done =
+          resilient ? st.af_done[level - 1] : std::span<std::uint32_t>{};
+      ctx.begin_span("af-estimate/" + std::to_string(level));
+      for (std::size_t pair = first; pair < lp.n_subaps; pair += stride) {
+        if (ctx.fail_stop_due()) {
+          ctx.mark_failed();
+          co_return;
+        }
+        if (!af_level) {
+          st.shifts[pair] = 0.0f;
+          continue;
+        }
+        ctx.begin_span("criterion-block/" + std::to_string(pair));
+        const auto a = load_subaperture(src, lc, p, level - 1, 2 * pair);
+        const auto b = load_subaperture(src, lc, p, level - 1, 2 * pair + 1);
+        const std::size_t child_bytes = lc.n_theta * lc.n_range * sizeof(cf32);
+        co_await ctx.read_ext_gather(2, child_bytes);
+        OpCounts est_ops;
+        const af::PairEstimate est =
+            af::estimate_pair_shift(a, b, p, *opt.autofocus, &est_ops, nullptr);
+        co_await ctx.compute(est_ops);
+        st.shifts[pair] = est.applied(opt.autofocus->min_gain);
+        st.corrections.push_back({level, pair, st.shifts[pair], est.gain});
+        if (resilient) {
+          const std::uint32_t done_flag = 1;
+          co_await ep::reliable_write_ext(ctx, &af_done[pair], &done_flag,
+                                          sizeof(done_flag));
+        }
+        ctx.end_span();
+      }
+      ctx.end_span();
+      co_await st.barrier->arrive_and_wait(ctx);
+      if (resilient && af_level) {
+        // Uniform post-barrier instant: every survivor sees the identical
+        // flag snapshot, so all agree on which pairs a failed core left
+        // unfinished. Those merge uncompensated (shift 0); the
+        // lowest-ranked survivor accounts for the drops once.
+        const std::vector<int> after =
+            alive_cores(inj, opt.n_cores, ctx.now());
+        const bool accountant = after.front() == core_index;
+        std::size_t dropped = 0;
+        for (std::size_t pair = 0; pair < lp.n_subaps; ++pair) {
+          if (af_done[pair] != 0) continue;
+          st.shifts[pair] = 0.0f;
+          ++dropped;
+          if (accountant) inj.count_af_pair_dropped();
+        }
+        if (dropped > 0 && ctx.checker() != nullptr)
+          ctx.checker()->set_fault_degraded();
+        co_await ctx.read_ext_gather(lp.n_subaps, sizeof(std::uint32_t));
+      }
+    }
+
+    const auto predict = [&](std::size_t ti) {
+      const float theta_row = geom.theta_of_row(p, ti);
+      const float cr_row = 2.0f * geom.d * fastmath::poly_cos(theta_row);
+      const float r_mid = r0f + static_cast<float>(n_range / 2) * drf;
+      const sar::MergeGeom mid =
+          sar::merge_geometry(r_mid, cr_row, geom.d2, geom.inv_2d);
+      const auto clamp_bin = [&](float th) {
+        const float f = (th - grid.theta_start) * grid.inv_dtheta;
+        int b = static_cast<int>(f);
+        if (b < 0) b = 0;
+        if (b >= grid.n_theta) b = grid.n_theta - 1;
+        return b;
+      };
+      return std::pair<int, int>{clamp_bin(mid.theta1), clamp_bin(mid.theta2)};
+    };
+
+    std::span<std::uint32_t> row_done =
+        resilient ? st.row_done[level - 1] : std::span<std::uint32_t>{};
+    for (std::size_t pass = 0;; ++pass) {
+      // Uniform instant (level entry / aligned post-barrier release): the
+      // flag snapshot and the live set below are host-side and identical
+      // across survivors, so the break / repartition decisions agree
+      // without a coordinator.
+      if (ctx.fail_stop_due()) {
+        ctx.mark_failed();
+        co_return;
+      }
+      std::vector<std::uint32_t> mine; // global row indices for this pass
+      if (resilient) {
+        std::vector<std::uint32_t> undone;
+        for (std::size_t r = 0; r < rows_total; ++r)
+          if (row_done[r] == 0) undone.push_back(static_cast<std::uint32_t>(r));
+        if (undone.empty()) break; // level complete on every survivor
+        const std::vector<int> alive =
+            alive_cores(inj, opt.n_cores, ctx.now());
+        const std::size_t rank = rank_of(alive, core_index);
+        if (pass > 0 || alive.size() < n) {
+          if (rank == 0) inj.count_repartition(alive.size());
+        }
+        for (std::size_t k = rank; k < undone.size(); k += alive.size())
+          mine.push_back(undone[k]);
+        // Rescan cost: pass 0 needs none (flags are known clear at level
+        // entry), later passes charge one flag sweep.
+        if (pass > 0)
+          co_await ctx.read_ext_gather(rows_total, sizeof(std::uint32_t));
+      } else {
+        const std::size_t begin =
+            static_cast<std::size_t>(core_index) * rows_total / n;
+        const std::size_t end =
+            (static_cast<std::size_t>(core_index) + 1) * rows_total / n;
+        for (std::size_t r = begin; r < end; ++r)
+          mine.push_back(static_cast<std::uint32_t>(r));
+      }
+
+      for (const std::uint32_t gr32 : mine) {
+        if (ctx.fail_stop_due()) {
+          ctx.mark_failed();
+          co_return;
+        }
+        const std::size_t gr = gr32;
+        const std::size_t subap = gr / lp.n_theta;
+        const std::size_t ti = gr % lp.n_theta;
+        const float theta = geom.theta_of_row(p, ti);
+        const float cr = 2.0f * geom.d * fastmath::poly_cos(theta);
+        const std::size_t child1 = 2 * subap;
+        const std::size_t child2 = 2 * subap + 1;
+
+        int pre1 = -1;
+        int pre2 = -1;
+        if (opt.prefetch) {
+          ctx.begin_span("dma-prefetch");
+          co_await ctx.compute(kPredictOps);
+          const auto [a1, a2] = predict(ti);
+          pre1 = a1;
+          pre2 = a2;
+          const ep::DmaSeg segs[2] = {
+              {child_row1.data(),
+               src.data() + lc.offset(child1, static_cast<std::size_t>(a1)),
+               row_bytes},
+              {child_row2.data(),
+               src.data() + lc.offset(child2, static_cast<std::size_t>(a2)),
+               row_bytes}};
+          co_await ep::reliable_dma_read_burst(ctx, segs);
+          ctx.end_span();
+        }
+
+        std::uint64_t misses = 0;
+        const auto fetch1 = [&](int it, int ir) -> cf32 {
+          if (it == pre1) return child_row1[static_cast<std::size_t>(ir)];
+          ++misses;
+          return src[lc.offset(child1, static_cast<std::size_t>(it),
+                               static_cast<std::size_t>(ir))];
+        };
+        const auto fetch2 = [&](int it, int ir) -> cf32 {
+          if (it == pre2) return child_row2[static_cast<std::size_t>(ir)];
+          ++misses;
+          return src[lc.offset(child2, static_cast<std::size_t>(it),
+                               static_cast<std::size_t>(ir))];
+        };
+
+        const float af_shift =
+            opt.autofocus != nullptr ? st.shifts[subap] : 0.0f;
+        const float shift_a = -0.5f * af_shift * drf;
+        const float shift_b = 0.5f * af_shift * drf;
+
+        std::uint64_t fetches = 0;
+        for (std::size_t j = 0; j < n_range; ++j) {
+          const float r = r0f + static_cast<float>(j) * drf;
+          const sar::MergeGeom g =
+              sar::merge_geometry(r, cr, geom.d2, geom.inv_2d);
+          const cf32 v1 =
+              sar::sample_child(grid, g.r1 + shift_a, g.theta1, algo.interp,
+                                algo.phase_compensate, fetch1);
+          const cf32 v2 =
+              sar::sample_child(grid, g.r2 + shift_b, g.theta2, algo.interp,
+                                algo.phase_compensate, fetch2);
+          out_row[j] = v1 + v2;
+          fetches += 2;
+        }
+
+        co_await ctx.compute(static_cast<std::uint64_t>(n_range) * pixel_ops +
+                             sar::kMergeRowOps);
+        if (misses > 0) co_await ctx.read_ext_gather(misses, sizeof(cf32));
+        co_await ep::reliable_write_ext(
+            ctx, dst.data() + lp.offset(subap, ti), out_row.data(), row_bytes);
+        if (resilient) {
+          // SDRAM checkpoint: once verified, this row survives any later
+          // repartition of the level.
+          const std::uint32_t done_flag = 1;
+          co_await ep::reliable_write_ext(ctx, &row_done[gr], &done_flag,
+                                          sizeof(done_flag));
+        }
+
+        // Rows recomputed across passes double-count here; the prefetch
+        // stats describe work performed, not distinct rows.
+        auto& ls = st.stats[level - 1];
+        ls.local_hits += fetches - misses;
+        ls.ext_misses += misses;
+      }
+
+      co_await st.barrier->arrive_and_wait(ctx);
+      if (!resilient) break; // single pass; checkpoint flags unused
+    }
+    ctx.end_span(); // merge-iter
+    std::swap(src, dst);
+  }
+}
+
 } // namespace
 
 FfbpSimResult run_ffbp_epiphany(const Array2D<cf32>& data,
@@ -296,8 +600,18 @@ FfbpSimResult run_ffbp_epiphany(const Array2D<cf32>& data,
   if (opt.autofocus != nullptr) opt.autofocus->criterion.validate();
 
   const std::size_t total = p.n_pulses * p.n_range;
-  const std::size_t ext_bytes =
-      2 * total * sizeof(cf32) + (1u << 20); // two level buffers + slack
+  // Fault campaigns keep per-level checkpoint flags in SDRAM; budget them
+  // explicitly so large campaigns never eat the allocation slack.
+  std::size_t flag_bytes = 0;
+  if (cfg.faults.enabled()) {
+    for (std::size_t l = 1; l <= p.merge_levels(); ++l) {
+      const LevelLayout lp = LevelLayout::at(p, l);
+      flag_bytes +=
+          (lp.rows_total() + lp.n_subaps) * sizeof(std::uint32_t) + 16;
+    }
+  }
+  const std::size_t ext_bytes = 2 * total * sizeof(cf32) + flag_bytes +
+                                (1u << 20); // two level buffers + slack
   ep::Machine m(cfg, std::max<std::size_t>(ext_bytes, 8u << 20), {},
                 opt.tracer);
 
@@ -309,6 +623,20 @@ FfbpSimResult run_ffbp_epiphany(const Array2D<cf32>& data,
     st.stats[l].level = l + 1;
   st.barrier = m.make_barrier(opt.n_cores);
   st.shifts.assign(p.n_pulses / 2, 0.0f);
+  const bool fault_mode = m.fault_injector() != nullptr;
+  if (fault_mode) {
+    st.row_done.resize(p.merge_levels());
+    if (opt.autofocus != nullptr) st.af_done.resize(p.merge_levels());
+    for (std::size_t l = 1; l <= p.merge_levels(); ++l) {
+      const LevelLayout lp = LevelLayout::at(p, l);
+      st.row_done[l - 1] = m.ext().alloc<std::uint32_t>(lp.rows_total());
+      std::fill(st.row_done[l - 1].begin(), st.row_done[l - 1].end(), 0u);
+      if (opt.autofocus != nullptr) {
+        st.af_done[l - 1] = m.ext().alloc<std::uint32_t>(lp.n_subaps);
+        std::fill(st.af_done[l - 1].begin(), st.af_done[l - 1].end(), 0u);
+      }
+    }
+  }
 
   // Load level 0 into SDRAM (range-phase referenced, like the reference).
   const auto level0 = sar::initial_subapertures(data, p);
@@ -317,13 +645,14 @@ FfbpSimResult run_ffbp_epiphany(const Array2D<cf32>& data,
               st.buf_a.begin() + static_cast<std::ptrdiff_t>(pu * p.n_range));
 
   for (int c = 0; c < opt.n_cores; ++c) {
-    m.launch(c, [&p, &opt, &st, c](ep::CoreCtx& ctx) {
-      return ffbp_core_program(ctx, p, opt, st, c);
+    m.launch(c, [&p, &opt, &st, c, fault_mode](ep::CoreCtx& ctx) {
+      return fault_mode ? ffbp_core_program_resilient(ctx, p, opt, st, c)
+                        : ffbp_core_program(ctx, p, opt, st, c);
     });
   }
 
   FfbpSimResult res;
-  res.cycles = m.run();
+  res.cycles = m.run(opt.max_cycles);
   res.seconds = m.seconds(res.cycles);
   res.perf = m.report();
   res.energy = ep::compute_energy(res.perf);
@@ -343,6 +672,19 @@ FfbpSimResult run_ffbp_epiphany(const Array2D<cf32>& data,
         .counter(telemetry::labeled("ffbp.prefetch.ext_misses",
                                     {{"level", lvl}}))
         .add(ls.ext_misses);
+  }
+  if (const fault::FaultInjector* fi = m.fault_injector()) {
+    res.faults = fi->summary();
+    res.degraded =
+        res.faults.failed_cores > 0 || res.faults.af_pairs_dropped > 0;
+    // Manifest results carry doubles; split the 64-bit reproducibility
+    // witness in two so zero-tolerance diffs catch schedule drift exactly.
+    m.metrics()
+        .gauge("fault.schedule_hash_hi")
+        .set(static_cast<double>(res.faults.schedule_hash >> 32));
+    m.metrics()
+        .gauge("fault.schedule_hash_lo")
+        .set(static_cast<double>(res.faults.schedule_hash & 0xffffffffULL));
   }
   res.metrics = m.metrics();
 

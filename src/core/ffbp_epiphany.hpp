@@ -27,6 +27,7 @@
 #include "epiphany/energy.hpp"
 #include "epiphany/machine.hpp"
 #include "autofocus/integrated.hpp"
+#include "fault/injector.hpp"
 #include "sar/ffbp.hpp"
 #include "sar/params.hpp"
 #include "telemetry/metrics.hpp"
@@ -58,6 +59,11 @@ struct FfbpMapOptions {
   /// merge-iteration / dma-prefetch / criterion-block spans and the
   /// ext-port counter tracks. Must outlive the run.
   ep::Tracer* tracer = nullptr;
+  /// Nonzero arms the scheduler watchdog: a run exceeding this many
+  /// simulated cycles throws ep::WatchdogExpired with per-core
+  /// diagnostics instead of spinning (useful for fault campaigns that
+  /// might livelock a misconfigured recovery policy).
+  ep::Cycles max_cycles = 0;
 };
 
 struct LevelPrefetchStats {
@@ -85,6 +91,15 @@ struct FfbpSimResult {
   /// stall histograms, barrier wait/imbalance, per-link NoC traffic, plus
   /// per-level prefetch hit/miss counters (`ffbp.prefetch.*{level=N}`).
   telemetry::MetricsRegistry metrics;
+  /// Fault-campaign totals (all zero unless ChipConfig::faults is enabled
+  /// — see docs/fault-injection.md). `faults.schedule_hash` is the
+  /// reproducibility witness: equal seeds must give equal hashes.
+  fault::FaultSummary faults;
+  /// True when the campaign degraded the output (fail-stopped cores or
+  /// dropped autofocus pairs): the image is then an approximation of the
+  /// fault-free result, not bit-identical to it. Recovered transfer faults
+  /// (retries) alone never set this — retried data is verified exact.
+  bool degraded = false;
 };
 
 /// Run FFBP on the simulated chip with the given mapping.

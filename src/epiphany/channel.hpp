@@ -9,6 +9,7 @@
 #pragma once
 
 #include <deque>
+#include <optional>
 #include <string>
 
 #include "common/assert.hpp"
@@ -115,6 +116,87 @@ public:
         to.core().state = CoreState::kRunning;
       }
     }
+  }
+
+  /// Consumer side with a timeout (fault campaigns): polls the FIFO every
+  /// `poll` cycles instead of sleeping on the wake list, and gives up after
+  /// `timeout` cycles with nullopt so the caller can escalate to failure
+  /// detection (e.g. check the producer for fail-stop and drop the
+  /// pipeline block). Polling leaves no waiter registered, so an abandoned
+  /// receive cannot leak a blocked coroutine into the scheduler.
+  TaskT<std::optional<T>> recv_for(CoreCtx& to, Cycles timeout, Cycles poll) {
+    ESARP_EXPECTS(to.coord() == consumer_);
+    ESARP_EXPECTS(poll > 0);
+    const Cycles entered = sched_.now();
+    for (;;) {
+      if (!q_.empty() && q_.front().ready_at <= sched_.now()) {
+        T v = std::move(q_.front().value);
+        q_.pop_front();
+        if (to.checker() != nullptr)
+          to.checker()->on_chan_recv(this, name_, to.id());
+        senders_.wake_all(sched_);
+        stats_.recv_block_cycles += sched_.now() - entered;
+        if (recv_block_hist_ != nullptr)
+          recv_block_hist_->observe(
+              static_cast<double>(sched_.now() - entered));
+        to.core().counters.chan_wait += sched_.now() - entered;
+        to.tracer().add(to.id(), SegmentKind::kChanRecv, entered,
+                        sched_.now());
+        co_return std::optional<T>{std::move(v)};
+      }
+      if (sched_.now() - entered >= timeout) {
+        to.core().counters.chan_wait += sched_.now() - entered;
+        co_return std::nullopt;
+      }
+      to.core().state = CoreState::kWaitChannel;
+      if (!q_.empty() && q_.front().ready_at > sched_.now() &&
+          q_.front().ready_at < sched_.now() + poll) {
+        co_await DelayUntil{sched_, q_.front().ready_at};
+      } else {
+        co_await DelayFor{sched_, poll};
+      }
+      to.core().state = CoreState::kRunning;
+    }
+  }
+
+  /// Producer side with a timeout (fault campaigns): polls for FIFO space
+  /// and returns false (message not sent) after `timeout` cycles, so a
+  /// producer feeding a fail-stopped consumer can stop instead of blocking
+  /// forever.
+  TaskT<bool> send_for(CoreCtx& from, T value, Cycles timeout, Cycles poll) {
+    ESARP_EXPECTS(poll > 0);
+    const Cycles entered = sched_.now();
+    while (q_.size() >= capacity_) {
+      if (sched_.now() - entered >= timeout) {
+        from.core().counters.chan_wait += sched_.now() - entered;
+        co_return false;
+      }
+      from.core().state = CoreState::kWaitChannel;
+      co_await DelayFor{sched_, poll};
+      from.core().state = CoreState::kRunning;
+    }
+    stats_.send_block_cycles += sched_.now() - entered;
+    if (send_block_hist_ != nullptr)
+      send_block_hist_->observe(static_cast<double>(sched_.now() - entered));
+    from.tracer().add(from.id(), SegmentKind::kChanSend, entered,
+                      sched_.now());
+
+    const Cycles arrival = noc_.transfer(from.coord(), consumer_, sizeof(T),
+                                         sched_.now(), Mesh::kOnChipWrite);
+    if (from.checker() != nullptr)
+      from.checker()->on_chan_send(this, name_, from.id());
+    from.core().counters.msgs_sent += 1;
+    from.core().counters.msg_bytes_sent += sizeof(T);
+    q_.push_back(Slot{arrival, std::move(value)});
+    stats_.messages += 1;
+    stats_.bytes += sizeof(T);
+    if (messages_counter_ != nullptr) messages_counter_->add(1);
+    if (bytes_counter_ != nullptr) bytes_counter_->add(sizeof(T));
+    receivers_.wake_all(sched_);
+
+    const Cycles inject = from.config().cycles_for_bytes_on_link(sizeof(T));
+    co_await DelayFor{sched_, inject};
+    co_return true;
   }
 
   [[nodiscard]] const ChannelStats& stats() const { return stats_; }

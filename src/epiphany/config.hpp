@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <string>
 
+#include "fault/plan.hpp"
+
 namespace esarp::ep {
 
 /// Simulated time in core clock cycles.
@@ -88,6 +90,11 @@ struct ChipConfig {
   // Hazard sanitizer (host-side checking layer; no effect on simulated
   // cycles — see CheckOptions above and docs/static-analysis.md).
   CheckOptions check;
+
+  // Fault-injection campaign (docs/fault-injection.md). The default plan
+  // is disabled; the Machine builds an injector only when faults.enabled(),
+  // so an untouched config simulates exactly as before.
+  fault::FaultPlan faults;
 
   // Derived helpers.
   [[nodiscard]] int core_count() const { return rows * cols; }

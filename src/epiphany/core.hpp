@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/opcounts.hpp"
 #include "epiphany/config.hpp"
@@ -15,6 +17,7 @@ enum class CoreState : std::uint8_t {
   kWaitChannel, ///< blocked in Channel::send/recv
   kWaitBarrier,
   kDone,
+  kFailed, ///< fail-stop fault observed; no further simulated work
 };
 
 [[nodiscard]] constexpr const char* to_string(CoreState s) {
@@ -24,6 +27,7 @@ enum class CoreState : std::uint8_t {
     case CoreState::kWaitChannel: return "wait-channel";
     case CoreState::kWaitBarrier: return "wait-barrier";
     case CoreState::kDone: return "done";
+    case CoreState::kFailed: return "failed";
   }
   return "?";
 }
@@ -65,6 +69,11 @@ public:
 
   CoreCounters counters;
   CoreState state = CoreState::kIdle;
+
+  /// Live span nesting (pushed/popped by CoreCtx::begin_span/end_span,
+  /// independent of tracing or checking) so deadlock and watchdog
+  /// diagnostics can say which phase each blocked core was in.
+  std::vector<std::string> spans;
 
 private:
   int id_;

@@ -25,6 +25,7 @@
 #include "check/check.hpp"
 #include "common/opcounts.hpp"
 #include "epiphany/config.hpp"
+#include "fault/injector.hpp"
 #include "epiphany/core.hpp"
 #include "epiphany/cost_model.hpp"
 #include "epiphany/ext_port.hpp"
@@ -39,9 +40,13 @@ namespace esarp::ep {
 
 /// Handle for an in-flight DMA transfer. `check_id` identifies the job to
 /// the hazard sanitizer (0 = unchecked run or null job; see check.hpp).
+/// `fault` is the injected outcome on a fault campaign (kNone otherwise);
+/// the resilience layer (resilient.hpp) reads it to model detection — plain
+/// kernels ignore it and consume whatever payload was delivered.
 struct DmaJob {
   Cycles done_at = 0;
   std::uint64_t check_id = 0;
+  fault::TransferFault fault = fault::TransferFault::kNone;
 };
 
 /// One segment of a burst DMA transfer (see CoreCtx::dma_read_ext_burst).
@@ -61,10 +66,11 @@ public:
           ExternalMemory& ext_mem, const CostModel& cost,
           const ChipConfig& cfg, Tracer& tracer,
           telemetry::MetricsRegistry& metrics,
-          check::CheckContext* checker = nullptr)
+          check::CheckContext* checker = nullptr,
+          fault::FaultInjector* fault = nullptr)
       : core_(core), sched_(sched), noc_(noc), ext_port_(ext_port),
         ext_mem_(ext_mem), cost_(cost), cfg_(cfg), tracer_(tracer),
-        metrics_(metrics), check_(checker) {}
+        metrics_(metrics), check_(checker), fault_(fault) {}
 
   CoreCtx(const CoreCtx&) = delete;
   CoreCtx& operator=(const CoreCtx&) = delete;
@@ -82,16 +88,36 @@ public:
   [[nodiscard]] telemetry::MetricsRegistry& metrics() { return metrics_; }
   /// The hazard sanitizer attached to this machine, or nullptr.
   [[nodiscard]] check::CheckContext* checker() { return check_; }
+  /// The fault injector attached to this machine, or nullptr (no campaign).
+  [[nodiscard]] fault::FaultInjector* fault_injector() { return fault_; }
 
-  /// Open a named, nestable trace span on this core (no-op unless tracing
-  /// is enabled). Pair with end_span(); see Tracer::push_span.
+  /// True once this core's fail-stop trigger cycle has passed (always
+  /// false outside a fault campaign). Resilient kernels poll this at
+  /// work-item boundaries and call mark_failed() + co_return.
+  [[nodiscard]] bool fail_stop_due() const {
+    return fault_ != nullptr && fault_->fail_stop_due(id(), now());
+  }
+
+  /// Record this core's fail-stop: state flips to kFailed and the failure
+  /// becomes visible to the recovery layer's confirmed-failure oracle.
+  void mark_failed() {
+    core_.state = CoreState::kFailed;
+    if (fault_ != nullptr) fault_->mark_failed(id(), now());
+  }
+
+  /// Open a named, nestable trace span on this core. The core's live span
+  /// stack always tracks these (for deadlock/watchdog diagnostics); the
+  /// tracer additionally records them when tracing is enabled. Pair with
+  /// end_span(); see Tracer::push_span.
   void begin_span(std::string name) {
     if (check_ != nullptr) check_->on_span_push(id(), name);
+    core_.spans.push_back(name);
     tracer_.push_span(id(), std::move(name), now());
   }
   /// Close this core's innermost open trace span.
   void end_span() {
     if (check_ != nullptr) check_->on_span_pop(id());
+    if (!core_.spans.empty()) core_.spans.pop_back();
     tracer_.pop_span(id(), now());
   }
 
@@ -113,6 +139,7 @@ public:
       check_->on_local_access(id(), dst, bytes, /*is_write=*/true, "read_ext");
     }
     std::memcpy(dst, src, bytes);
+    last_fault_ = roll_transfer(dst, bytes);
     const Cycles done = ext_port_.blocking_read(coord(), 1, bytes, now());
     core_.counters.ext_stall += done - now();
     core_.counters.ext_read_bytes += bytes;
@@ -144,6 +171,7 @@ public:
                               "write_ext");
     }
     std::memcpy(dst, src, bytes);
+    last_fault_ = roll_transfer(dst, bytes);
     const Cycles done = ext_port_.posted_write(coord(), bytes, now());
     core_.counters.ext_write_bytes += bytes;
     tracer_.add(id(), SegmentKind::kExtWrite, now(), done);
@@ -156,6 +184,7 @@ public:
     ESARP_EXPECTS(ext_mem_.owns(src));
     ESARP_EXPECTS(core_.mem().owns(dst));
     std::memcpy(dst, src, bytes);
+    const fault::TransferFault tf = roll_transfer(dst, bytes);
     core_.counters.dma_transfers += 1;
     core_.counters.dma_bytes += bytes;
     const Cycles done = ext_port_.dma_read(coord(), bytes, now());
@@ -167,7 +196,7 @@ public:
       check_->on_dma_segment(id(), check_id, dst, bytes,
                              /*writes_local=*/true, done, "dma_read_ext");
     }
-    return DmaJob{done, check_id};
+    return DmaJob{done, check_id, tf};
   }
 
   /// Start a burst of DMA read segments SDRAM -> local store as one job.
@@ -179,10 +208,13 @@ public:
   [[nodiscard]] DmaJob dma_read_ext_burst(std::span<const DmaSeg> segs) {
     ESARP_EXPECTS(!segs.empty());
     burst_sizes_.clear();
+    fault::TransferFault worst = fault::TransferFault::kNone;
     for (const DmaSeg& s : segs) {
       ESARP_EXPECTS(ext_mem_.owns(s.src));
       ESARP_EXPECTS(core_.mem().owns(s.dst));
       std::memcpy(s.dst, s.src, s.bytes);
+      const fault::TransferFault tf = roll_transfer(s.dst, s.bytes);
+      if (static_cast<int>(tf) > static_cast<int>(worst)) worst = tf;
       core_.counters.dma_transfers += 1;
       core_.counters.dma_bytes += s.bytes;
       burst_sizes_.push_back(s.bytes);
@@ -201,7 +233,7 @@ public:
                                "dma_read_ext_burst");
       }
     }
-    return DmaJob{done, check_id};
+    return DmaJob{done, check_id, worst};
   }
 
   /// Start a DMA write local store -> SDRAM. Returns immediately.
@@ -209,6 +241,7 @@ public:
                                      std::size_t bytes) {
     ESARP_EXPECTS(ext_mem_.owns(dst));
     std::memcpy(dst, src, bytes);
+    const fault::TransferFault tf = roll_transfer(dst, bytes);
     core_.counters.dma_transfers += 1;
     core_.counters.dma_bytes += bytes;
     const Cycles done = ext_port_.dma_write(coord(), bytes, now());
@@ -220,7 +253,7 @@ public:
       check_->on_dma_segment(id(), check_id, src, bytes,
                              /*writes_local=*/false, done, "dma_write_ext");
     }
-    return DmaJob{done, check_id};
+    return DmaJob{done, check_id, tf};
   }
 
   /// Block until a DMA job completes.
@@ -278,10 +311,25 @@ public:
   /// Pure simulated delay (e.g. modelling fixed overheads).
   [[nodiscard]] DelayFor idle(Cycles cycles) { return DelayFor{sched_, cycles}; }
 
+  /// Injected outcome of the most recent read_ext/write_ext on this core
+  /// (kNone outside a fault campaign). The blocking ops can't carry the
+  /// outcome in a DmaJob, so the resilience layer reads it here right
+  /// after awaiting the transfer.
+  [[nodiscard]] fault::TransferFault last_transfer_fault() const {
+    return last_fault_;
+  }
+
 private:
   template <typename T>
   friend class Channel;
   friend class SimBarrier;
+
+  /// Roll the fault sites for one delivered transfer segment (no-op
+  /// returning kNone when no campaign is attached).
+  fault::TransferFault roll_transfer(void* dst, std::size_t bytes) {
+    if (fault_ == nullptr) return fault::TransferFault::kNone;
+    return fault_->on_transfer(id(), dst, bytes, now());
+  }
 
   Core& core_;
   Scheduler& sched_;
@@ -293,6 +341,8 @@ private:
   Tracer& tracer_;
   telemetry::MetricsRegistry& metrics_;
   check::CheckContext* check_; ///< hazard sanitizer hooks, or nullptr
+  fault::FaultInjector* fault_ = nullptr; ///< fault campaign, or nullptr
+  fault::TransferFault last_fault_ = fault::TransferFault::kNone;
   std::vector<std::size_t> burst_sizes_; ///< scratch for dma_read_ext_burst
 };
 

@@ -17,11 +17,18 @@ Machine::Machine(ChipConfig cfg, std::size_t ext_bytes, CoreCostParams cost,
   // the hook pointer; env vars (ESARP_CHECK etc.) can force it on/off.
   if (check::options_with_env(cfg_.check).enabled)
     checker_ = std::make_unique<check::CheckContext>(cfg_, sched_);
+  // Likewise the fault campaign: one injector per machine, hooked into the
+  // NoC and every context. Disabled plans build nothing, so the default
+  // configuration simulates exactly as before.
+  if (cfg_.faults.enabled()) {
+    injector_ = std::make_unique<fault::FaultInjector>(cfg_.faults, &metrics_);
+    noc_.set_injector(injector_.get());
+  }
   for (int id = 0; id < cfg.core_count(); ++id) {
     cores_.push_back(std::make_unique<Core>(id, coord_of(id), cfg));
     ctxs_.push_back(std::make_unique<CoreCtx>(
         *cores_.back(), sched_, noc_, ext_port_, ext_mem_, cost_, cfg_,
-        *tracer_, metrics_, checker_.get()));
+        *tracer_, metrics_, checker_.get(), injector_.get()));
     if (checker_ != nullptr)
       checker_->register_core(id, coord_of(id), &cores_.back()->mem());
   }
@@ -43,7 +50,10 @@ Task Machine::wrap(CoreCtx& ctx, std::function<Task(CoreCtx&)> fn,
   ctx.core().state = CoreState::kRunning;
   Task inner = fn(ctx);
   co_await std::move(inner);
-  ctx.core().state = CoreState::kDone;
+  // A fail-stopped core's program returns early; keep the kFailed state
+  // visible (it is what the recovery layer and diagnostics key off).
+  if (ctx.core().state != CoreState::kFailed)
+    ctx.core().state = CoreState::kDone;
   ctx.core().counters.finish_time = sched.now();
 }
 
@@ -56,12 +66,21 @@ void Machine::launch(int core_id, std::function<Task(CoreCtx&)> program) {
       {core_id, wrap(ctx(core_id), std::move(program), sched_)});
 }
 
-Cycles Machine::run() {
+Cycles Machine::run(Cycles max_cycles) {
   ESARP_EXPECTS(!ran_);
   ESARP_EXPECTS(!programs_.empty());
   ran_ = true;
   for (auto& p : programs_) sched_.schedule_at(0, p.task.handle());
-  const Cycles end = sched_.run();
+  Cycles end = 0;
+  try {
+    end = sched_.run(max_cycles);
+  } catch (const WatchdogExpired& e) {
+    // Rebuild the watchdog error with the per-core picture: which
+    // programs were still live, in what state, and inside which phase.
+    if (checker_ != nullptr) checker_->finalize(/*allow_throw=*/false);
+    throw WatchdogExpired(e.cycle(), e.pending_events(),
+                          ";" + blocked_cores_brief());
+  }
 
   // Surface kernel failures and deadlocks. The sanitizer still runs its
   // teardown checks (and writes its reports) on those paths, but only a
@@ -73,22 +92,34 @@ Cycles Machine::run() {
     if (checker_ != nullptr) checker_->finalize(/*allow_throw=*/false);
     throw;
   }
-  std::ostringstream blocked;
   bool any_blocked = false;
-  for (auto& p : programs_) {
-    if (!p.task.done()) {
-      any_blocked = true;
-      blocked << " core " << p.core_id << " ("
-              << to_string(core(p.core_id).state) << ")";
-    }
-  }
+  for (auto& p : programs_)
+    if (!p.task.done()) any_blocked = true;
   if (any_blocked) {
     if (checker_ != nullptr) checker_->finalize(/*allow_throw=*/false);
-    throw SimDeadlock("simulation quiesced with blocked cores:" +
-                      blocked.str());
+    std::ostringstream msg;
+    msg << "simulation quiesced with blocked cores at cycle " << sched_.now()
+        << " (" << sched_.pending_events() << " pending events):"
+        << blocked_cores_brief();
+    throw SimDeadlock(msg.str());
   }
   if (checker_ != nullptr) checker_->finalize(/*allow_throw=*/true);
   return end;
+}
+
+std::string Machine::blocked_cores_brief() const {
+  std::ostringstream out;
+  bool any = false;
+  for (const auto& p : programs_) {
+    if (p.task.done()) continue;
+    any = true;
+    const Core& c = *cores_[static_cast<std::size_t>(p.core_id)];
+    out << " core " << p.core_id << " (" << to_string(c.state);
+    if (!c.spans.empty()) out << ", span " << c.spans.back();
+    out << ")";
+  }
+  if (!any) out << " (none)";
+  return out.str();
 }
 
 PerfReport Machine::report() const {

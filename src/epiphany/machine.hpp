@@ -27,6 +27,7 @@
 #include "epiphany/scheduler.hpp"
 #include "epiphany/task.hpp"
 #include "epiphany/trace.hpp"
+#include "fault/injector.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace esarp::ep {
@@ -86,6 +87,15 @@ public:
     return checker_.get();
   }
 
+  /// The fault-injection campaign engine, or nullptr when
+  /// ChipConfig::faults is disabled (docs/fault-injection.md).
+  [[nodiscard]] fault::FaultInjector* fault_injector() {
+    return injector_.get();
+  }
+  [[nodiscard]] const fault::FaultInjector* fault_injector() const {
+    return injector_.get();
+  }
+
   [[nodiscard]] Coord coord_of(int id) const {
     return {id / cfg_.cols, id % cfg_.cols};
   }
@@ -112,10 +122,14 @@ public:
 
   /// Run all launched programs to completion. Returns the makespan in
   /// cycles. Rethrows the first kernel exception; throws SimDeadlock if
-  /// programs remain blocked with no pending events. On a checked run
-  /// (checker() != nullptr) the sanitizer is finalized here: clean runs
-  /// with unsuppressed diagnostics throw check::CheckFailure.
-  Cycles run();
+  /// programs remain blocked with no pending events (the message carries
+  /// the final cycle, pending-event count, and each blocked core's state +
+  /// innermost span). `max_cycles` (0 = unlimited) arms the scheduler
+  /// watchdog: exceeding it throws WatchdogExpired (a ContractViolation)
+  /// enriched the same way. On a checked run (checker() != nullptr) the
+  /// sanitizer is finalized here: clean runs with unsuppressed diagnostics
+  /// throw check::CheckFailure.
+  Cycles run(Cycles max_cycles = 0);
 
   /// Seconds of chip time for a cycle count at the configured clock.
   [[nodiscard]] double seconds(Cycles c) const { return cfg_.seconds(c); }
@@ -133,6 +147,10 @@ private:
   static Task wrap(CoreCtx& ctx, std::function<Task(CoreCtx&)> fn,
                    Scheduler& sched);
 
+  /// " core N (state, span S) ..." for every unfinished program — the
+  /// shared tail of the SimDeadlock and watchdog messages.
+  [[nodiscard]] std::string blocked_cores_brief() const;
+
   ChipConfig cfg_;
   CostModel cost_;
   Tracer owned_tracer_;
@@ -143,6 +161,9 @@ private:
   ExtPort ext_port_;
   ExternalMemory ext_mem_;
   AddressMap amap_;
+  /// Null unless cfg_.faults.enabled(). Created before the contexts so
+  /// each CoreCtx (and the NoC) carries the hook pointer.
+  std::unique_ptr<fault::FaultInjector> injector_;
   std::vector<std::unique_ptr<Core>> cores_;
   std::vector<std::unique_ptr<CoreCtx>> ctxs_;
   /// Null when checking is off. Declared after cores_/ctxs_: the dtor

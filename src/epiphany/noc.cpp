@@ -61,6 +61,16 @@ Cycles Noc::transfer(Coord src, Coord dst, std::size_t bytes, Cycles now,
   // is free, holds each link for the serialisation time, and the tail
   // arrives after per-hop latency plus serialisation.
   Cycles start = now;
+  if (injector_ != nullptr) {
+    const int src_id = src.row * cfg_.cols + src.col;
+    const Cycles stall = injector_->noc_stall(src_id, now);
+    if (stall != 0) {
+      // The stalled message holds its first link busy for the stall, so
+      // the perturbation back-pressures sharers of that link too.
+      links[path.front()].acquire(now, stall, 0);
+      start += stall;
+    }
+  }
   for (std::size_t idx : path) start = std::max(start, links[idx].free_at);
   for (std::size_t idx : path) {
     links[idx].acquire(start, serialization, bytes);

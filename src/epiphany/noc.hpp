@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "epiphany/config.hpp"
+#include "fault/injector.hpp"
 
 namespace esarp::ep {
 
@@ -55,8 +56,14 @@ public:
   /// Route a `bytes`-byte message src -> dst on `mesh`, starting no earlier
   /// than `now`. Acquires every directed link on the XY path and returns the
   /// delivery completion time. src == dst returns `now` (local access).
+  /// On a fault campaign an injected link stall delays the start (the first
+  /// link on the path is held busy for the stall, so contention propagates
+  /// exactly like a slow neighbour).
   Cycles transfer(Coord src, Coord dst, std::size_t bytes, Cycles now,
                   Mesh mesh);
+
+  /// Attach a fault campaign (nullptr = none). Owned by the Machine.
+  void set_injector(fault::FaultInjector* injector) { injector_ = injector; }
 
   /// Completion time a transfer would have without reserving anything.
   [[nodiscard]] Cycles probe(Coord src, Coord dst, std::size_t bytes,
@@ -91,6 +98,7 @@ private:
                                                              Coord dst) const;
 
   ChipConfig cfg_;
+  fault::FaultInjector* injector_ = nullptr;
   std::array<std::vector<BusyResource>, kMeshCount> links_;
   std::array<NocStats, kMeshCount> stats_;
   /// Route cache indexed by src * n_nodes + dst; an empty vector means

@@ -25,12 +25,36 @@
 #include <bit>
 #include <coroutine>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "epiphany/config.hpp"
 
 namespace esarp::ep {
+
+/// Thrown when run(max_cycles) trips the watchdog. Derives from
+/// ContractViolation (the historic type) so existing catch sites keep
+/// working, but carries the clock state so Machine::run and the CLI can
+/// report *where* the simulation ran away (cycle + pending events).
+class WatchdogExpired : public ContractViolation {
+public:
+  WatchdogExpired(Cycles cycle, std::size_t pending,
+                  const std::string& detail = "")
+      : ContractViolation("simulation exceeded the max_cycles watchdog at "
+                          "cycle " +
+                          std::to_string(cycle) + " with " +
+                          std::to_string(pending) + " pending events" +
+                          detail),
+        cycle_(cycle), pending_(pending) {}
+
+  [[nodiscard]] Cycles cycle() const { return cycle_; }
+  [[nodiscard]] std::size_t pending_events() const { return pending_; }
+
+private:
+  Cycles cycle_;
+  std::size_t pending_;
+};
 
 class Scheduler {
 public:
@@ -85,14 +109,19 @@ public:
       fifo_head_ = 0;
       if (!advance()) break;
       if (max_cycles != 0 && now_ >= max_cycles)
-        throw ContractViolation(
-            "simulation exceeded the max_cycles watchdog");
+        throw WatchdogExpired(now_, pending_events());
     }
     return now_;
   }
 
   [[nodiscard]] bool idle() const {
     return fifo_head_ >= now_fifo_.size() && near_count_ == 0 && far_.empty();
+  }
+
+  /// Events staged or queued but not yet resumed (all three queue levels);
+  /// reported in watchdog and deadlock diagnostics.
+  [[nodiscard]] std::size_t pending_events() const {
+    return (now_fifo_.size() - fifo_head_) + near_count_ + far_.size();
   }
 
   /// Events resumed since construction (or the last reset); the engine

@@ -1,0 +1,229 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+namespace esarp::fault {
+
+namespace {
+
+// SplitMix64 finalizer: a full-avalanche mix of the 64-bit key built from
+// (seed, site, core, counter). Stateless, so rolls for one (site, core)
+// stream never depend on activity elsewhere on the chip.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+[[nodiscard]] std::uint64_t key_of(std::uint64_t seed, Site site, int core,
+                                   std::uint64_t counter) {
+  return seed ^ (static_cast<std::uint64_t>(site) << 56) ^
+         (static_cast<std::uint64_t>(static_cast<unsigned>(core)) << 48) ^
+         counter;
+}
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+// Sized for any plausible chip; rolls index counters by core id directly.
+constexpr int kMaxCores = 1024;
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan,
+                             telemetry::MetricsRegistry* metrics)
+    : plan_(plan), metrics_(metrics), dma_ops_(kMaxCores, 0),
+      noc_ops_(kMaxCores, 0), failed_(kMaxCores, false) {}
+
+double FaultInjector::roll(Site site, int core, std::uint64_t counter) const {
+  const std::uint64_t x = mix64(key_of(plan_.seed, site, core, counter));
+  // Top 53 bits -> uniform double in [0, 1).
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+void FaultInjector::record(Site site, int core, std::uint64_t index,
+                           std::uint64_t cycle) {
+  log_.push_back({site, core, index, cycle});
+  totals_.injected++;
+  if (metrics_ != nullptr) {
+    metrics_->counter(telemetry::labeled("fault.injected",
+                                         {{"site", to_string(site)}}))
+        .add();
+  }
+}
+
+TransferFault FaultInjector::on_transfer(int core, void* dst,
+                                         std::size_t bytes,
+                                         std::uint64_t cycle) {
+  if (core < 0 || core >= kMaxCores || bytes == 0) {
+    return TransferFault::kNone;
+  }
+  const std::uint64_t n = dma_ops_[static_cast<std::size_t>(core)]++;
+  // One roll stream, three thresholds: drop wins over corrupt wins over
+  // mem-bits, so raising one rate never reshuffles another site's stream.
+  const double r = roll(Site::kDmaCorrupt, core, n);
+  if (r < plan_.dma_drop_rate) {
+    record(Site::kDmaDrop, core, n, cycle);
+    // The engine copies payloads eagerly, so a "never delivered" transfer
+    // must leave observably wrong bytes behind (stale-buffer model): scrub
+    // a deterministic window of the destination.
+    auto* p = static_cast<unsigned char*>(dst);
+    const std::uint64_t at =
+        mix64(key_of(plan_.seed + 4, Site::kDmaDrop, core, n)) % bytes;
+    const std::size_t span = std::min<std::size_t>(bytes, 8);
+    for (std::size_t i = 0; i < span; ++i) {
+      p[(at + i) % bytes] ^= 0xffU;
+    }
+    return TransferFault::kDropped;
+  }
+  if (r < plan_.dma_drop_rate + plan_.dma_corrupt_rate) {
+    record(Site::kDmaCorrupt, core, n, cycle);
+    // Flip a deterministic byte (and its neighbor for multi-byte payloads)
+    // so checksum verification always detects the corruption.
+    auto* p = static_cast<unsigned char*>(dst);
+    const std::uint64_t at = mix64(key_of(plan_.seed + 1, Site::kDmaCorrupt,
+                                          core, n)) %
+                             bytes;
+    p[at] ^= 0xa5U;
+    if (bytes > 1) {
+      p[(at + 1) % bytes] ^= 0x5aU;
+    }
+    return TransferFault::kCorrupt;
+  }
+  if (r < plan_.dma_drop_rate + plan_.dma_corrupt_rate + plan_.membits_rate) {
+    record(Site::kMemBits, core, n, cycle);
+    auto* p = static_cast<unsigned char*>(dst);
+    const std::uint64_t at = mix64(key_of(plan_.seed + 2, Site::kMemBits,
+                                          core, n)) %
+                             bytes;
+    const unsigned bit = static_cast<unsigned>(
+        mix64(key_of(plan_.seed + 3, Site::kMemBits, core, n)) % 8);
+    p[at] ^= static_cast<unsigned char>(1U << bit);
+    return TransferFault::kCorrupt;
+  }
+  return TransferFault::kNone;
+}
+
+std::uint64_t FaultInjector::noc_stall(int core, std::uint64_t cycle) {
+  if (plan_.noc_stall_rate <= 0.0 || core < 0 || core >= kMaxCores) {
+    return 0;
+  }
+  const std::uint64_t n = noc_ops_[static_cast<std::size_t>(core)]++;
+  if (roll(Site::kNocStall, core, n) < plan_.noc_stall_rate) {
+    record(Site::kNocStall, core, n, cycle);
+    return plan_.noc_stall_cycles;
+  }
+  return 0;
+}
+
+bool FaultInjector::fail_stop_due(int core, std::uint64_t cycle) const {
+  return std::any_of(plan_.fail_stops.begin(), plan_.fail_stops.end(),
+                     [&](const FailStop& f) {
+                       return f.core == core && f.cycle <= cycle;
+                     });
+}
+
+void FaultInjector::mark_failed(int core, std::uint64_t cycle) {
+  if (core < 0 || core >= kMaxCores ||
+      failed_[static_cast<std::size_t>(core)]) {
+    return;
+  }
+  failed_[static_cast<std::size_t>(core)] = true;
+  record(Site::kFailStop, core, 0, cycle);
+  totals_.failed_cores++;
+  if (metrics_ != nullptr) {
+    metrics_->gauge("fault.failed_cores")
+        .set(static_cast<double>(totals_.failed_cores));
+  }
+}
+
+bool FaultInjector::marked_failed(int core) const {
+  return core >= 0 && core < kMaxCores &&
+         failed_[static_cast<std::size_t>(core)];
+}
+
+void FaultInjector::count_detected(Site site) {
+  totals_.detected++;
+  if (metrics_ != nullptr) {
+    metrics_->counter(telemetry::labeled("fault.detected",
+                                         {{"site", to_string(site)}}))
+        .add();
+  }
+}
+
+void FaultInjector::count_recovered(Site site, std::uint64_t recovery_cycles) {
+  totals_.recovered++;
+  totals_.recovery_cycles += recovery_cycles;
+  if (metrics_ != nullptr) {
+    metrics_->counter(telemetry::labeled("fault.recovered",
+                                         {{"site", to_string(site)}}))
+        .add();
+    metrics_->counter("fault.recovery_cycles").add(recovery_cycles);
+  }
+}
+
+void FaultInjector::count_retry() {
+  totals_.retries++;
+  if (metrics_ != nullptr) {
+    metrics_->counter("fault.retries").add();
+  }
+}
+
+void FaultInjector::count_repartition(std::uint64_t surviving_cores) {
+  totals_.repartitions++;
+  if (metrics_ != nullptr) {
+    metrics_->counter("fault.repartitions").add();
+    metrics_->gauge("fault.surviving_cores")
+        .set(static_cast<double>(surviving_cores));
+  }
+}
+
+void FaultInjector::count_af_window_dropped() {
+  totals_.af_windows_dropped++;
+  if (metrics_ != nullptr) {
+    metrics_->counter("fault.af_windows_dropped").add();
+  }
+}
+
+void FaultInjector::count_af_pair_dropped() {
+  totals_.af_pairs_dropped++;
+  if (metrics_ != nullptr) {
+    metrics_->counter("fault.af_pairs_dropped").add();
+  }
+}
+
+std::uint64_t FaultInjector::schedule_hash() const {
+  std::uint64_t h = kFnvOffset;
+  auto mix_in = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffU;
+      h *= kFnvPrime;
+    }
+  };
+  for (const FaultRecord& r : log_) {
+    mix_in(static_cast<std::uint64_t>(r.site));
+    mix_in(static_cast<std::uint64_t>(static_cast<unsigned>(r.core)));
+    mix_in(r.index);
+    mix_in(r.cycle);
+  }
+  return h;
+}
+
+FaultSummary FaultInjector::summary() const {
+  FaultSummary s = totals_;
+  s.schedule_hash = schedule_hash();
+  return s;
+}
+
+std::uint64_t FaultInjector::checksum(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = kFnvOffset;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+} // namespace esarp::fault

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <set>
 #include <sstream>
 
 #include "common/assert.hpp"
@@ -127,6 +128,41 @@ CompareReport compare_manifests(const JsonValue& base,
   for (const auto& [key, _] : cur_map)
     rep.notes.push_back("missing in base: " + key);
 
+  // Every explicitly checked key must have been diffable from both sides.
+  // A key the flattener never produced is either absent from the document
+  // or present with a non-numeric value (mistyped) — name the failure
+  // instead of silently skipping the check (or throwing mid-diff).
+  // `flattened` decides diffability (histogram .count/.mean are synthetic
+  // keys with no document path); the raw lookup only refines the message.
+  const auto describe = [](const JsonValue& doc, const std::string& key,
+                           bool flattened) {
+    if (flattened) return std::string("ok");
+    const JsonValue* v = doc.find_path(key);
+    if (v == nullptr) return std::string("missing");
+    return v->is_number() ? std::string("not in a compared section")
+                          : std::string("not a number");
+  };
+  std::set<std::string> base_keys;
+  std::set<std::string> cur_keys;
+  for (const auto& [key, _] : b) base_keys.insert(key);
+  for (const auto& [key, _] : c) cur_keys.insert(key);
+  for (const auto& [key, thr] : opt.per_key) {
+    const bool in_b = base_keys.count(key) != 0;
+    const bool in_c = cur_keys.count(key) != 0;
+    if (in_b && in_c) continue;
+    const std::string base_state = describe(base, key, in_b);
+    const std::string cur_state = describe(current, key, in_c);
+    CompareLine line;
+    line.key = key;
+    line.checked = true;
+    line.threshold = thr;
+    line.unusable = true;
+    line.regressed = true;
+    line.problem = "base " + base_state + ", current " + cur_state;
+    ++rep.regressions;
+    rep.lines.push_back(std::move(line));
+  }
+
   // Regressions first, then checked lines, then the informational rest.
   std::stable_sort(rep.lines.begin(), rep.lines.end(),
                    [](const CompareLine& a, const CompareLine& b2) {
@@ -145,6 +181,10 @@ std::string CompareReport::summary(bool verbose) const {
   t.header({"Key", "Base", "Current", "Delta", "Status"});
   for (const auto& l : lines) {
     if (!verbose && !l.checked && !l.regressed) continue;
+    if (l.unusable) {
+      t.row({l.key, "-", "-", "-", "FAILED: " + l.problem});
+      continue;
+    }
     std::string status = "info";
     if (l.checked)
       status = l.regressed

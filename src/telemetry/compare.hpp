@@ -42,6 +42,12 @@ struct CompareLine {
   bool checked = false;   ///< thresholded (vs. informational)
   bool regressed = false;
   double threshold = 0.0; ///< the threshold applied when checked
+  /// An explicitly checked (--metric) key that could not be diffed: missing
+  /// from a manifest, or present but not numeric. Counted as a regression —
+  /// a silently vanished metric must fail CI, not pass it — with `problem`
+  /// naming which side is broken and how.
+  bool unusable = false;
+  std::string problem;
 };
 
 struct CompareReport {

@@ -48,10 +48,19 @@ void RunManifest::write(std::ostream& os) const {
 void RunManifest::write(const std::filesystem::path& path) const {
   if (path.has_parent_path())
     std::filesystem::create_directories(path.parent_path());
-  std::ofstream f(path);
-  ESARP_EXPECTS(f.is_open());
-  write(f);
-  ESARP_ENSURES(f.good());
+  // Atomic publish: write a sibling temp file, then rename over the
+  // target. A run that dies mid-write (or whose manifest write throws)
+  // can never leave a truncated document where a consumer — esarp_compare,
+  // the report command, CI baselines — expects a complete one.
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream f(tmp);
+    ESARP_EXPECTS(f.is_open());
+    write(f);
+    ESARP_ENSURES(f.good());
+  }
+  std::filesystem::rename(tmp, path);
 }
 
 } // namespace esarp::telemetry

@@ -1,0 +1,107 @@
+// Diagnostics for runs that never finish: the SimDeadlock and watchdog
+// messages must identify the final cycle, the pending-event count, and
+// every blocked core's state + innermost span — enough to debug a stuck
+// kernel from the exception text alone.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "epiphany/machine.hpp"
+
+namespace esarp::ep {
+namespace {
+
+bool contains(const std::string& hay, const std::string& needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+TEST(Diagnostics, StuckBarrierNamesTheWaitingCoreAndSpan) {
+  Machine m{ChipConfig{}};
+  auto barrier = m.make_barrier(2);
+  m.launch(0, [&](CoreCtx& ctx) -> Task {
+    ctx.begin_span("merge-level-1");
+    co_await barrier->arrive_and_wait(ctx);
+    ctx.end_span();
+  });
+  m.launch(1, [&](CoreCtx& ctx) -> Task {
+    co_await ctx.idle(10); // returns without arriving
+  });
+  try {
+    m.run();
+    FAIL() << "expected SimDeadlock";
+  } catch (const SimDeadlock& e) {
+    const std::string msg = e.what();
+    EXPECT_TRUE(contains(msg, "blocked cores")) << msg;
+    EXPECT_TRUE(contains(msg, "pending events")) << msg;
+    EXPECT_TRUE(contains(msg, "core 0")) << msg;
+    EXPECT_TRUE(contains(msg, "wait-barrier")) << msg;
+    EXPECT_TRUE(contains(msg, "merge-level-1")) << msg;
+    // The finished core is not listed as blocked.
+    EXPECT_FALSE(contains(msg, "core 1")) << msg;
+  }
+}
+
+TEST(Diagnostics, UnreceivedChannelQuiesceNamesTheBlockedSender) {
+  Machine m{ChipConfig{}};
+  auto chan = m.make_channel<int>(1, /*capacity=*/1, "af-window");
+  m.launch(0, [&](CoreCtx& ctx) -> Task {
+    ctx.begin_span("range-interp");
+    co_await chan->send(ctx, 1);
+    co_await chan->send(ctx, 2); // FIFO full, nobody ever receives
+    ctx.end_span();
+  });
+  m.launch(1, [&](CoreCtx& ctx) -> Task {
+    co_await ctx.idle(5); // consumer quits without receiving
+  });
+  try {
+    m.run();
+    FAIL() << "expected SimDeadlock";
+  } catch (const SimDeadlock& e) {
+    const std::string msg = e.what();
+    EXPECT_TRUE(contains(msg, "core 0")) << msg;
+    EXPECT_TRUE(contains(msg, "wait-channel")) << msg;
+    EXPECT_TRUE(contains(msg, "range-interp")) << msg;
+  }
+}
+
+TEST(Diagnostics, WatchdogReportsCyclePendingEventsAndLiveCores) {
+  Machine m{ChipConfig{}};
+  m.launch(0, [&](CoreCtx& ctx) -> Task {
+    ctx.begin_span("spin-forever");
+    for (;;) co_await ctx.idle(100);
+  });
+  try {
+    m.run(/*max_cycles=*/5'000);
+    FAIL() << "expected WatchdogExpired";
+  } catch (const WatchdogExpired& e) {
+    EXPECT_GE(e.cycle(), Cycles{5'000});
+    EXPECT_GT(e.pending_events(), 0u);
+    const std::string msg = e.what();
+    EXPECT_TRUE(contains(msg, "max_cycles watchdog")) << msg;
+    EXPECT_TRUE(contains(msg, "pending events")) << msg;
+    EXPECT_TRUE(contains(msg, "core 0")) << msg;
+    EXPECT_TRUE(contains(msg, "spin-forever")) << msg;
+  }
+}
+
+TEST(Diagnostics, WatchdogIsAContractViolationForLegacyCatchSites) {
+  Machine m{ChipConfig{}};
+  m.launch(0, [&](CoreCtx& ctx) -> Task {
+    for (;;) co_await ctx.idle(100);
+  });
+  EXPECT_THROW(m.run(1'000), ContractViolation);
+}
+
+TEST(Diagnostics, CompletedRunsReportNoBlockedCores) {
+  Machine m{ChipConfig{}};
+  bool ran = false;
+  m.launch(0, [&](CoreCtx& ctx) -> Task {
+    co_await ctx.idle(10);
+    ran = true;
+  });
+  EXPECT_GT(m.run(), Cycles{0});
+  EXPECT_TRUE(ran);
+}
+
+} // namespace
+} // namespace esarp::ep

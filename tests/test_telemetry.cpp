@@ -273,6 +273,43 @@ TEST(Json, FindPathWalksNestedObjects) {
   EXPECT_EQ(v.find_path("a.b.missing"), nullptr);
 }
 
+TEST(Json, ParserRejectsPathologicalNesting) {
+  // 200 nested arrays: deeper than the 128-level guard, shallow enough
+  // that without the guard the recursive parser would still survive —
+  // proving the error comes from the limit, not a stack overflow.
+  const std::string deep(200, '[');
+  try {
+    (void)parse_json(deep);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting deeper than 128 levels"),
+              std::string::npos)
+        << e.what();
+  }
+  // At and below the limit, depth alone is fine.
+  std::string ok(128, '[');
+  ok += std::string(128, ']');
+  EXPECT_NO_THROW((void)parse_json(ok));
+}
+
+TEST(Json, TruncatedInputNamesTheLikelyCause) {
+  // A manifest cut off mid-write should say so, not just "unexpected end".
+  const char* cases[] = {
+      R"({"a": [1, {"b": "tru)", // inside a string
+      R"({"results": {"x": )",   // after a key
+      R"(["tail\)",              // mid-escape
+  };
+  for (const char* c : cases) {
+    try {
+      (void)parse_json(c);
+      FAIL() << "expected ContractViolation for: " << c;
+    } catch (const ContractViolation& e) {
+      EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
 // --------------------------------------------------------------- manifest
 
 TEST(Manifest, RoundTripsThroughParser) {
@@ -368,6 +405,54 @@ TEST(Compare, PerKeyThresholdOverridesDefault) {
 TEST(Compare, RejectsNonManifestDocuments) {
   const JsonValue junk = parse_json(R"({"hello":"world"})");
   EXPECT_THROW(telemetry::compare_manifests(junk, junk), ContractViolation);
+}
+
+TEST(Compare, MissingCheckedMetricIsANamedRegression) {
+  // An explicitly requested --metric key that exists in neither manifest
+  // must fail the comparison with a line naming the problem — a typo'd or
+  // silently vanished metric can't pass as "nothing to compare".
+  const JsonValue a = make_manifest(1000.0, 0.5);
+  telemetry::CompareOptions opt;
+  opt.per_key["results.makespan_cyclse"] = 0.05; // typo'd key
+  const auto rep = telemetry::compare_manifests(a, a, opt);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_EQ(rep.regressions, 1);
+  bool found = false;
+  for (const auto& l : rep.lines) {
+    if (l.key != "results.makespan_cyclse") continue;
+    found = true;
+    EXPECT_TRUE(l.unusable);
+    EXPECT_TRUE(l.regressed);
+    EXPECT_NE(l.problem.find("missing"), std::string::npos) << l.problem;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_NE(rep.summary().find("FAILED"), std::string::npos);
+}
+
+TEST(Compare, MetricPresentOnOneSideOnlyIsUnusable) {
+  // Present in base, absent in current: the side-specific diagnosis shows
+  // up in the problem text so the user knows which run lost the metric.
+  std::ostringstream os;
+  telemetry::RunManifest man("cmp");
+  man.add_result("makespan_cycles", 1000.0);
+  man.add_result("utilization", 0.5);
+  man.add_result("extra_metric", 7.0);
+  man.write(os);
+  const JsonValue base = parse_json(os.str());
+  const JsonValue cur = make_manifest(1000.0, 0.5); // no extra_metric
+  telemetry::CompareOptions opt;
+  opt.per_key["results.extra_metric"] = 0.05;
+  const auto rep = telemetry::compare_manifests(base, cur, opt);
+  EXPECT_FALSE(rep.ok());
+  bool found = false;
+  for (const auto& l : rep.lines) {
+    if (l.key != "results.extra_metric" || !l.unusable) continue;
+    found = true;
+    EXPECT_NE(l.problem.find("base ok"), std::string::npos) << l.problem;
+    EXPECT_NE(l.problem.find("current missing"), std::string::npos)
+        << l.problem;
+  }
+  EXPECT_TRUE(found);
 }
 
 // --------------------------------------------- machine-level integration

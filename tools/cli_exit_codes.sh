@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Asserts the esarp CLI's documented exit-code contract (tools/esarp_cli.cpp
+# header): 0 ok, 2 usage error, 3 simulated-chip deadlock, 4 contract
+# violation (including the max_cycles watchdog), 5 unrecovered fault.
+# ctest only distinguishes zero from nonzero, so scripted checks are the
+# one place the *specific* codes scripts and CI key off are pinned down.
+#
+# Usage: cli_exit_codes.sh <path-to-esarp> <scratch-dir>
+set -u
+
+esarp="$1"
+scratch="${2:-.}"
+ds="$scratch/cli_exit_codes.esrp"
+fails=0
+
+expect() {
+  local want="$1"
+  shift
+  "$@" >/dev/null 2>&1
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: expected exit $want, got $got: $*" >&2
+    fails=$((fails + 1))
+  else
+    echo "ok (exit $want): $*"
+  fi
+}
+
+expect 0 "$esarp" simulate --out "$ds" --pulses 32 --range 65
+
+# Recovered campaign: transfer faults retried back to the exact image.
+expect 0 "$esarp" chaos --in "$ds" --cores 4 --seed 7 --dma-corrupt 1e-3
+
+# No faults requested -> usage error.
+expect 2 "$esarp" chaos --in "$ds" --cores 4
+
+# Early fail-stop with resilience off: survivors wait forever at the next
+# barrier and the engine quiesces -> SimDeadlock.
+expect 3 "$esarp" chaos --in "$ds" --cores 4 --fail 3@1000 --no-resilience
+
+# Cycle budget far below the real makespan -> WatchdogExpired, which is a
+# ContractViolation (the run asked for an impossible bound).
+expect 4 "$esarp" chaos --in "$ds" --cores 4 --dma-corrupt 1e-3 \
+  --max-cycles 1000
+
+# Every transfer attempt corrupted -> retries exhaust -> FaultUnrecovered.
+expect 5 "$esarp" chaos --in "$ds" --cores 4 --dma-corrupt 1.0
+
+if [ "$fails" -gt 0 ]; then
+  echo "cli_exit_codes: $fails check(s) failed" >&2
+  exit 1
+fi
+echo "cli_exit_codes: all exit codes match the documented contract"

@@ -5,18 +5,30 @@
 //                  [--interp nn|linear|cubic] [--autofocus] [--looks k]
 //   esarp chip     --in raw.esrp --cores 16 [--jobs N] [--no-prefetch]
 //                  [--autofocus] [--trace t.json] [--metrics m.json]
+//   esarp chaos    --in raw.esrp --dma-corrupt 1e-3 [--seed S] [...]
 //   esarp analyze  --in raw.esrp
 //   esarp report   --in m.manifest.json
 //
 // Datasets are the library's .esrp container (see sar/io.hpp), so the
 // expensive products can be generated once and reused. --trace writes a
 // Chrome/Perfetto trace of the chip run; --metrics writes a run manifest
-// (docs/observability.md) that tools/esarp_compare can diff.
+// (docs/observability.md) that tools/esarp_compare can diff. `chaos`
+// runs a seeded fault-injection campaign (docs/fault-injection.md).
+//
+// Exit codes (stable, scripted against by CI):
+//   0  success
+//   1  generic error (I/O, bad dataset, ...)
+//   2  usage error
+//   3  simulation deadlock (ep::SimDeadlock)
+//   4  contract violation, including the max_cycles watchdog
+//   5  fault campaign exhausted its recovery budget (FaultUnrecovered)
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -27,6 +39,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "core/autofocus_epiphany.hpp"
 #include "core/ffbp_epiphany.hpp"
 #include "epiphany/machine_metrics.hpp"
 #include "host/sweep_runner.hpp"
@@ -43,6 +56,15 @@
 namespace {
 
 using namespace esarp;
+
+// Stable exit codes — documented in the header comment, docs/simulator.md
+// and docs/fault-injection.md; CI scripts and tests match on them.
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitDeadlock = 3;
+constexpr int kExitContract = 4;
+constexpr int kExitFaultUnrecovered = 5;
 
 /// Minimal --key value / --flag argument map.
 class Args {
@@ -98,9 +120,14 @@ int usage() {
       "  esarp chip     --in f.esrp [--cores N[,N...]] [--jobs N]\n"
       "                 [--no-prefetch] [--autofocus] [--out img.pgm]\n"
       "                 [--trace t.json] [--metrics m.json] [--check]\n"
+      "  esarp chaos    --in f.esrp [--cores N] [--seed S]\n"
+      "                 [--dma-corrupt R] [--dma-drop R] [--noc-stall R]\n"
+      "                 [--membits R] [--fail core@cycle[,core@cycle...]]\n"
+      "                 [--no-resilience] [--autofocus] [--pairs N]\n"
+      "                 [--metrics m.json] [--max-cycles N] [--check]\n"
       "  esarp analyze  --in f.esrp\n"
       "  esarp report   --in m.manifest.json\n";
-  return 2;
+  return kExitUsage;
 }
 
 sar::FfbpOptions interp_options(const Args& args) {
@@ -360,6 +387,173 @@ int cmd_report(const Args& args) {
   return 0;
 }
 
+/// Parse `--fail core@cycle[,core@cycle...]` into fail-stop triggers.
+std::vector<fault::FailStop> parse_fail_stops(const std::string& spec) {
+  std::vector<fault::FailStop> stops;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok = spec.substr(
+        pos, comma == std::string::npos ? comma : comma - pos);
+    const std::size_t at = tok.find('@');
+    if (at == std::string::npos || at == 0 || at + 1 >= tok.size())
+      throw ContractViolation("bad --fail entry '" + tok +
+                              "' (want core@cycle)");
+    stops.push_back({std::stoi(tok.substr(0, at)),
+                     static_cast<std::uint64_t>(
+                         std::stoull(tok.substr(at + 1)))});
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return stops;
+}
+
+/// Root-mean-square magnitude error between two equal-shape images.
+double image_rmse(const Array2D<cf32>& a, const Array2D<cf32>& b) {
+  ESARP_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = std::abs(a.flat()[i] - b.flat()[i]);
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(std::max<std::size_t>(
+                             a.size(), 1)));
+}
+
+/// Seeded fault-injection campaign (docs/fault-injection.md): run the
+/// workload clean, run it again under the fault plan, and report the
+/// recovery counters plus the numeric damage. Identical seeds produce
+/// bit-identical fault schedules, so a chaos invocation is a reproducible
+/// artifact — `fault.schedule_hash` in the metrics manifest witnesses it.
+int cmd_chaos(const Args& args) {
+  const std::string in = args.str("in");
+  if (in.empty()) return usage();
+  const sar::Dataset ds = sar::load_dataset(in);
+
+  ep::ChipConfig cfg;
+  cfg.check.enabled = args.has("check");
+  fault::FaultPlan& plan = cfg.faults;
+  plan.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  plan.dma_corrupt_rate = args.real("dma-corrupt", 0.0);
+  plan.dma_drop_rate = args.real("dma-drop", 0.0);
+  plan.noc_stall_rate = args.real("noc-stall", 0.0);
+  plan.membits_rate = args.real("membits", 0.0);
+  plan.resilient = !args.has("no-resilience");
+  plan.fail_stops = parse_fail_stops(args.str("fail"));
+  if (!plan.enabled()) {
+    std::cerr << "chaos: no faults requested (set --dma-corrupt, "
+                 "--dma-drop, --noc-stall, --membits, or --fail)\n";
+    return usage();
+  }
+  const auto max_cycles = static_cast<ep::Cycles>(args.num("max-cycles", 0));
+
+  fault::FaultSummary sum;
+  bool degraded = false;
+  ep::Cycles clean_cycles = 0;
+  ep::Cycles fault_cycles = 0;
+  double damage = 0.0;
+  std::string damage_label;
+  const telemetry::MetricsRegistry* metrics = nullptr;
+  std::optional<core::FfbpSimResult> ffbp_faulted;
+  std::optional<core::AfSimResult> af_faulted;
+
+  if (args.has("autofocus")) {
+    // Autofocus chaos: the 13-core MPMD pipeline over synthetic block
+    // pairs (the dataset seeds the pair generator so campaigns are tied
+    // to an input artifact like every other mode).
+    af::AfParams p;
+    Rng rng(plan.seed ^ ds.params.n_pulses);
+    std::vector<af::BlockPair> pairs;
+    const long n_pairs = args.num("pairs", 8);
+    for (long i = 0; i < n_pairs; ++i)
+      pairs.push_back(
+          af::synthetic_block_pair(rng, p, rng.uniform_f(-0.5f, 0.5f)));
+    core::AfMapOptions opt;
+    opt.max_cycles = max_cycles;
+    std::cerr << "chaos: clean autofocus MPMD reference run...\n";
+    const auto clean = core::run_autofocus_mpmd(pairs, p, opt);
+    std::cerr << "chaos: faulted run (seed " << plan.seed << ")...\n";
+    af_faulted = core::run_autofocus_mpmd(pairs, p, opt, cfg);
+    const auto& f = *af_faulted;
+    sum = f.faults;
+    degraded = f.degraded;
+    clean_cycles = clean.cycles;
+    fault_cycles = f.cycles;
+    metrics = &f.metrics;
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < pairs.size(); ++i)
+      for (std::size_t s = 0; s < clean.criteria[i].size(); ++s, ++n) {
+        const double d = f.criteria[i][s] - clean.criteria[i][s];
+        acc += d * d;
+      }
+    damage = std::sqrt(acc / static_cast<double>(std::max<std::size_t>(n, 1)));
+    damage_label = "criterion RMSE vs clean";
+  } else {
+    core::FfbpMapOptions opt;
+    opt.n_cores = static_cast<int>(args.num("cores", 16));
+    opt.max_cycles = max_cycles;
+    std::cerr << "chaos: clean FFBP reference run...\n";
+    const auto clean = core::run_ffbp_epiphany(ds.data, ds.params, opt);
+    std::cerr << "chaos: faulted run (seed " << plan.seed << ")...\n";
+    ffbp_faulted = core::run_ffbp_epiphany(ds.data, ds.params, opt, cfg);
+    const auto& f = *ffbp_faulted;
+    sum = f.faults;
+    degraded = f.degraded;
+    clean_cycles = clean.cycles;
+    fault_cycles = f.cycles;
+    metrics = &f.metrics;
+    damage = image_rmse(f.image, clean.image);
+    damage_label = "image RMSE vs clean";
+  }
+
+  Table t("chaos campaign (seed " + std::to_string(plan.seed) +
+          (plan.resilient ? "" : ", resilience OFF") + ")");
+  t.header({"Counter", "Value"});
+  t.row({"faults injected", Table::num(static_cast<double>(sum.injected), 0)});
+  t.row({"faults detected", Table::num(static_cast<double>(sum.detected), 0)});
+  t.row({"faults recovered", Table::num(static_cast<double>(sum.recovered), 0)});
+  t.row({"transfer retries", Table::num(static_cast<double>(sum.retries), 0)});
+  t.row({"repartitions", Table::num(static_cast<double>(sum.repartitions), 0)});
+  t.row({"failed cores", Table::num(static_cast<double>(sum.failed_cores), 0)});
+  t.row({"af windows dropped", Table::num(static_cast<double>(sum.af_windows_dropped), 0)});
+  t.row({"af pairs dropped", Table::num(static_cast<double>(sum.af_pairs_dropped), 0)});
+  t.row({"recovery cycles", Table::num(static_cast<double>(sum.recovery_cycles), 0)});
+  t.row({"clean cycles", Table::num(static_cast<double>(clean_cycles), 0)});
+  t.row({"faulted cycles", Table::num(static_cast<double>(fault_cycles), 0)});
+  t.row({damage_label, Table::num(damage, 9)});
+  {
+    std::ostringstream hash;
+    hash << std::hex << sum.schedule_hash;
+    t.note("schedule hash " + hash.str() + (degraded ? "; DEGRADED" : "") +
+           " (same seed + plan => same schedule)");
+  }
+  t.print(std::cout);
+
+  const std::string metrics_path = args.str("metrics");
+  if (args.has("metrics") && metrics_path.empty()) return usage();
+  if (!metrics_path.empty() && metrics != nullptr) {
+    telemetry::RunManifest man("esarp_chaos");
+    if (ffbp_faulted)
+      ep::fill_manifest(man, ffbp_faulted->perf, ffbp_faulted->energy);
+    else
+      ep::fill_manifest(man, af_faulted->perf, af_faulted->energy);
+    man.add_workload("seed", static_cast<double>(plan.seed));
+    man.add_workload("dma_corrupt_rate", plan.dma_corrupt_rate);
+    man.add_workload("dma_drop_rate", plan.dma_drop_rate);
+    man.add_workload("noc_stall_rate", plan.noc_stall_rate);
+    man.add_workload("membits_rate", plan.membits_rate);
+    man.add_workload("resilient", plan.resilient ? 1.0 : 0.0);
+    man.add_workload("fail_stops", static_cast<double>(plan.fail_stops.size()));
+    man.set_metrics(metrics);
+    man.write(std::filesystem::path(metrics_path));
+    std::cout << "metrics manifest written to " << metrics_path << "\n";
+  }
+
+  if (!plan.resilient && sum.failed_cores > 0) return kExitError;
+  return kExitOk;
+}
+
 int cmd_analyze(const Args& args) {
   const std::string in = args.str("in");
   if (in.empty()) return usage();
@@ -390,15 +584,28 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const Args args(argc, argv);
   if (!args.ok()) return usage();
+  // Catch order matters: the most specific (most actionable) types first.
+  // FaultUnrecovered and SimDeadlock are runtime_errors; ContractViolation
+  // (which WatchdogExpired derives from) is a logic_error.
   try {
     if (cmd == "simulate") return cmd_simulate(args);
     if (cmd == "image") return cmd_image(args);
     if (cmd == "chip") return cmd_chip(args);
+    if (cmd == "chaos") return cmd_chaos(args);
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "report") return cmd_report(args);
+  } catch (const fault::FaultUnrecovered& e) {
+    std::cerr << "fault unrecovered: " << e.what() << "\n";
+    return kExitFaultUnrecovered;
+  } catch (const ep::SimDeadlock& e) {
+    std::cerr << "deadlock: " << e.what() << "\n";
+    return kExitDeadlock;
+  } catch (const ContractViolation& e) {
+    std::cerr << "contract violation: " << e.what() << "\n";
+    return kExitContract;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return kExitError;
   }
   return usage();
 }

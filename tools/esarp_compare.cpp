@@ -11,7 +11,9 @@
 //   esarp_compare a.json b.json --metric results.makespan_cycles=0.01
 //       --metric "metrics.counters.ext.read.bytes=0.0"
 //
-// Exit status: 0 = no regression, 1 = regression past threshold,
+// Exit status: 0 = no regression, 1 = regression past threshold (which
+// includes a --metric key that is missing from either manifest or is not
+// numeric — reported as a named FAILED line, not a parse abort),
 // 2 = usage or unreadable/invalid manifest. CI runs a self-compare of the
 // fast-mode table1_ffbp manifest as a smoke check (.github/workflows).
 #include <cstring>
