@@ -9,6 +9,7 @@
 
 #include "common/array2d.hpp"
 #include "common/format.hpp"
+#include "epiphany/machine_metrics.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
@@ -62,6 +63,26 @@ inline void add_workload(telemetry::RunManifest& man,
   man.add_workload("n_pulses", static_cast<double>(p.n_pulses));
   man.add_workload("n_range", static_cast<double>(p.n_range));
   man.add_workload("fast_mode", fast_mode() ? 1.0 : 0.0);
+}
+
+/// ChipConfig with the power sampler switched on. Benches use this for
+/// their headline configuration so the manifest carries the time-resolved
+/// energy evidence (span attribution, energy_per_pixel). Sampling is
+/// zero-perturbation: cycle counts, images and schedule hashes are
+/// bit-identical to an unsampled run (docs/observability.md).
+inline ep::ChipConfig power_chip(ep::ChipConfig cfg = {}) {
+  cfg.power.enabled = true;
+  return cfg;
+}
+
+/// Record the power-sampled energy evidence on a manifest: the span
+/// attribution keys (`energy_j.span.*`, `energy_j.attributed`, ...) plus
+/// the headline joules-per-pixel figure that CI gates.
+inline void add_power_results(telemetry::RunManifest& man,
+                              const ep::PowerReport& power, double pixels) {
+  ep::fill_power_manifest(man, power);
+  if (pixels > 0.0)
+    man.add_result("energy_per_pixel", power.energy.total_j() / pixels);
 }
 
 /// Write `man` as `<tool>.manifest.json` in out_dir() and log the path.

@@ -37,10 +37,10 @@ static int bench_body() {
   auto results = pool.run(sizes.size(), [&](std::size_t i) {
     const auto p = sar::test_params(sizes[i], 161);
     const auto data = sar::simulate_compressed(p, sar::six_target_scene(p));
-    Pair pr{core::run_gbp_epiphany(data, p, 16), {}};
+    Pair pr{core::run_gbp_epiphany(data, p, 16, bench::power_chip()), {}};
     core::FfbpMapOptions fopt;
     fopt.n_cores = 16;
-    pr.f = core::run_ffbp_epiphany(data, p, fopt);
+    pr.f = core::run_ffbp_epiphany(data, p, fopt, bench::power_chip());
     return pr;
   });
   const double sweep_s = sweep_timer.elapsed_s();
@@ -76,9 +76,17 @@ static int bench_body() {
   // Manifest for the largest aperture plus sweep-level engine throughput.
   const auto& head = results.back();
   telemetry::RunManifest man("crossover_gbp_ffbp");
+  // Headline energy evidence is the FFBP leg; the GBP totals ride along
+  // as plain results so the energy advantage is visible in the diff.
+  ep::fill_manifest(man, head.f.perf, head.f.energy);
+  bench::add_power_results(
+      man, head.f.power, static_cast<double>(sizes.back()) * 161.0);
   man.add_result("gbp_seconds", head.g.seconds);
   man.add_result("ffbp_seconds", head.f.seconds);
   man.add_result("ffbp_advantage", head.g.seconds / head.f.seconds);
+  man.add_result("gbp_energy_j", head.g.energy.total_j());
+  man.add_result("energy_advantage",
+                 head.g.energy.total_j() / head.f.energy.total_j());
   man.add_workload("n_pulses", static_cast<double>(sizes.back()));
   man.add_workload("n_range", 161.0);
   man.add_workload("fast_mode", bench::fast_mode() ? 1.0 : 0.0);

@@ -59,6 +59,7 @@ static int bench_body() {
     core::FfbpMapOptions opt;
     opt.n_cores = kCores;
     ep::ChipConfig cfg;
+    cfg.power.enabled = true; // observes only; schedule hashes unchanged
     cfg.faults.seed = kSeed;
     cfg.faults.dma_corrupt_rate = points[i].dma_rate * 2.0 / 3.0;
     cfg.faults.dma_drop_rate = points[i].dma_rate / 3.0;
@@ -134,6 +135,9 @@ static int bench_body() {
   man.add_workload("n_cores", static_cast<double>(kCores));
   man.add_workload("seed", static_cast<double>(kSeed));
   bench::add_engine_stats(man, &head.metrics, events, sweep_s, pool.jobs());
+  bench::add_power_results(
+      man, head.power,
+      static_cast<double>(w.params.n_pulses * w.params.n_range));
   man.set_metrics(&head.metrics);
   bench::write_manifest(man);
 

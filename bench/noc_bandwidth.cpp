@@ -71,8 +71,9 @@ static int bench_body() {
   telemetry::MetricsRegistry offchip_metrics;
   PerfReport offchip_perf;
   EnergyReport offchip_energy;
+  PowerReport offchip_power;
   {
-    Machine m(cfg, 64u << 20);
+    Machine m(bench::power_chip(cfg), 64u << 20);
     auto src = m.ext().alloc<std::byte>(16 * kBytesPerFlow);
     for (int id = 0; id < 16; ++id) {
       const std::byte* base = src.data() + id * kBytesPerFlow;
@@ -89,7 +90,8 @@ static int bench_body() {
     collect_machine_metrics(m);
     offchip_metrics = m.metrics();
     offchip_perf = m.report();
-    offchip_energy = compute_energy(offchip_perf);
+    offchip_power = collect_power(m, offchip_perf);
+    offchip_energy = offchip_power.energy;
   }
 
   // --- Per-hop latency: probe an idle mesh. ---
@@ -131,6 +133,10 @@ static int bench_body() {
   man.add_result("aggregate_gbs", aggregate_gbs);
   man.add_result("offchip_gbs", offchip_gbs);
   man.add_result("hop_latency_cycles", per_hop);
+  // No image here: charge energy per streamed cf32-sized word (the SAR
+  // pixel equivalent) so the CI energy gate covers this manifest too.
+  bench::add_power_results(man, offchip_power,
+                           16.0 * kBytesPerFlow / sizeof(cf32));
   man.set_metrics(&offchip_metrics);
   bench::write_manifest(man);
   return 0;

@@ -29,8 +29,8 @@ static int bench_body() {
   e64.cols = 8;
   e64.clock_hz = 800e6; // E64G4 spec clock
   const std::vector<Chip> chips = {
-      {"E16G3 4x4 @ 1 GHz", e16, 16},
-      {"E64G4 8x8 @ 800 MHz", e64, 64},
+      {"E16G3 4x4 @ 1 GHz", bench::power_chip(e16), 16},
+      {"E64G4 8x8 @ 800 MHz", bench::power_chip(e64), 64},
   };
 
   host::SweepRunner pool(bench::sweep_jobs());
@@ -81,6 +81,9 @@ static int bench_body() {
   man.add_workload("n_cores", 64.0);
   bench::add_engine_stats(man, &e64_res.metrics, events, sweep_s,
                           pool.jobs());
+  bench::add_power_results(
+      man, e64_res.power,
+      static_cast<double>(w.params.n_pulses * w.params.n_range));
   man.set_metrics(&e64_res.metrics);
   bench::write_manifest(man);
 

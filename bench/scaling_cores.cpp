@@ -31,7 +31,8 @@ static int bench_body() {
   auto results = pool.run(core_counts.size(), [&](std::size_t i) {
     core::FfbpMapOptions opt;
     opt.n_cores = core_counts[i];
-    return core::run_ffbp_epiphany(w.data, w.params, opt);
+    return core::run_ffbp_epiphany(w.data, w.params, opt,
+                                   bench::power_chip());
   });
   const double sweep_s = sweep_timer.elapsed_s();
 
@@ -60,6 +61,9 @@ static int bench_body() {
   man.add_workload("n_cores", 16.0);
   bench::add_engine_stats(man, &head.metrics, events, sweep_s,
                           pool.jobs());
+  bench::add_power_results(
+      man, head.power,
+      static_cast<double>(w.params.n_pulses * w.params.n_range));
   man.set_metrics(&head.metrics);
   bench::write_manifest(man);
   t.note("all configurations DMA-prefetch child rows; the 1-core row is "

@@ -43,7 +43,8 @@ static int bench_body() {
 
   // --- 13-core MPMD pipeline. ---
   std::cerr << "simulating 13-core MPMD autofocus pipeline...\n";
-  const auto par = core::run_autofocus_mpmd(pairs, p);
+  const auto par =
+      core::run_autofocus_mpmd(pairs, p, {}, bench::power_chip());
 
   Table t("Table I (Autofocus): throughput, speedup, estimated power");
   t.header({"Implementation", "Cores", "Throughput (px/s)", "Speedup",
@@ -70,6 +71,7 @@ static int bench_body() {
 
   std::cout << "\n-- simulated pipeline details --\n"
             << par.perf.summary() << par.energy.summary() << "\n";
+  std::cout << par.power.profile.table();
 
   CsvWriter csv(bench::out_dir() / "table1_autofocus.csv",
                 {"impl", "cores", "throughput_px_s", "speedup", "power_w"});
@@ -91,6 +93,7 @@ static int bench_body() {
   man.add_result("pixels_per_second", par.pixels_per_second);
   man.add_result("seq_px_per_s", seq.pixels_per_second);
   man.add_result("speedup_vs_intel", par.pixels_per_second / intel_tp);
+  bench::add_power_results(man, par.power, pixels);
   man.set_metrics(&par.metrics);
   bench::write_manifest(man);
   return 0;

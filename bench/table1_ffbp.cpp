@@ -36,7 +36,8 @@ static int bench_body() {
   std::cerr << "simulating 16-core SPMD FFBP...\n";
   core::FfbpMapOptions opt;
   opt.n_cores = 16;
-  const auto par = core::run_ffbp_epiphany(w.data, w.params, opt);
+  const auto par =
+      core::run_ffbp_epiphany(w.data, w.params, opt, bench::power_chip());
 
   Table t("Table I (FFBP): resources, performance, estimated power");
   t.header({"Implementation", "Cores", "Time (ms)", "Speedup",
@@ -61,6 +62,7 @@ static int bench_body() {
 
   std::cout << "\n-- simulated parallel run details --\n"
             << par.perf.summary() << par.energy.summary() << "\n";
+  std::cout << par.power.profile.table();
 
   CsvWriter csv(bench::out_dir() / "table1_ffbp.csv",
                 {"impl", "cores", "time_ms", "speedup", "power_w"});
@@ -80,6 +82,9 @@ static int bench_body() {
   man.add_result("intel_seconds", intel_s);
   man.add_result("seq_epiphany_seconds", seq.seconds);
   man.add_result("speedup_vs_intel", intel_s / par.seconds);
+  bench::add_power_results(
+      man, par.power,
+      static_cast<double>(w.params.n_pulses * w.params.n_range));
   man.set_metrics(&par.metrics);
   bench::write_manifest(man);
   return 0;

@@ -88,6 +88,7 @@ ep::Task range_program(ep::CoreCtx& ctx, const af::AfParams& p,
   const OpCounts sample_ops = range_core_sample_ops(p);
 
   for (std::size_t pair = 0; pair < n_pairs; ++pair) {
+    ctx.begin_span("range-interp/" + std::to_string(pair));
     // Fetch this pair's contributing block (the paper DMAs the area of
     // interest into each interpolator's local memory).
     const cf32* src =
@@ -115,6 +116,7 @@ ep::Task range_program(ep::CoreCtx& ctx, const af::AfParams& p,
         co_await chan.send(ctx, pkt);
       }
     }
+    ctx.end_span();
   }
 }
 
@@ -127,6 +129,7 @@ ep::Task beam_program(ep::CoreCtx& ctx, const af::AfParams& p,
   const OpCounts sample_ops = beam_core_sample_ops(p);
 
   for (std::size_t pair = 0; pair < n_pairs; ++pair) {
+    ctx.begin_span("beam-interp/" + std::to_string(pair));
     for (std::size_t sh = 0; sh < p.shift_candidates.size(); ++sh) {
       const float delta = p.shift_candidates[sh];
       for (std::size_t s = 0; s < p.samples_per_row; ++s) {
@@ -145,6 +148,7 @@ ep::Task beam_program(ep::CoreCtx& ctx, const af::AfParams& p,
         co_await out.send(ctx, bp);
       }
     }
+    ctx.end_span();
   }
 }
 
@@ -540,7 +544,8 @@ AfSimResult run_autofocus_sequential_epiphany(
   res.cycles = m.run();
   res.seconds = m.seconds(res.cycles);
   res.perf = m.report();
-  res.energy = ep::compute_energy(res.perf);
+  res.power = ep::collect_power(m, res.perf);
+  res.energy = res.power.energy;
   res.pixels_per_second =
       static_cast<double>(pairs.size() * p.pixels()) / res.seconds;
   ep::collect_machine_metrics(m);
@@ -620,7 +625,8 @@ AfSimResult run_autofocus_mpmd(std::span<const af::BlockPair> pairs,
   res.cycles = m.run(opt.max_cycles);
   res.seconds = m.seconds(res.cycles);
   res.perf = m.report();
-  res.energy = ep::compute_energy(res.perf);
+  res.power = ep::collect_power(m, res.perf);
+  res.energy = res.power.energy;
   res.criteria = st.criteria;
   res.pixels_per_second =
       static_cast<double>(pairs.size() * p.pixels()) / res.seconds;
@@ -709,7 +715,8 @@ AfGraphResult run_autofocus_graph(std::span<const af::BlockPair> pairs,
   res.sim.cycles = net.run();
   res.sim.seconds = m.seconds(res.sim.cycles);
   res.sim.perf = m.report();
-  res.sim.energy = ep::compute_energy(res.sim.perf);
+  res.sim.power = ep::collect_power(m, res.sim.perf);
+  res.sim.energy = res.sim.power.energy;
   res.sim.criteria = std::move(criteria);
   res.sim.pixels_per_second =
       static_cast<double>(pairs.size() * p.pixels()) / res.sim.seconds;

@@ -60,6 +60,9 @@ struct AfSimResult {
   double pixels_per_second = 0.0; ///< paper Table-I throughput metric
   ep::PerfReport perf;
   ep::EnergyReport energy;
+  /// Time-resolved power trace + span-level energy attribution, filled
+  /// when power sampling was enabled for the run (power.hpp).
+  ep::PowerReport power;
   int cores_used = 0;
   /// Snapshot of the machine's telemetry registry after the run (channel
   /// block histograms, per-link NoC traffic, core counters, ...).

@@ -655,7 +655,8 @@ FfbpSimResult run_ffbp_epiphany(const Array2D<cf32>& data,
   res.cycles = m.run(opt.max_cycles);
   res.seconds = m.seconds(res.cycles);
   res.perf = m.report();
-  res.energy = ep::compute_energy(res.perf);
+  res.power = ep::collect_power(m, res.perf);
+  res.energy = res.power.energy;
   res.prefetch_stats = st.stats;
   res.corrections = std::move(st.corrections);
 

@@ -84,6 +84,10 @@ struct FfbpSimResult {
   double seconds = 0.0;
   ep::PerfReport perf;
   ep::EnergyReport energy;
+  /// Time-resolved power trace + span-level energy attribution, filled
+  /// when the run's ChipConfig::power (or ESARP_POWER=1) enabled the
+  /// sampler; power.enabled is false otherwise (power.hpp).
+  ep::PowerReport power;
   std::vector<LevelPrefetchStats> prefetch_stats; ///< one entry per level
   /// Applied autofocus corrections (empty unless options.autofocus set).
   std::vector<af::MergeCorrection> corrections;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "epiphany/machine_metrics.hpp"
 #include "sar/polar.hpp"
 
 namespace esarp::core {
@@ -113,7 +114,8 @@ GbpSimResult run_gbp_epiphany(const Array2D<cf32>& data,
   res.cycles = m.run();
   res.seconds = m.seconds(res.cycles);
   res.perf = m.report();
-  res.energy = ep::compute_energy(res.perf);
+  res.power = ep::collect_power(m, res.perf);
+  res.energy = res.power.energy;
   res.image = Array2D<cf32>(p.n_pulses, p.n_range);
   std::copy(st.image_ext.begin(), st.image_ext.end(), res.image.data());
   return res;

@@ -26,6 +26,9 @@ struct GbpSimResult {
   double seconds = 0.0;
   ep::PerfReport perf;
   ep::EnergyReport energy;
+  /// Time-resolved power trace + span-level energy attribution, filled
+  /// when power sampling was enabled for the run (power.hpp).
+  ep::PowerReport power;
 };
 
 /// Run GBP on `n_cores` simulated cores. The image matches sar::gbp up to

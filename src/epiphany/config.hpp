@@ -53,6 +53,26 @@ struct CheckOptions {
   std::size_t max_diagnostics = 100; ///< cap on recorded diagnostics
 };
 
+/// Configuration of the power-telemetry sampler (docs/observability.md).
+/// When enabled the Machine attaches an ep::PowerSampler that accumulates
+/// per-core activity (busy cycles, issued ops, NoC byte-hops, eLink bytes)
+/// into fixed windows of `epoch_cycles` simulated cycles, from which
+/// power.hpp derives a time-resolved power trace and span-level energy
+/// attribution. Sampling is pure host-side accounting: it never touches the
+/// scheduler, so cycle counts, images and manifests are bit-identical with
+/// and without it (enforced by tests/test_power.cpp). The ESARP_POWER and
+/// ESARP_POWER_EPOCH environment variables override these fields at Machine
+/// construction (power_options_with_env).
+struct PowerOptions {
+  bool enabled = false;      ///< attach the sampler to the simulation
+  Cycles epoch_cycles = 8192; ///< initial sampling window (simulated cycles)
+  /// Cap on the number of epochs kept per core. When a run outgrows the
+  /// cap the sampler doubles epoch_cycles and folds neighbouring bins
+  /// (exact sums, so conservation is unaffected) — long runs cost bounded
+  /// memory at proportionally coarser time resolution.
+  std::size_t max_epochs = 4096;
+};
+
 struct ChipConfig {
   int rows = 4;
   int cols = 4;
@@ -95,6 +115,10 @@ struct ChipConfig {
   // is disabled; the Machine builds an injector only when faults.enabled(),
   // so an untouched config simulates exactly as before.
   fault::FaultPlan faults;
+
+  // Power telemetry sampler (host-side accounting layer; no effect on
+  // simulated cycles — see PowerOptions above and docs/observability.md).
+  PowerOptions power;
 
   // Derived helpers.
   [[nodiscard]] int core_count() const { return rows * cols; }

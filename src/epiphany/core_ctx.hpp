@@ -31,6 +31,7 @@
 #include "epiphany/ext_port.hpp"
 #include "epiphany/external_memory.hpp"
 #include "epiphany/noc.hpp"
+#include "epiphany/power.hpp"
 #include "epiphany/scheduler.hpp"
 #include "epiphany/task.hpp"
 #include "epiphany/trace.hpp"
@@ -67,10 +68,11 @@ public:
           const ChipConfig& cfg, Tracer& tracer,
           telemetry::MetricsRegistry& metrics,
           check::CheckContext* checker = nullptr,
-          fault::FaultInjector* fault = nullptr)
+          fault::FaultInjector* fault = nullptr,
+          PowerSampler* power = nullptr)
       : core_(core), sched_(sched), noc_(noc), ext_port_(ext_port),
         ext_mem_(ext_mem), cost_(cost), cfg_(cfg), tracer_(tracer),
-        metrics_(metrics), check_(checker), fault_(fault) {}
+        metrics_(metrics), check_(checker), fault_(fault), power_(power) {}
 
   CoreCtx(const CoreCtx&) = delete;
   CoreCtx& operator=(const CoreCtx&) = delete;
@@ -127,6 +129,7 @@ public:
     core_.counters.busy += c;
     core_.counters.ops += ops;
     tracer_.add(id(), SegmentKind::kCompute, now(), now() + c);
+    if (power_ != nullptr) power_->record_compute(id(), now(), now() + c, ops);
     return DelayFor{sched_, c};
   }
 
@@ -300,9 +303,11 @@ public:
     std::memcpy(dst, src, bytes);
     const Cycles hops = static_cast<Cycles>(hop_distance(coord(), src_core)) *
                         cfg_.hop_latency;
-    // Request packet out, data serialised back on the read mesh.
-    const Cycles arrival =
-        noc_.transfer(src_core, coord(), bytes, now() + hops, Mesh::kRead);
+    // Request packet out, data serialised back on the read mesh. The
+    // reading core initiates, so it owns the byte-hop energy even though
+    // the data flows from src_core.
+    const Cycles arrival = noc_.transfer(src_core, coord(), bytes,
+                                         now() + hops, Mesh::kRead, coord());
     core_.counters.ext_stall += arrival - now(); // read-stall accounting
     tracer_.add(id(), SegmentKind::kExtRead, now(), arrival);
     return DelayUntil{sched_, arrival};
@@ -342,6 +347,7 @@ private:
   telemetry::MetricsRegistry& metrics_;
   check::CheckContext* check_; ///< hazard sanitizer hooks, or nullptr
   fault::FaultInjector* fault_ = nullptr; ///< fault campaign, or nullptr
+  PowerSampler* power_ = nullptr; ///< power-telemetry sampler, or nullptr
   fault::TransferFault last_fault_ = fault::TransferFault::kNone;
   std::vector<std::size_t> burst_sizes_; ///< scratch for dma_read_ext_burst
 };

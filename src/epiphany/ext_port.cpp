@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "epiphany/power.hpp"
 
 namespace esarp::ep {
 
@@ -32,6 +33,9 @@ Cycles ExtPort::blocking_read(Coord core, std::uint64_t transactions,
   noc_.transfer(core, port_coord_, transactions * bytes_each, now, Mesh::kRead);
   stats_.read_transactions += transactions;
   stats_.read_bytes += transactions * bytes_each;
+  if (power_ != nullptr)
+    power_->record_elink(core_id(core), transactions * bytes_each, start,
+                         start + transactions * occupancy);
   if (read_stall_hist_ != nullptr)
     read_stall_hist_->observe(static_cast<double>(t - now));
   sample_backlog(read_backlog_track_, read_chan_, now);
@@ -45,9 +49,13 @@ Cycles ExtPort::dma_read(Coord core, std::size_t bytes, Cycles now) {
   const Cycles ser = cfg_.cycles_for_bytes_on_elink(bytes);
   const Cycles start = read_chan_.acquire(now + cfg_.dma_setup_cycles, ser,
                                           bytes);
-  noc_.transfer(port_coord_, core, bytes, start, Mesh::kRead);
+  // The DMA payload streams from the port toward the requesting core, so
+  // the requester (not the port's node) owns the byte-hop energy.
+  noc_.transfer(port_coord_, core, bytes, start, Mesh::kRead, core);
   stats_.read_transactions += 1;
   stats_.read_bytes += bytes;
+  if (power_ != nullptr)
+    power_->record_elink(core_id(core), bytes, start, start + ser);
   // Queueing delay ahead of this DMA burst (beyond the fixed setup cost).
   if (dma_queue_hist_ != nullptr)
     dma_queue_hist_->observe(
@@ -81,6 +89,8 @@ Cycles ExtPort::posted_write(Coord core, std::size_t bytes, Cycles now) {
   noc_.transfer(core, port_coord_, bytes, now, Mesh::kOffChipWrite);
   stats_.write_transactions += 1;
   stats_.write_bytes += bytes;
+  if (power_ != nullptr)
+    power_->record_elink(core_id(core), bytes, start, start + ser);
   // Backpressure: if the write channel is backlogged beyond the buffering
   // allowance, the core stalls until the backlog shrinks to the allowance.
   const Cycles backlog_end = start + ser;
@@ -103,6 +113,8 @@ Cycles ExtPort::dma_write(Coord core, std::size_t bytes, Cycles now) {
   noc_.transfer(core, port_coord_, bytes, now, Mesh::kOffChipWrite);
   stats_.write_transactions += 1;
   stats_.write_bytes += bytes;
+  if (power_ != nullptr)
+    power_->record_elink(core_id(core), bytes, start, start + ser);
   if (dma_queue_hist_ != nullptr)
     dma_queue_hist_->observe(
         static_cast<double>(start - (now + cfg_.dma_setup_cycles)));

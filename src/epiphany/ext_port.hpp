@@ -19,6 +19,8 @@
 
 namespace esarp::ep {
 
+class PowerSampler;
+
 struct ExtPortStats {
   std::uint64_t read_transactions = 0;
   std::uint64_t read_bytes = 0;
@@ -79,6 +81,11 @@ public:
   /// Bulk DMA write; like dma_read but on the write path.
   Cycles dma_write(Coord core, std::size_t bytes, Cycles now);
 
+  /// Attach the power-telemetry sampler (nullptr = none; owned by the
+  /// Machine). eLink bytes are charged to the initiating core over the
+  /// SDRAM-channel occupancy window — pure host-side accounting.
+  void set_power_sampler(PowerSampler* sampler) { power_ = sampler; }
+
   [[nodiscard]] const ExtPortStats& stats() const { return stats_; }
   [[nodiscard]] const BusyResource& read_channel() const { return read_chan_; }
   [[nodiscard]] const BusyResource& write_channel() const {
@@ -99,10 +106,17 @@ private:
     tracer_->counter(track, now, backlog);
   }
 
+  /// Power attribution id of the initiating core (row-major, like
+  /// Machine::id_of).
+  [[nodiscard]] int core_id(Coord core) const {
+    return core.row * cfg_.cols + core.col;
+  }
+
   ChipConfig cfg_;
   Noc& noc_;
   Coord port_coord_;
   Tracer* tracer_ = nullptr;
+  PowerSampler* power_ = nullptr;
   telemetry::Histogram* read_stall_hist_ = nullptr;
   telemetry::Histogram* write_backpressure_hist_ = nullptr;
   telemetry::Histogram* dma_queue_hist_ = nullptr;

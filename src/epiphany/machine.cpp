@@ -24,13 +24,24 @@ Machine::Machine(ChipConfig cfg, std::size_t ext_bytes, CoreCostParams cost,
     injector_ = std::make_unique<fault::FaultInjector>(cfg_.faults, &metrics_);
     noc_.set_injector(injector_.get());
   }
+  // And the power sampler: hooked into the NoC, the ext port and every
+  // context, but purely host-side — an instrumented run is bit-identical
+  // to an uninstrumented one (docs/observability.md).
+  const PowerOptions power_opt = power_options_with_env(cfg_.power);
+  if (power_opt.enabled) {
+    power_ = std::make_unique<PowerSampler>(cfg_, power_opt);
+    noc_.set_power_sampler(power_.get());
+    ext_port_.set_power_sampler(power_.get());
+  }
   for (int id = 0; id < cfg.core_count(); ++id) {
     cores_.push_back(std::make_unique<Core>(id, coord_of(id), cfg));
     ctxs_.push_back(std::make_unique<CoreCtx>(
         *cores_.back(), sched_, noc_, ext_port_, ext_mem_, cost_, cfg_,
-        *tracer_, metrics_, checker_.get(), injector_.get()));
+        *tracer_, metrics_, checker_.get(), injector_.get(), power_.get()));
     if (checker_ != nullptr)
       checker_->register_core(id, coord_of(id), &cores_.back()->mem());
+    if (power_ != nullptr)
+      power_->register_core(id, &cores_.back()->spans);
   }
   if (checker_ != nullptr) checker_->register_ext(&ext_mem_);
 }

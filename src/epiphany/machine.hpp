@@ -24,6 +24,7 @@
 #include "epiphany/external_memory.hpp"
 #include "epiphany/noc.hpp"
 #include "epiphany/perf.hpp"
+#include "epiphany/power.hpp"
 #include "epiphany/scheduler.hpp"
 #include "epiphany/task.hpp"
 #include "epiphany/trace.hpp"
@@ -96,6 +97,15 @@ public:
     return injector_.get();
   }
 
+  /// The power-telemetry sampler, or nullptr when power sampling is off.
+  /// Created when ChipConfig::power.enabled is set or ESARP_POWER=1 is in
+  /// the environment (power.hpp); consume via collect_power()
+  /// (machine_metrics.hpp) after run().
+  [[nodiscard]] PowerSampler* power_sampler() { return power_.get(); }
+  [[nodiscard]] const PowerSampler* power_sampler() const {
+    return power_.get();
+  }
+
   [[nodiscard]] Coord coord_of(int id) const {
     return {id / cfg_.cols, id % cfg_.cols};
   }
@@ -164,6 +174,9 @@ private:
   /// Null unless cfg_.faults.enabled(). Created before the contexts so
   /// each CoreCtx (and the NoC) carries the hook pointer.
   std::unique_ptr<fault::FaultInjector> injector_;
+  /// Null unless power sampling is on (cfg_.power / ESARP_POWER). Created
+  /// before the contexts for the same hook-pointer reason.
+  std::unique_ptr<PowerSampler> power_;
   std::vector<std::unique_ptr<Core>> cores_;
   std::vector<std::unique_ptr<CoreCtx>> ctxs_;
   /// Null when checking is off. Declared after cores_/ctxs_: the dtor

@@ -1,6 +1,10 @@
 #include "epiphany/machine_metrics.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <string>
+
+#include "common/assert.hpp"
 
 namespace esarp::ep {
 
@@ -124,7 +128,55 @@ void fill_manifest(telemetry::RunManifest& man, const PerfReport& rep,
   man.add_result("ext_write_bytes", static_cast<double>(rep.ext.write_bytes));
   man.add_result("energy_j", energy.total_j());
   man.add_result("avg_watts", energy.avg_watts);
+  // Component breakdown (same order as EnergyReport::total_j): regression
+  // gating on these catches energy shifts that cancel in the total.
+  man.add_result("energy_j.core_active", energy.core_active_j);
+  man.add_result("energy_j.core_idle", energy.core_idle_j);
+  man.add_result("energy_j.alu", energy.alu_j);
+  man.add_result("energy_j.noc", energy.noc_j);
+  man.add_result("energy_j.elink", energy.elink_j);
+  man.add_result("energy_j.static", energy.static_j);
   man.add_result("engine_events", static_cast<double>(rep.engine_events));
+}
+
+PowerReport collect_power(Machine& m, const PerfReport& rep,
+                          const EnergyParams& p) {
+  PowerReport power;
+  power.energy = compute_energy(rep, p);
+  const PowerSampler* sampler = m.power_sampler();
+  if (sampler == nullptr) return power;
+
+  power.enabled = true;
+  power.trace = build_power_trace(*sampler, rep, p);
+  power.profile = build_span_profile(*sampler, rep, p);
+
+  // Conservation: the sampler observed the same quantities as the
+  // aggregate counters at the same call sites, so both derived views must
+  // reproduce compute_energy() up to floating-point accumulation error. A
+  // violation means a recording hook is missing or double-counting.
+  const double total = power.energy.total_j();
+  const double tol = 1e-9 * std::max(total, 1e-30);
+  ESARP_REQUIRE(std::abs(power.trace.total_j - total) <= tol,
+                "power trace violates energy conservation: trace " +
+                    std::to_string(power.trace.total_j) + " J vs aggregate " +
+                    std::to_string(total) + " J");
+  ESARP_REQUIRE(std::abs(power.profile.total_j - total) <= tol,
+                "span attribution violates energy conservation: profile " +
+                    std::to_string(power.profile.total_j) +
+                    " J vs aggregate " + std::to_string(total) + " J");
+
+  export_power_counters(m.tracer(), power.trace);
+  return power;
+}
+
+void fill_power_manifest(telemetry::RunManifest& man,
+                         const PowerReport& power) {
+  if (!power.enabled) return;
+  for (const SpanEnergyProfile::Entry& e : power.profile.entries)
+    man.add_result("energy_j.span." + e.name, e.joules);
+  man.add_result("energy_j.attributed", power.profile.attributed_j);
+  man.add_result("energy_j.unattributed", power.profile.unattributed_j);
+  man.add_result("peak_chip_watts", power.trace.peak_chip_watts());
 }
 
 } // namespace esarp::ep

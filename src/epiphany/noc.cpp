@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "epiphany/power.hpp"
 
 namespace esarp::ep {
 
@@ -49,7 +50,7 @@ void Noc::route(Coord src, Coord dst, std::vector<std::size_t>& out) const {
 }
 
 Cycles Noc::transfer(Coord src, Coord dst, std::size_t bytes, Cycles now,
-                     Mesh mesh) {
+                     Mesh mesh, Coord initiator) {
   if (src == dst || bytes == 0) return now;
   auto& links = links_[static_cast<int>(mesh)];
   auto& st = stats_[static_cast<int>(mesh)];
@@ -81,7 +82,11 @@ Cycles Noc::transfer(Coord src, Coord dst, std::size_t bytes, Cycles now,
   st.transfers += 1;
   st.bytes += bytes;
   st.byte_hops += bytes * hops;
-  return start + hops * cfg_.hop_latency + serialization;
+  const Cycles done = start + hops * cfg_.hop_latency + serialization;
+  if (power_ != nullptr)
+    power_->record_noc(initiator.row * cfg_.cols + initiator.col,
+                       bytes * hops, start, done);
+  return done;
 }
 
 Cycles Noc::probe(Coord src, Coord dst, std::size_t bytes, Cycles now,

@@ -18,6 +18,8 @@
 
 namespace esarp::ep {
 
+class PowerSampler;
+
 enum class Mesh : std::uint8_t {
   kOnChipWrite = 0, ///< cMesh
   kOffChipWrite = 1, ///< xMesh
@@ -60,10 +62,26 @@ public:
   /// link on the path is held busy for the stall, so contention propagates
   /// exactly like a slow neighbour).
   Cycles transfer(Coord src, Coord dst, std::size_t bytes, Cycles now,
-                  Mesh mesh);
+                  Mesh mesh) {
+    return transfer(src, dst, bytes, now, mesh, src);
+  }
+
+  /// transfer() with an explicit *initiating* core for power attribution.
+  /// Usually the initiator is the source, but read-style transactions move
+  /// data toward the core that asked for it (read_remote replies, DMA reads
+  /// from the eLink), so those sites name the requester explicitly. The
+  /// routed direction — and therefore every simulated-time effect — is
+  /// unchanged; the initiator only decides whose epoch bins and spans the
+  /// byte-hop energy lands in.
+  Cycles transfer(Coord src, Coord dst, std::size_t bytes, Cycles now,
+                  Mesh mesh, Coord initiator);
 
   /// Attach a fault campaign (nullptr = none). Owned by the Machine.
   void set_injector(fault::FaultInjector* injector) { injector_ = injector; }
+
+  /// Attach the power-telemetry sampler (nullptr = none; owned by the
+  /// Machine). Pure host-side accounting — simulated time is unaffected.
+  void set_power_sampler(PowerSampler* sampler) { power_ = sampler; }
 
   /// Completion time a transfer would have without reserving anything.
   [[nodiscard]] Cycles probe(Coord src, Coord dst, std::size_t bytes,
@@ -99,6 +117,7 @@ private:
 
   ChipConfig cfg_;
   fault::FaultInjector* injector_ = nullptr;
+  PowerSampler* power_ = nullptr;
   std::array<std::vector<BusyResource>, kMeshCount> links_;
   std::array<NocStats, kMeshCount> stats_;
   /// Route cache indexed by src * n_nodes + dst; an empty vector means

@@ -30,12 +30,21 @@ void check_schema(const JsonValue& v, const char* which) {
                             " manifest: missing or unknown \"schema\"");
 }
 
-/// Flatten one numeric section into key -> value pairs.
+/// Flatten one numeric section into key -> value pairs. Entries that should
+/// be numbers but are not usable as such — JSON null (how the manifest
+/// writer encodes a non-finite double) or a parsed non-finite value — are
+/// reported into `bad` instead of being silently skipped: a NaN metric must
+/// fail the comparison by name, not pass it by absence.
 void flatten_numbers(const JsonValue* obj, const std::string& prefix,
-                     std::vector<std::pair<std::string, double>>& out) {
+                     std::vector<std::pair<std::string, double>>& out,
+                     std::vector<std::string>& bad) {
   if (obj == nullptr || !obj->is_object()) return;
-  for (const auto& [k, v] : obj->as_object())
-    if (v.is_number()) out.emplace_back(prefix + k, v.as_number());
+  for (const auto& [k, v] : obj->as_object()) {
+    if (v.is_number() && std::isfinite(v.as_number()))
+      out.emplace_back(prefix + k, v.as_number());
+    else if (v.is_null() || v.is_number())
+      bad.push_back(prefix + k);
+  }
 }
 
 /// Histogram summary scalars worth diffing (count and mean — bucket-level
@@ -55,11 +64,12 @@ void flatten_histograms(const JsonValue* obj, const std::string& prefix,
 }
 
 std::vector<std::pair<std::string, double>>
-flatten_manifest(const JsonValue& m) {
+flatten_manifest(const JsonValue& m, std::vector<std::string>& bad) {
   std::vector<std::pair<std::string, double>> out;
-  flatten_numbers(m.find("results"), "results.", out);
-  flatten_numbers(m.find_path("metrics.counters"), "metrics.counters.", out);
-  flatten_numbers(m.find_path("metrics.gauges"), "metrics.gauges.", out);
+  flatten_numbers(m.find("results"), "results.", out, bad);
+  flatten_numbers(m.find_path("metrics.counters"), "metrics.counters.", out,
+                  bad);
+  flatten_numbers(m.find_path("metrics.gauges"), "metrics.gauges.", out, bad);
   flatten_histograms(m.find_path("metrics.histograms"),
                      "metrics.histograms.", out);
   return out;
@@ -74,9 +84,29 @@ CompareReport compare_manifests(const JsonValue& base,
   check_schema(current, "current");
 
   CompareReport rep;
-  const auto b = flatten_manifest(base);
-  const auto c = flatten_manifest(current);
+  std::vector<std::string> bad_base;
+  std::vector<std::string> bad_cur;
+  const auto b = flatten_manifest(base, bad_base);
+  const auto c = flatten_manifest(current, bad_cur);
   std::map<std::string, double> cur_map(c.begin(), c.end());
+
+  // Non-finite metric values are always a failure, named per key — a run
+  // that produced NaN/Inf (written as JSON null) must never read as "no
+  // regression" just because the broken key could not be diffed.
+  const auto reject_non_finite = [&rep](const std::vector<std::string>& keys,
+                                        const char* which) {
+    for (const std::string& key : keys) {
+      CompareLine line;
+      line.key = key;
+      line.unusable = true;
+      line.regressed = true;
+      line.problem = std::string("non-finite value in ") + which + " manifest";
+      ++rep.regressions;
+      rep.lines.push_back(std::move(line));
+    }
+  };
+  reject_non_finite(bad_base, "base");
+  reject_non_finite(bad_cur, "current");
 
   for (const auto& [key, bval] : b) {
     const auto it = cur_map.find(key);

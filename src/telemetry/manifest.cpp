@@ -1,5 +1,6 @@
 #include "telemetry/manifest.hpp"
 
+#include <cmath>
 #include <fstream>
 
 #include "common/assert.hpp"
@@ -19,7 +20,16 @@ void write_section(JsonWriter& w, const char* name,
                    const std::vector<std::pair<std::string, double>>& kv) {
   w.key(name);
   w.begin_object();
-  for (const auto& [k, v] : kv) w.kv(k, v);
+  for (const auto& [k, v] : kv) {
+    // Fail at the producer, with the key named, rather than emitting the
+    // JSON null that esarp_compare would reject downstream: a NaN result
+    // (division by a zero cycle count, say) is a bug in the run, and the
+    // atomic-publish path in write(path) guarantees no partial manifest
+    // is left behind.
+    ESARP_REQUIRE(std::isfinite(v), "non-finite manifest value for \"" +
+                                        std::string(name) + "." + k + "\"");
+    w.kv(k, v);
+  }
   w.end_object();
 }
 

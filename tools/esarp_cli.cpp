@@ -6,6 +6,8 @@
 //   esarp chip     --in raw.esrp --cores 16 [--jobs N] [--no-prefetch]
 //                  [--autofocus] [--trace t.json] [--metrics m.json]
 //   esarp chaos    --in raw.esrp --dma-corrupt 1e-3 [--seed S] [...]
+//   esarp power    --in raw.esrp [--cores N] [--epoch C] [--csv p.csv]
+//                  [--heatmap p.pgm] [--trace t.json] [--metrics m.json]
 //   esarp analyze  --in raw.esrp
 //   esarp report   --in m.manifest.json
 //
@@ -125,6 +127,10 @@ int usage() {
       "                 [--membits R] [--fail core@cycle[,core@cycle...]]\n"
       "                 [--no-resilience] [--autofocus] [--pairs N]\n"
       "                 [--metrics m.json] [--max-cycles N] [--check]\n"
+      "  esarp power    --in f.esrp [--cores N] [--epoch CYCLES]\n"
+      "                 [--no-prefetch] [--autofocus] [--csv p.csv]\n"
+      "                 [--heatmap p.pgm] [--trace t.json]"
+      " [--metrics m.json]\n"
       "  esarp analyze  --in f.esrp\n"
       "  esarp report   --in m.manifest.json\n";
   return kExitUsage;
@@ -342,6 +348,101 @@ int cmd_chip(const Args& args) {
   if (!out.empty()) {
     write_pgm(out, sim.image, {.dynamic_range_db = 45.0});
     std::cout << "image written to " << out << "\n";
+  }
+  return 0;
+}
+
+/// Power observability report (docs/observability.md): runs the FFBP
+/// mapping with the power sampler attached and prints the aggregate energy
+/// breakdown, the span-attribution profile and the per-epoch peak power.
+/// Energy conservation (trace and attribution vs the aggregate model, 1e-9
+/// relative) is asserted inside collect_power — a violation exits 4.
+int cmd_power(const Args& args) {
+  const std::string in = args.str("in");
+  if (in.empty()) return usage();
+  const sar::Dataset ds = sar::load_dataset(in);
+
+  core::FfbpMapOptions opt;
+  opt.n_cores = static_cast<int>(args.num("cores", 16));
+  opt.prefetch = !args.has("no-prefetch");
+  af::IntegratedOptions aopt;
+  if (args.has("autofocus")) opt.autofocus = &aopt;
+
+  ep::ChipConfig chip_cfg;
+  chip_cfg.power.enabled = true;
+  if (args.has("epoch")) {
+    const long epoch = args.num("epoch", 0);
+    if (epoch <= 0) return usage();
+    chip_cfg.power.epoch_cycles = static_cast<ep::Cycles>(epoch);
+  }
+
+  const std::string trace_path = args.str("trace");
+  if (args.has("trace") && trace_path.empty()) return usage();
+  ep::Tracer tracer;
+  if (!trace_path.empty()) {
+    tracer.enable();
+    opt.tracer = &tracer;
+  }
+
+  const auto sim = core::run_ffbp_epiphany(ds.data, ds.params, opt, chip_cfg);
+  const ep::PowerTrace& trace = sim.power.trace;
+
+  std::cout << "chip time: " << format_seconds(sim.seconds) << " ("
+            << format_cycles(sim.cycles) << " cycles)\n"
+            << sim.energy.summary() << "\n"
+            << "power trace: " << trace.n_epochs << " epoch(s) of "
+            << trace.epoch_cycles << " cycles; peak chip power "
+            << Table::num(trace.peak_chip_watts(), 3) << " W, average "
+            << Table::num(sim.energy.avg_watts, 3) << " W\n"
+            << "energy per pixel: "
+            << Table::num(sim.energy.total_j() /
+                              static_cast<double>(ds.params.n_pulses * ds.params.n_range) * 1e9,
+                          3)
+            << " nJ\n"
+            << sim.power.profile.table();
+
+  const std::string csv_path = args.str("csv");
+  if (args.has("csv") && csv_path.empty()) return usage();
+  if (!csv_path.empty()) {
+    ep::write_power_csv(csv_path, trace);
+    std::cout << "power trace CSV written to " << csv_path << "\n";
+  }
+
+  const std::string heatmap_path = args.str("heatmap");
+  if (args.has("heatmap") && heatmap_path.empty()) return usage();
+  if (!heatmap_path.empty()) {
+    ep::write_power_heatmap(heatmap_path, trace);
+    std::cout << "core x epoch power heatmap written to " << heatmap_path
+              << " (" << trace.n_cores << " x " << trace.n_epochs << ")\n";
+  }
+
+  if (!trace_path.empty()) {
+    // collect_power already exported the power counter tracks into the
+    // tracer, so the written trace carries chip/core power under the core
+    // tracks.
+    tracer.write_chrome_json(trace_path, sim.perf.cfg.clock_hz);
+    std::cout << "trace written to " << trace_path << " ("
+              << tracer.size() << " segments, power counter tracks: "
+              << (1 + trace.n_cores) << ")\n";
+  }
+
+  const std::string metrics_path = args.str("metrics");
+  if (args.has("metrics") && metrics_path.empty()) return usage();
+  if (!metrics_path.empty()) {
+    telemetry::RunManifest man("esarp_power");
+    ep::fill_manifest(man, sim.perf, sim.energy);
+    ep::fill_power_manifest(man, sim.power);
+    man.add_result("energy_per_pixel",
+                   sim.energy.total_j() /
+                       static_cast<double>(ds.params.n_pulses * ds.params.n_range));
+    man.add_workload("n_pulses", static_cast<double>(ds.params.n_pulses));
+    man.add_workload("n_range", static_cast<double>(ds.params.n_range));
+    man.add_workload("n_cores", static_cast<double>(opt.n_cores));
+    man.add_workload("epoch_cycles",
+                     static_cast<double>(chip_cfg.power.epoch_cycles));
+    man.set_metrics(&sim.metrics);
+    man.write(std::filesystem::path(metrics_path));
+    std::cout << "metrics manifest written to " << metrics_path << "\n";
   }
   return 0;
 }
@@ -591,6 +692,7 @@ int main(int argc, char** argv) {
     if (cmd == "simulate") return cmd_simulate(args);
     if (cmd == "image") return cmd_image(args);
     if (cmd == "chip") return cmd_chip(args);
+    if (cmd == "power") return cmd_power(args);
     if (cmd == "chaos") return cmd_chaos(args);
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "report") return cmd_report(args);
