@@ -90,6 +90,16 @@ static int bench_body() {
   man.add_workload("n_pulses", static_cast<double>(sizes.back()));
   man.add_workload("n_range", 161.0);
   man.add_workload("fast_mode", bench::fast_mode() ? 1.0 : 0.0);
+  // Per-point event counts for both legs (each exactly representable in a
+  // double, unlike a giant uint64 total converted once) plus the sweep
+  // total, fault_sweep's "p<i>." key convention.
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::string pfx = "engine_events.p" + std::to_string(i);
+    man.add_result(pfx + ".gbp",
+                   static_cast<double>(results[i].g.perf.engine_events));
+    man.add_result(pfx + ".ffbp",
+                   static_cast<double>(results[i].f.perf.engine_events));
+  }
   bench::add_engine_stats(man, nullptr, events, sweep_s, pool.jobs());
   bench::write_manifest(man);
 

@@ -79,6 +79,12 @@ static int bench_body() {
   ep::fill_manifest(man, e64_res.perf, e64_res.energy);
   bench::add_workload(man, w.params);
   man.add_workload("n_cores", 64.0);
+  // Per-point event counts (exactly representable in a double point by
+  // point, unlike a giant uint64 total converted once) plus the sweep
+  // total, fault_sweep's "p<i>." key convention.
+  for (std::size_t i = 0; i < results.size(); ++i)
+    man.add_result("engine_events.p" + std::to_string(i),
+                   static_cast<double>(results[i].perf.engine_events));
   bench::add_engine_stats(man, &e64_res.metrics, events, sweep_s,
                           pool.jobs());
   bench::add_power_results(

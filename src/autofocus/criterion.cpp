@@ -2,9 +2,11 @@
 
 #include <algorithm>
 
+#include <vector>
+
 #include "common/assert.hpp"
-#include "common/fastmath.hpp"
 #include "autofocus/criterion_kernel.hpp"
+#include "sar/kernels.hpp"
 
 namespace esarp::af {
 
@@ -30,25 +32,52 @@ CriterionResult criterion_sweep(const Array2D<cf32>& block_minus,
 
   const auto vm = block_minus.view();
   const auto vp = block_plus.view();
-  std::vector<cf32> col_m(p.block_rows);
-  std::vector<cf32> col_p(p.block_rows);
+
+  // Kernel-backend restructure of the sweep. The sample geometry depends
+  // only on (s, delta), so it is hoisted out of the window loop; the range
+  // and beam Neville stages then run as row kernels over all sample
+  // positions at once (SoA scratch: row r of the block at col[r*S + s]).
+  // Invalid sample positions are interpolated harmlessly (finite inputs)
+  // and skipped at accumulation time, and the final accumulation walks the
+  // terms in the original w-outer / s / b-inner order — the criterion
+  // values are bit-identical to the pre-kernel scalar loop.
+  const std::size_t S = p.samples_per_row;
+  std::vector<float> t_minus(S), t_plus(S), u(S);
+  std::vector<std::uint8_t> valid(S);
+  std::vector<cf32> col_m(p.block_rows * S);
+  std::vector<cf32> col_p(p.block_rows * S);
+  std::vector<cf32> beam_m(S), beam_p(S);
+  std::vector<float> terms(p.beams * S);
+  namespace k = sar::kernels;
 
   for (float delta : p.shift_candidates) {
+    for (std::size_t s = 0; s < S; ++s) {
+      const SampleGeom g = af_sample_geom(p, s, delta);
+      t_minus[s] = g.t_minus;
+      t_plus[s] = g.t_plus;
+      u[s] = g.u;
+      valid[s] = g.valid ? 1 : 0;
+    }
     // eq. 6 accumulated in float to mirror the 32-bit on-chip pipeline.
     float criterion = 0.0f;
     for (std::size_t w = 0; w < p.windows; ++w) {
-      for (std::size_t s = 0; s < p.samples_per_row; ++s) {
-        const SampleGeom g = af_sample_geom(p, s, delta);
-        if (!g.valid) continue;
-        range_interp_column(vm, w, g.t_minus, col_m.data(), p.block_rows);
-        range_interp_column(vp, w, g.t_plus, col_p.data(), p.block_rows);
-        for (std::size_t b = 0; b < p.beams; ++b) {
-          const cf32 gm = beam_interp(col_m.data(), b, g.u);
-          const cf32 gp = beam_interp(col_p.data(), b, g.u);
-          const float mm = fastmath::norm2(gm.real(), gm.imag());
-          const float mp = fastmath::norm2(gp.real(), gp.imag());
-          criterion += mm * mp;
-        }
+      for (std::size_t r = 0; r < p.block_rows; ++r) {
+        k::neville4_many(&vm(r, w), t_minus.data(), &col_m[r * S], S);
+        k::neville4_many(&vp(r, w), t_plus.data(), &col_p[r * S], S);
+      }
+      for (std::size_t b = 0; b < p.beams; ++b) {
+        k::neville4_rows(&col_m[b * S], &col_m[(b + 1) * S],
+                         &col_m[(b + 2) * S], &col_m[(b + 3) * S], u.data(),
+                         beam_m.data(), S);
+        k::neville4_rows(&col_p[b * S], &col_p[(b + 1) * S],
+                         &col_p[(b + 2) * S], &col_p[(b + 3) * S], u.data(),
+                         beam_p.data(), S);
+        k::criterion_terms(beam_m.data(), beam_p.data(), &terms[b * S], S);
+      }
+      for (std::size_t s = 0; s < S; ++s) {
+        if (valid[s] == 0) continue;
+        for (std::size_t b = 0; b < p.beams; ++b)
+          criterion += terms[b * S + s];
       }
     }
     res.criteria.push_back(static_cast<double>(criterion));

@@ -7,6 +7,7 @@
 #include "common/assert.hpp"
 #include "autofocus/criterion.hpp"
 #include "autofocus/workload.hpp"
+#include "sar/kernels.hpp"
 
 namespace esarp::af {
 
@@ -104,14 +105,15 @@ BlockPair project_contribution_blocks(const sar::SubapertureImage& a,
 
   const float r0f = static_cast<float>(p.near_range_m);
   const float drf = static_cast<float>(p.range_bin_m);
+  std::vector<sar::MergeGeom> geom_row(p_af.block_cols);
   for (std::size_t i = 0; i < p_af.block_rows; ++i) {
     const float theta = geom.theta_of_row(p, parent_theta_bin + i);
     const float cr = 2.0f * geom.d * fastmath::poly_cos(theta);
+    sar::kernels::merge_geometry_row(r0f, drf, parent_range_bin,
+                                     p_af.block_cols, cr, geom.d2,
+                                     geom.inv_2d, geom_row.data());
     for (std::size_t j = 0; j < p_af.block_cols; ++j) {
-      const float r =
-          r0f + static_cast<float>(parent_range_bin + j) * drf;
-      const sar::MergeGeom g =
-          sar::merge_geometry(r, cr, geom.d2, geom.inv_2d);
+      const sar::MergeGeom& g = geom_row[j];
       // Cubic sampling: the measurement must resolve sub-bin shifts, so
       // it uses the high-quality kernel even when the merges themselves
       // run the cheap nearest-neighbour one.

@@ -7,6 +7,7 @@
 #include "core/ffbp_layout.hpp"
 #include "epiphany/machine_metrics.hpp"
 #include "epiphany/resilient.hpp"
+#include "sar/kernels.hpp"
 #include "sar/merge_kernel.hpp"
 
 namespace esarp::core {
@@ -81,6 +82,9 @@ ep::Task ffbp_core_program(ep::CoreCtx& ctx, const sar::RadarParams& p,
   const OpCounts pixel_ops = sar::merge_pixel_ops(algo);
   const float r0f = static_cast<float>(p.near_range_m);
   const float drf = static_cast<float>(p.range_bin_m);
+  // Host-side scratch for the row's cosine-theorem geometry; the simulated
+  // local-store budget is unaffected (the geometry never lived in a bank).
+  std::vector<sar::MergeGeom> geom_row(n_range);
 
   std::span<cf32> src = st.buf_a;
   std::span<cf32> dst = st.buf_b;
@@ -256,10 +260,10 @@ ep::Task ffbp_core_program(ep::CoreCtx& ctx, const sar::RadarParams& p,
       const float shift_b = 0.5f * af_shift * drf;
 
       std::uint64_t fetches = 0;
+      sar::kernels::merge_geometry_row(r0f, drf, 0, n_range, cr, geom.d2,
+                                       geom.inv_2d, geom_row.data());
       for (std::size_t j = 0; j < n_range; ++j) {
-        const float r = r0f + static_cast<float>(j) * drf;
-        const sar::MergeGeom g =
-            sar::merge_geometry(r, cr, geom.d2, geom.inv_2d);
+        const sar::MergeGeom& g = geom_row[j];
         const cf32 v1 = sar::sample_child(grid, g.r1 + shift_a, g.theta1,
                                           algo.interp,
                                           algo.phase_compensate, fetch1);
@@ -356,6 +360,8 @@ ep::Task ffbp_core_program_resilient(ep::CoreCtx& ctx,
   const OpCounts pixel_ops = sar::merge_pixel_ops(algo);
   const float r0f = static_cast<float>(p.near_range_m);
   const float drf = static_cast<float>(p.range_bin_m);
+  // Host-side geometry scratch, as in the plain program.
+  std::vector<sar::MergeGeom> geom_row(n_range);
 
   std::span<cf32> src = st.buf_a;
   std::span<cf32> dst = st.buf_b;
@@ -542,10 +548,10 @@ ep::Task ffbp_core_program_resilient(ep::CoreCtx& ctx,
         const float shift_b = 0.5f * af_shift * drf;
 
         std::uint64_t fetches = 0;
+        sar::kernels::merge_geometry_row(r0f, drf, 0, n_range, cr, geom.d2,
+                                         geom.inv_2d, geom_row.data());
         for (std::size_t j = 0; j < n_range; ++j) {
-          const float r = r0f + static_cast<float>(j) * drf;
-          const sar::MergeGeom g =
-              sar::merge_geometry(r, cr, geom.d2, geom.inv_2d);
+          const sar::MergeGeom& g = geom_row[j];
           const cf32 v1 =
               sar::sample_child(grid, g.r1 + shift_a, g.theta1, algo.interp,
                                 algo.phase_compensate, fetch1);

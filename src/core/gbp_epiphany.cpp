@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "epiphany/machine_metrics.hpp"
+#include "sar/kernels.hpp"
 #include "sar/polar.hpp"
 
 namespace esarp::core {
@@ -40,10 +41,19 @@ ep::Task gbp_core_program(ep::CoreCtx& ctx, const sar::RadarParams& p,
   const std::size_t end =
       (static_cast<std::size_t>(core_index) + 1) * rows_total / n_cores;
 
+  // Host-side pixel-position scratch (constant along a row, so it is
+  // computed once per row instead of once per pulse pair — same values).
+  std::vector<float> px(n_range), py(n_range);
+
   for (std::size_t i = begin; i < end; ++i) {
     const double theta = grid.theta_of(i);
     const float cos_t = static_cast<float>(std::cos(theta));
     const float sin_t = static_cast<float>(std::sin(theta));
+    for (std::size_t j = 0; j < n_range; ++j) {
+      const float r = static_cast<float>(grid.r_of(j));
+      px[j] = r * cos_t;
+      py[j] = r * sin_t;
+    }
     std::fill(acc.begin(), acc.end(), cf32{});
 
     for (std::size_t pu = 0; pu < p.n_pulses; pu += 2) {
@@ -64,15 +74,12 @@ ep::Task gbp_core_program(ep::CoreCtx& ctx, const sar::RadarParams& p,
         co_await ctx.wait(j2);
       }
 
-      for (std::size_t j = 0; j < n_range; ++j) {
-        const float r = static_cast<float>(grid.r_of(j));
-        const float px = r * cos_t;
-        const float py = r * sin_t;
-        acc[j] += sar::gbp_contribution(px, py, st.pulse_x[pu],
-                                        pulse_a.data(), g);
-        acc[j] += sar::gbp_contribution(px, py, st.pulse_x[pu + 1],
-                                        pulse_b.data(), g);
-      }
+      // Two row-kernel calls keep the per-pixel accumulation order (pulse
+      // pu, then pu + 1) of the original scalar loop — bit-identical image.
+      sar::kernels::gbp_contrib_row(px.data(), py.data(), st.pulse_x[pu],
+                                    pulse_a.data(), g, acc.data(), n_range);
+      sar::kernels::gbp_contrib_row(px.data(), py.data(), st.pulse_x[pu + 1],
+                                    pulse_b.data(), g, acc.data(), n_range);
       co_await ctx.compute(2 * static_cast<std::uint64_t>(n_range) *
                            sar::kGbpContribOps);
     }

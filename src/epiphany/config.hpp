@@ -106,6 +106,12 @@ struct ChipConfig {
                                ///< analytically-costed burst job (identical
                                ///< Cycles totals, fewer scheduler events);
                                ///< false = legacy per-chunk jobs + waits
+  bool batch_quanta = true;    ///< batched-quantum fast path: pure delays
+                               ///< advance the clock inline when no other
+                               ///< event can run first (bit-identical, see
+                               ///< Scheduler::try_advance_inline and
+                               ///< docs/performance.md); ESARP_BATCH=0/1
+                               ///< overrides at Machine construction
 
   // Hazard sanitizer (host-side checking layer; no effect on simulated
   // cycles — see CheckOptions above and docs/static-analysis.md).

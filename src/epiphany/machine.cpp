@@ -1,8 +1,24 @@
 #include "epiphany/machine.hpp"
 
+#include <cstdlib>
 #include <sstream>
+#include <string_view>
 
 namespace esarp::ep {
+
+namespace {
+
+/// ESARP_BATCH=0 forces per-event stepping, any other value forces the
+/// batched-quantum fast path; unset defers to ChipConfig::batch_quanta.
+/// Both modes are bit-identical (docs/performance.md) — the switch exists
+/// for the equivalence tests and for engine debugging.
+bool batch_quanta_with_env(bool cfg_value) {
+  const char* env = std::getenv("ESARP_BATCH");
+  if (env == nullptr || *env == '\0') return cfg_value;
+  return std::string_view(env) != "0";
+}
+
+} // namespace
 
 Machine::Machine(ChipConfig cfg, std::size_t ext_bytes, CoreCostParams cost,
                  Tracer* shared_tracer)
@@ -11,6 +27,7 @@ Machine::Machine(ChipConfig cfg, std::size_t ext_bytes, CoreCostParams cost,
       noc_(cfg), ext_port_(cfg, noc_, tracer_, &metrics_),
       ext_mem_(ext_bytes), amap_(cfg) {
   ESARP_EXPECTS(cfg.rows > 0 && cfg.cols > 0);
+  sched_.set_batching(batch_quanta_with_env(cfg_.batch_quanta));
   cores_.reserve(static_cast<std::size_t>(cfg.core_count()));
   ctxs_.reserve(static_cast<std::size_t>(cfg.core_count()));
   // The sanitizer is created before the contexts so every CoreCtx can carry
@@ -137,6 +154,7 @@ PerfReport Machine::report() const {
   PerfReport rep;
   rep.cfg = cfg_;
   rep.engine_events = sched_.events_processed();
+  rep.engine_quanta = sched_.quanta_batched();
   rep.per_core.reserve(cores_.size());
   for (const auto& c : cores_) {
     rep.per_core.push_back(c->counters);

@@ -137,6 +137,8 @@ void fill_manifest(telemetry::RunManifest& man, const PerfReport& rep,
   man.add_result("energy_j.elink", energy.elink_j);
   man.add_result("energy_j.static", energy.static_j);
   man.add_result("engine_events", static_cast<double>(rep.engine_events));
+  man.add_result("engine_quanta_batched",
+                 static_cast<double>(rep.engine_quanta));
 }
 
 PowerReport collect_power(Machine& m, const PerfReport& rep,

@@ -19,6 +19,10 @@ struct PerfReport {
   /// throughput; does not affect — and must not be affected by — any
   /// simulated-cycle result).
   std::uint64_t engine_events = 0;
+  /// Delays the batched-quantum fast path absorbed without a scheduler
+  /// event (docs/performance.md). Deterministic for a given workload and
+  /// ChipConfig::batch_quanta setting; zero when batching is off.
+  std::uint64_t engine_quanta = 0;
   std::vector<CoreCounters> per_core;
   NocStats noc_total;
   NocStats noc_read;

@@ -89,6 +89,48 @@ public:
   /// Resume `h` immediately after currently-runnable work at this cycle.
   void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
 
+  /// Enable/disable the batched-quantum fast path (docs/performance.md).
+  /// Off by default so a bare Scheduler still counts one resume per delay;
+  /// the Machine switches it on per ChipConfig::batch_quanta / ESARP_BATCH.
+  void set_batching(bool on) { batching_ = on; }
+  [[nodiscard]] bool batching() const { return batching_; }
+
+  /// Batched-quantum fast path: when the currently running coroutine is
+  /// provably the only work that can run before `now + dt` — the same-cycle
+  /// FIFO is drained and every queued event lies strictly beyond the
+  /// target — a pure delay advances the clock inline and the coroutine
+  /// keeps running, instead of suspending into the calendar queue and
+  /// being resumed as a fresh event. Returns true iff the clock advanced.
+  ///
+  /// Bit-identity argument: the refusal conditions guarantee no other
+  /// coroutine could have been resumed in the skipped window (an event at
+  /// exactly the target cycle was scheduled earlier, so it has a smaller
+  /// seq and must run first — hence the strict `<=` refusals), the
+  /// continuing coroutine observes the same now(), and the relative seq
+  /// order of everything still queued is unchanged. The watchdog contract
+  /// is preserved by refusing to cross the active run() limit: the delay
+  /// then goes through the queue and trips the exclusive bound exactly as
+  /// per-event stepping does. Only events_processed() shrinks — that drop
+  /// is the engine speedup this path exists for.
+  bool try_advance_inline(Cycles dt) {
+    if (!batching_ || dt == 0) return false;
+    if (fifo_head_ < now_fifo_.size()) return false;
+    const Cycles target = now_ + dt;
+    if (limit_ != 0 && target >= limit_) return false;
+    if (near_count_ != 0 && near_[next_bucket()].front().time <= target)
+      return false;
+    if (!far_.empty() && far_.front().time <= target) return false;
+    now_ = target;
+    ++quanta_batched_;
+    return true;
+  }
+
+  /// Delays the fast path absorbed without a scheduler event (engine
+  /// telemetry: `engine_quanta_batched` in run manifests).
+  [[nodiscard]] std::uint64_t quanta_batched() const {
+    return quanta_batched_;
+  }
+
   /// Run until the event queue drains. Returns the final cycle count.
   ///
   /// `max_cycles` (0 = unlimited) is a watchdog against runaway
@@ -97,6 +139,9 @@ public:
   /// processed, i.e. a healthy simulation must finish with
   /// `now() < max_cycles`. The boundary event itself is never resumed.
   Cycles run(Cycles max_cycles = 0) {
+    // The fast path must not batch a quantum across the watchdog bound, so
+    // the active limit is visible to try_advance_inline for the duration.
+    limit_ = max_cycles;
     for (;;) {
       // Drain the current cycle's FIFO (new same-cycle work appends while
       // we resume, so re-check the size each iteration).
@@ -111,6 +156,7 @@ public:
       if (max_cycles != 0 && now_ >= max_cycles)
         throw WatchdogExpired(now_, pending_events());
     }
+    limit_ = 0;
     return now_;
   }
 
@@ -138,6 +184,8 @@ public:
     now_ = 0;
     seq_ = 0;
     events_processed_ = 0;
+    quanta_batched_ = 0;
+    limit_ = 0;
   }
 
 private:
@@ -233,6 +281,9 @@ private:
   Cycles now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t quanta_batched_ = 0;
+  bool batching_ = false;
+  Cycles limit_ = 0; ///< active run() watchdog bound (0 = unlimited)
 
   // Level 0: FIFO of handles runnable at now_ (index, not pop, to keep
   // appends cheap while draining).

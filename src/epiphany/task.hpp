@@ -174,10 +174,19 @@ private:
 using Task = TaskT<void>;
 
 /// co_await DelayUntil{sched, t}: suspend until absolute cycle t.
+///
+/// Both delay awaitables consult Scheduler::try_advance_inline first: when
+/// the awaiting coroutine is the only work runnable before the wake time,
+/// the clock advances inline and the coroutine continues without a
+/// suspend/resume round trip — the engine's batched-quantum fast path
+/// (docs/performance.md), bit-identical to per-event stepping.
 struct DelayUntil {
   Scheduler& sched;
   Cycles wake_at;
-  bool await_ready() const { return wake_at <= sched.now(); }
+  bool await_ready() const {
+    return wake_at <= sched.now() ||
+           sched.try_advance_inline(wake_at - sched.now());
+  }
   void await_suspend(std::coroutine_handle<> h) const {
     sched.schedule_at(wake_at, h);
   }
@@ -188,7 +197,7 @@ struct DelayUntil {
 struct DelayFor {
   Scheduler& sched;
   Cycles dt;
-  bool await_ready() const { return dt == 0; }
+  bool await_ready() const { return dt == 0 || sched.try_advance_inline(dt); }
   void await_suspend(std::coroutine_handle<> h) const {
     sched.schedule_at(sched.now() + dt, h);
   }

@@ -1,8 +1,10 @@
 #include "sar/ffbp.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "common/assert.hpp"
+#include "sar/kernels.hpp"
 
 namespace esarp::sar {
 
@@ -150,13 +152,18 @@ SubapertureImage merge_pair_compensated(const SubapertureImage& a,
   // the arithmetic bit-identical to the uncompensated path).
   const float shift_a = -0.5f * shift_bins * drf;
   const float shift_b = 0.5f * shift_bins * drf;
+  // The cosine-theorem geometry of a whole row goes through the kernel
+  // backend (vectorized when available, bit-identical either way); the
+  // data-dependent child sampling stays scalar.
+  std::vector<MergeGeom> geom_row(p.n_range);
   for (std::size_t i = 0; i < n_theta_p; ++i) {
     const float theta = static_cast<float>(pg.theta_of(i));
     const float cr = 2.0f * d * fastmath::poly_cos(theta);
     auto out = parent.data.row(i);
+    kernels::merge_geometry_row(r0f, drf, 0, p.n_range, cr, d2, inv_2d,
+                                geom_row.data());
     for (std::size_t j = 0; j < p.n_range; ++j) {
-      const float r = r0f + static_cast<float>(j) * drf;
-      const MergeGeom g = merge_geometry(r, cr, d2, inv_2d);
+      const MergeGeom& g = geom_row[j];
       const cf32 v1 = sample_child(grid, g.r1 + shift_a, g.theta1,
                                    opt.interp, opt.phase_compensate,
                                    fetch_a);

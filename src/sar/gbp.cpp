@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "sar/kernels.hpp"
 
 namespace esarp::sar {
 
@@ -31,6 +32,11 @@ GbpResult gbp(const Array2D<cf32>& data, const RadarParams& p,
   for (std::size_t pu = 0; pu < p.n_pulses; ++pu)
     pulse_x[pu] = static_cast<float>(p.pulse_x(pu));
 
+  // Pulse-outer row accumulation through the kernel backend: each pixel
+  // still sums its contributions in pulse order pu = 0, 1, ..., so the
+  // accumulation chain — and therefore the image — is bit-identical to the
+  // pixel-outer reference loop.
+  std::vector<float> px(p.n_range), py(p.n_range);
   std::uint64_t contribs = 0;
   for (std::size_t i = 0; i < grid.n_theta; i += azimuth_decimation) {
     const double theta = grid.theta_of(i);
@@ -39,14 +45,14 @@ GbpResult gbp(const Array2D<cf32>& data, const RadarParams& p,
     auto out = res.image.data.row(i);
     for (std::size_t j = 0; j < p.n_range; ++j) {
       const float r = static_cast<float>(grid.r_of(j));
-      const float px = r * ct; // pixel position (slant plane)
-      const float py = r * st;
-      cf32 acc{};
-      for (std::size_t pu = 0; pu < p.n_pulses; ++pu) {
-        acc += gbp_contribution(px, py, pulse_x[pu], &data(pu, 0), g);
-        ++contribs;
-      }
-      out[j] = acc;
+      px[j] = r * ct; // pixel position (slant plane)
+      py[j] = r * st;
+      out[j] = cf32{};
+    }
+    for (std::size_t pu = 0; pu < p.n_pulses; ++pu) {
+      kernels::gbp_contrib_row(px.data(), py.data(), pulse_x[pu],
+                               &data(pu, 0), g, out.data(), p.n_range);
+      contribs += p.n_range;
     }
   }
 

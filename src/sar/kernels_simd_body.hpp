@@ -1,0 +1,286 @@
+// Width-generic SIMD implementation of the unified kernel API, shared by
+// the SSE2 (4-lane) and AVX2 (8-lane) backend translation units. Each TU
+// defines a vector-trait struct V with the intrinsics of its instruction
+// set and instantiates SimdKernels<V>; the traits live in anonymous
+// namespaces, so the instantiations are TU-local (no ODR interaction
+// between arch-specific object files).
+//
+// BIT-EXACTNESS CONTRACT: every function here replicates its scalar
+// reference (sar/interp.hpp, sar/merge_kernel.hpp, common/fastmath.hpp,
+// sar/gbp.hpp) operation for operation — the same association (a*b*c is
+// (a*b)*c exactly where the scalar source writes it that way), ternaries
+// as mask blends evaluating both arms, the rsqrt bit trick on integer
+// lanes, truncating float->int conversion, and no FMA contraction (all
+// kernel TUs build with -ffp-contract=off, and the AVX2 TU deliberately
+// enables -mavx2 WITHOUT -mfma). IEEE sqrtps matches std::sqrt(float)
+// exactly, so the GBP range vectorizes; the double-precision carrier
+// phase does not, and stays scalar per valid lane. Changing any
+// expression here requires re-running the cross-backend tests in
+// tests/test_kernels.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sar/kernels_impl.hpp"
+
+// The scalar kernels handle the non-multiple-of-width tails.
+#include "sar/interp.hpp"
+
+namespace esarp::sar::kernels::detail {
+
+template <class V>
+struct SimdKernels {
+  using F = typename V::F;
+  using I = typename V::I;
+  static constexpr std::size_t kLanes = V::kLanes;
+
+  /// -x as the sign-bit flip (exactly what scalar unary minus does).
+  static F neg(F x) { return V::xor_(x, V::set1(-0.0f)); }
+
+  /// fastmath::fast_rsqrt, lane-exact: y = y * (1.5f - ((xhalf*y)*y)).
+  static F fast_rsqrt(F x) {
+    const F xhalf = V::mul(V::set1(0.5f), x);
+    I bits = V::to_i(x);
+    bits = V::sub_i(V::set1_i(0x5f375a86), V::shr(bits, 1));
+    F y = V::to_f(bits);
+    y = V::mul(y, V::sub(V::set1(1.5f), V::mul(V::mul(xhalf, y), y)));
+    y = V::mul(y, V::sub(V::set1(1.5f), V::mul(V::mul(xhalf, y), y)));
+    return y;
+  }
+
+  /// fastmath::fast_sqrt: the x <= 0 early-out becomes a blend; the
+  /// discarded arm's garbage lanes are masked away exactly like the
+  /// scalar branch never computes them.
+  static F fast_sqrt(F x) {
+    const F le0 = V::cmp_le(x, V::zero());
+    const F r = V::mul(x, fast_rsqrt(x));
+    return V::blend(le0, V::zero(), r);
+  }
+
+  /// fastmath::fast_recip_pos.
+  static F fast_recip_pos(F x) {
+    const F r = fast_rsqrt(x);
+    return V::mul(r, r);
+  }
+
+  /// fastmath::poly_cos with the two ternaries and the flip as blends.
+  static F poly_cos(F x) {
+    const F half_pi = V::set1(1.57079632679490f);
+    const F pi = V::set1(3.14159265358979f);
+    const F a0 = V::blend(V::cmp_lt(x, V::zero()), neg(x), x);
+    const F flip = V::cmp_gt(a0, half_pi);
+    const F a = V::blend(flip, V::sub(pi, a0), a0);
+    const F u = V::mul(a, a);
+    F c = V::set1(-1.0f / 3628800.0f);
+    c = V::add(V::set1(1.0f / 40320.0f), V::mul(u, c));
+    c = V::add(V::set1(-1.0f / 720.0f), V::mul(u, c));
+    c = V::add(V::set1(1.0f / 24.0f), V::mul(u, c));
+    c = V::add(V::set1(-1.0f / 2.0f), V::mul(u, c));
+    c = V::add(V::set1(1.0f), V::mul(u, c));
+    return V::blend(flip, neg(c), c);
+  }
+
+  /// fastmath::poly_acos (A&S 4.4.45 form, mirrored for x < 0).
+  static F poly_acos(F x) {
+    const F is_neg = V::cmp_lt(x, V::zero());
+    const F ax = V::blend(is_neg, neg(x), x);
+    F poly = V::set1(-0.0187293f);
+    poly = V::add(V::set1(0.0742610f), V::mul(ax, poly));
+    poly = V::add(V::set1(-0.2121144f), V::mul(ax, poly));
+    poly = V::add(V::set1(1.5707288f), V::mul(ax, poly));
+    const F r = V::mul(fast_sqrt(V::sub(V::set1(1.0f), ax)), poly);
+    const F pi = V::set1(3.14159265358979f);
+    return V::blend(is_neg, V::sub(pi, r), r);
+  }
+
+  /// sar::merge_geometry (paper eqs. 1-4) for a lane of ranges. The
+  /// nested clamp ternary c = a > 1 ? 1 : (a < -1 ? -1 : a) becomes
+  /// inner-then-outer blends with identical selection semantics.
+  static void merge_geometry_lanes(F r, F cr, F d2, F inv_2d, F& r1, F& th1,
+                                   F& r2, F& th2) {
+    const F r2v = V::mul(r, r);
+    const F base = V::add(r2v, d2);
+    const F rcr = V::mul(r, cr);
+    const F r1sq = V::add(base, rcr);
+    const F r2sq = V::sub(base, rcr);
+    r1 = fast_sqrt(r1sq);
+    r2 = fast_sqrt(r2sq);
+    const F n1 = V::sub(V::add(r1sq, d2), r2v);
+    const F n2 = V::sub(V::add(r2sq, d2), r2v);
+    const F one = V::set1(1.0f);
+    const F i1 = fast_recip_pos(V::blend(V::cmp_gt(r1, V::zero()), r1, one));
+    const F i2 = fast_recip_pos(V::blend(V::cmp_gt(r2, V::zero()), r2, one));
+    const F a1 = V::mul(V::mul(n1, i1), inv_2d);
+    const F a2 = V::mul(V::mul(n2, i2), inv_2d);
+    const F neg_one = V::set1(-1.0f);
+    const F c1 = V::blend(V::cmp_gt(a1, one), one,
+                          V::blend(V::cmp_lt(a1, neg_one), neg_one, a1));
+    const F c2 = V::blend(V::cmp_gt(a2, one), one,
+                          V::blend(V::cmp_lt(a2, neg_one), neg_one, a2));
+    const F pi = V::set1(3.14159265358979f);
+    th1 = poly_acos(c1);
+    th2 = V::sub(pi, poly_acos(c2));
+  }
+
+  static void merge_geometry_row(float r0, float dr, std::size_t j0,
+                                 std::size_t n, float cr, float d2,
+                                 float inv_2d, MergeGeom* out) {
+    const F vr0 = V::set1(r0);
+    const F vdr = V::set1(dr);
+    const F vcr = V::set1(cr);
+    const F vd2 = V::set1(d2);
+    const F vinv = V::set1(inv_2d);
+    std::size_t i = 0;
+    float b_r1[kLanes], b_t1[kLanes], b_r2[kLanes], b_t2[kLanes];
+    for (; i + kLanes <= n; i += kLanes) {
+      const I j =
+          V::add_i(V::set1_i(static_cast<std::int32_t>(j0 + i)), V::iota());
+      const F r = V::add(vr0, V::mul(V::cvt_f(j), vdr));
+      F r1, th1, r2, th2;
+      merge_geometry_lanes(r, vcr, vd2, vinv, r1, th1, r2, th2);
+      V::store(b_r1, r1);
+      V::store(b_t1, th1);
+      V::store(b_r2, r2);
+      V::store(b_t2, th2);
+      for (std::size_t l = 0; l < kLanes; ++l)
+        out[i + l] = MergeGeom{b_r1[l], b_t1[l], b_r2[l], b_t2[l]};
+    }
+    for (; i < n; ++i) {
+      const float r = r0 + static_cast<float>(j0 + i) * dr;
+      out[i] = merge_geometry(r, cr, d2, inv_2d);
+    }
+  }
+
+  /// One component pair of a Neville recurrence step:
+  /// out = (a * tx - b * ty) * scale, matching the scalar complex
+  /// arithmetic componentwise (complex * float scales both components).
+  static void neville_step(F are, F aim, F bre, F bim, F tx, F ty, F scale,
+                           F& ore, F& oim) {
+    ore = V::mul(V::sub(V::mul(are, tx), V::mul(bre, ty)), scale);
+    oim = V::mul(V::sub(V::mul(aim, tx), V::mul(bim, ty)), scale);
+  }
+
+  /// sar::neville4 on component lanes (nodes y0..y3, positions t).
+  static void neville4_lanes(F y0re, F y0im, F y1re, F y1im, F y2re, F y2im,
+                             F y3re, F y3im, F t, F& ore, F& oim) {
+    const F t0 = t;
+    const F t1 = V::sub(t, V::set1(1.0f));
+    const F t2 = V::sub(t, V::set1(2.0f));
+    const F t3 = V::sub(t, V::set1(3.0f));
+    const F m1 = V::set1(-1.0f);
+    const F mh = V::set1(-0.5f);
+    const F mthird = V::set1(-1.0f / 3.0f);
+    F p0re, p0im, p1re, p1im, p2re, p2im;
+    neville_step(y0re, y0im, y1re, y1im, t1, t0, m1, p0re, p0im);
+    neville_step(y1re, y1im, y2re, y2im, t2, t1, m1, p1re, p1im);
+    neville_step(y2re, y2im, y3re, y3im, t3, t2, m1, p2re, p2im);
+    neville_step(p0re, p0im, p1re, p1im, t2, t0, mh, p0re, p0im);
+    neville_step(p1re, p1im, p2re, p2im, t3, t1, mh, p1re, p1im);
+    neville_step(p0re, p0im, p1re, p1im, t3, t0, mthird, ore, oim);
+  }
+
+  static void neville4_many(const cf32* y, const float* t, cf32* out,
+                            std::size_t n) {
+    const F y0re = V::set1(y[0].real());
+    const F y0im = V::set1(y[0].imag());
+    const F y1re = V::set1(y[1].real());
+    const F y1im = V::set1(y[1].imag());
+    const F y2re = V::set1(y[2].real());
+    const F y2im = V::set1(y[2].imag());
+    const F y3re = V::set1(y[3].real());
+    const F y3im = V::set1(y[3].imag());
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+      F ore, oim;
+      neville4_lanes(y0re, y0im, y1re, y1im, y2re, y2im, y3re, y3im,
+                     V::load(t + i), ore, oim);
+      V::store_cf(out + i, ore, oim);
+    }
+    for (; i < n; ++i) out[i] = neville4(y, t[i]);
+  }
+
+  static void neville4_rows(const cf32* row0, const cf32* row1,
+                            const cf32* row2, const cf32* row3,
+                            const float* t, cf32* out, std::size_t n) {
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+      F y0re, y0im, y1re, y1im, y2re, y2im, y3re, y3im;
+      V::load_cf(row0 + i, y0re, y0im);
+      V::load_cf(row1 + i, y1re, y1im);
+      V::load_cf(row2 + i, y2re, y2im);
+      V::load_cf(row3 + i, y3re, y3im);
+      F ore, oim;
+      neville4_lanes(y0re, y0im, y1re, y1im, y2re, y2im, y3re, y3im,
+                     V::load(t + i), ore, oim);
+      V::store_cf(out + i, ore, oim);
+    }
+    for (; i < n; ++i) {
+      const cf32 y[4] = {row0[i], row1[i], row2[i], row3[i]};
+      out[i] = neville4(y, t[i]);
+    }
+  }
+
+  static void criterion_terms(const cf32* minus, const cf32* plus,
+                              float* out, std::size_t n) {
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+      F mre, mim, pre, pim;
+      V::load_cf(minus + i, mre, mim);
+      V::load_cf(plus + i, pre, pim);
+      const F mm = V::add(V::mul(mre, mre), V::mul(mim, mim));
+      const F mp = V::add(V::mul(pre, pre), V::mul(pim, pim));
+      V::store(out + i, V::mul(mm, mp));
+    }
+    for (; i < n; ++i) out[i] = criterion_term(minus[i], plus[i]);
+  }
+
+  static void gbp_contrib_row(const float* px, const float* py,
+                              float pulse_x, const cf32* pulse_row,
+                              const GbpGrid& g, cf32* acc, std::size_t n) {
+    const F vpx = V::set1(pulse_x);
+    const F vr0 = V::set1(g.r0);
+    const F vinv = V::set1(g.inv_dr);
+    const F vhalf = V::set1(0.5f);
+    const F vminus_half = V::set1(-0.5f);
+    const I vnr = V::set1_i(g.n_range);
+    std::size_t i = 0;
+    float rng[kLanes];
+    std::int32_t bin[kLanes];
+    std::int32_t ok[kLanes];
+    for (; i + kLanes <= n; i += kLanes) {
+      const F dx = V::sub(V::load(px + i), vpx);
+      const F pyv = V::load(py + i);
+      const F range = V::sqrt(V::add(V::mul(dx, dx), V::mul(pyv, pyv)));
+      const F bf = V::mul(V::sub(range, vr0), vinv);
+      const I b = V::cvt_i(V::add(bf, vhalf));
+      // valid = !(bf < -0.5f) && (bin < n_range), exactly the scalar
+      // early-out `if (bf < -0.5f || bin >= g.n_range) return {}`.
+      const I valid = V::andnot_i(V::to_i(V::cmp_lt(bf, vminus_half)),
+                                  V::cmp_lt_i(b, vnr));
+      V::store(rng, range);
+      V::store_i(bin, b);
+      V::store_i(ok, valid);
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        if (ok[l] == 0) continue;
+        // Double-precision carrier phase: scalar libm, like the reference.
+        const double phase = std::fmod(
+            g.k_phase * static_cast<double>(rng[l]), 2.0 * kPi);
+        const cf32 rot{static_cast<float>(std::cos(phase)),
+                       static_cast<float>(std::sin(phase))};
+        acc[i + l] += pulse_row[bin[l]] * rot;
+      }
+    }
+    for (; i < n; ++i)
+      acc[i] += gbp_contribution(px[i], py[i], pulse_x, pulse_row, g);
+  }
+
+  static const KernelTable* table() {
+    static const KernelTable t{merge_geometry_row, neville4_many,
+                               neville4_rows, criterion_terms,
+                               gbp_contrib_row};
+    return &t;
+  }
+};
+
+} // namespace esarp::sar::kernels::detail

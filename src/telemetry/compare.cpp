@@ -14,13 +14,56 @@ namespace esarp::telemetry {
 bool higher_is_better(const std::string& key) {
   static const char* kGoodUp[] = {"utilization", "flops",   "throughput",
                                   "hit_rate",    "px_per_s", "speedup",
-                                  "pixels_per_s"};
+                                  "pixels_per_s", "events_per_second"};
   for (const char* s : kGoodUp)
     if (key.find(s) != std::string::npos) return true;
   return false;
 }
 
+bool glob_match(const std::string& pattern, const std::string& text) {
+  // Classic two-pointer wildcard match: on mismatch, retry from the last
+  // '*' with one more character absorbed.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
 namespace {
+
+/// The flattened-key section prefixes a convenience pattern may omit.
+constexpr const char* kSectionPrefixes[] = {
+    "results.", "metrics.counters.", "metrics.gauges.",
+    "metrics.histograms."};
+
+/// First noisy pattern matching `key` (full or section-stripped), if any.
+std::optional<double> noisy_threshold(const CompareOptions& opt,
+                                      const std::string& key) {
+  for (const auto& [pattern, threshold] : opt.noisy_patterns) {
+    if (glob_match(pattern, key)) return threshold;
+    for (const char* prefix : kSectionPrefixes) {
+      if (key.rfind(prefix, 0) != 0) continue;
+      if (glob_match(pattern, key.substr(std::string(prefix).size())))
+        return threshold;
+    }
+  }
+  return std::nullopt;
+}
 
 void check_schema(const JsonValue& v, const char* which) {
   const JsonValue* schema = v.find("schema");
@@ -129,12 +172,15 @@ CompareReport compare_manifests(const JsonValue& base,
                            : std::numeric_limits<double>::infinity();
     }
 
-    // Threshold resolution: explicit per-key override wins; otherwise the
-    // default threshold applies to "results" entries only.
+    // Threshold resolution: explicit per-key override wins, then the first
+    // matching noisy glob pattern; otherwise the default threshold applies
+    // to "results" entries only.
     const auto ov = opt.per_key.find(key);
     std::optional<double> threshold;
     if (ov != opt.per_key.end()) {
       threshold = ov->second;
+    } else if (const auto noisy = noisy_threshold(opt, key)) {
+      threshold = *noisy;
     } else if (key.rfind("results.", 0) == 0) {
       threshold = opt.default_threshold;
     }

@@ -1,0 +1,234 @@
+// Batched-quantum equivalence suite: every ep-backed workload family must
+// produce bit-identical observable results with ChipConfig::batch_quanta
+// on and off — same simulated cycles, same image / criteria bits, same
+// energy joules, same fault schedule hash, same power-trace epochs —
+// while the batched run absorbs a nonzero number of delays without a
+// scheduler event, each one accounted exactly (events_on + quanta_on ==
+// events_off). This is the gate that lets the fast path default to on:
+// batching is allowed to change host wall-clock and nothing else.
+//
+// Config coverage per the engine-hook contract: plain runs, the hazard
+// sanitizer (check), a deterministic fault campaign, and the power
+// sampler — batching must stay equivalent under every hook, because CI
+// diffs checked and chaos reruns against the same zero-tolerance
+// baselines as plain runs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/autofocus_epiphany.hpp"
+#include "core/ffbp_epiphany.hpp"
+#include "core/gbp_epiphany.hpp"
+#include "sar/scene.hpp"
+
+namespace esarp {
+namespace {
+
+sar::RadarParams ffbp_params() { return sar::test_params(32, 101); }
+
+Array2D<cf32> scene_data(const sar::RadarParams& p) {
+  return sar::simulate_compressed(p, sar::six_target_scene(p));
+}
+
+std::vector<af::BlockPair> make_pairs(const af::AfParams& p, std::size_t n) {
+  Rng rng(21);
+  std::vector<af::BlockPair> pairs;
+  pairs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pairs.push_back(
+        af::synthetic_block_pair(rng, p, rng.uniform_f(-0.5f, 0.5f)));
+  return pairs;
+}
+
+/// The shared equivalence contract between a batched (`on`) and a
+/// per-event (`off`) run of the same workload.
+template <typename Res>
+void expect_equivalent(const Res& on, const Res& off) {
+  EXPECT_EQ(on.cycles, off.cycles);
+  EXPECT_EQ(on.perf.makespan, off.perf.makespan);
+  EXPECT_EQ(on.perf.total_ops().flops(), off.perf.total_ops().flops());
+  EXPECT_EQ(on.perf.total_busy(), off.perf.total_busy());
+  EXPECT_EQ(on.perf.ext.read_bytes, off.perf.ext.read_bytes);
+  EXPECT_EQ(on.perf.ext.write_bytes, off.perf.ext.write_bytes);
+  EXPECT_EQ(on.perf.noc_total.byte_hops, off.perf.noc_total.byte_hops);
+  EXPECT_EQ(on.energy.total_j(), off.energy.total_j());
+  EXPECT_EQ(on.energy.avg_watts, off.energy.avg_watts);
+  // The fast path must actually engage, and every absorbed delay must be
+  // accounted one-for-one: batching removes events, it never adds,
+  // reorders or loses them.
+  EXPECT_EQ(off.perf.engine_quanta, 0u);
+  EXPECT_GT(on.perf.engine_quanta, 0u);
+  EXPECT_LT(on.perf.engine_events, off.perf.engine_events);
+  EXPECT_EQ(on.perf.engine_events + on.perf.engine_quanta,
+            off.perf.engine_events);
+}
+
+void expect_power_equivalent(const ep::PowerReport& on,
+                             const ep::PowerReport& off) {
+  ASSERT_TRUE(on.enabled);
+  ASSERT_TRUE(off.enabled);
+  EXPECT_EQ(on.trace.epoch_cycles, off.trace.epoch_cycles);
+  EXPECT_EQ(on.trace.makespan, off.trace.makespan);
+  EXPECT_EQ(on.trace.core_j, off.trace.core_j);
+  EXPECT_EQ(on.trace.chip_j, off.trace.chip_j);
+  EXPECT_EQ(on.trace.total_j, off.trace.total_j);
+}
+
+core::FfbpSimResult run_ffbp(ep::ChipConfig cfg, bool batch,
+                             const core::FfbpMapOptions& opt,
+                             const sar::RadarParams& p,
+                             const Array2D<cf32>& data) {
+  cfg.batch_quanta = batch;
+  return core::run_ffbp_epiphany(data, p, opt, cfg);
+}
+
+TEST(BatchingEquivalence, FfbpSpmd16) {
+  const auto p = ffbp_params();
+  const auto data = scene_data(p);
+  core::FfbpMapOptions opt;
+  const auto on = run_ffbp({}, true, opt, p, data);
+  const auto off = run_ffbp({}, false, opt, p, data);
+  expect_equivalent(on, off);
+  EXPECT_EQ(on.image, off.image);
+}
+
+TEST(BatchingEquivalence, FfbpSequential) {
+  const auto p = ffbp_params();
+  const auto data = scene_data(p);
+  core::FfbpMapOptions opt;
+  opt.n_cores = 1;
+  const auto on = run_ffbp({}, true, opt, p, data);
+  const auto off = run_ffbp({}, false, opt, p, data);
+  expect_equivalent(on, off);
+  EXPECT_EQ(on.image, off.image);
+}
+
+TEST(BatchingEquivalence, FfbpE64Chip) {
+  const auto p = sar::test_params(64, 101);
+  const auto data = scene_data(p);
+  ep::ChipConfig e64;
+  e64.rows = 8;
+  e64.cols = 8;
+  e64.clock_hz = 800e6;
+  core::FfbpMapOptions opt;
+  opt.n_cores = 64;
+  const auto on = run_ffbp(e64, true, opt, p, data);
+  const auto off = run_ffbp(e64, false, opt, p, data);
+  expect_equivalent(on, off);
+  EXPECT_EQ(on.image, off.image);
+}
+
+TEST(BatchingEquivalence, FfbpUnderHazardSanitizer) {
+  const auto p = ffbp_params();
+  const auto data = scene_data(p);
+  ep::ChipConfig cfg;
+  cfg.check.enabled = true; // abort_on_hazard: a hazard fails the test
+  core::FfbpMapOptions opt;
+  const auto on = run_ffbp(cfg, true, opt, p, data);
+  const auto off = run_ffbp(cfg, false, opt, p, data);
+  expect_equivalent(on, off);
+  EXPECT_EQ(on.image, off.image);
+}
+
+TEST(BatchingEquivalence, FfbpUnderPowerSampler) {
+  const auto p = ffbp_params();
+  const auto data = scene_data(p);
+  ep::ChipConfig cfg;
+  cfg.power.enabled = true;
+  core::FfbpMapOptions opt;
+  const auto on = run_ffbp(cfg, true, opt, p, data);
+  const auto off = run_ffbp(cfg, false, opt, p, data);
+  expect_equivalent(on, off);
+  EXPECT_EQ(on.image, off.image);
+  expect_power_equivalent(on.power, off.power);
+}
+
+TEST(BatchingEquivalence, FfbpWithIntegratedAutofocus) {
+  const auto p = ffbp_params();
+  const auto data = scene_data(p);
+  const af::IntegratedOptions aopt;
+  core::FfbpMapOptions opt;
+  opt.autofocus = &aopt;
+  const auto on = run_ffbp({}, true, opt, p, data);
+  const auto off = run_ffbp({}, false, opt, p, data);
+  expect_equivalent(on, off);
+  EXPECT_EQ(on.image, off.image);
+  ASSERT_EQ(on.corrections.size(), off.corrections.size());
+  for (std::size_t i = 0; i < on.corrections.size(); ++i) {
+    EXPECT_EQ(on.corrections[i].shift_bins, off.corrections[i].shift_bins);
+    EXPECT_EQ(on.corrections[i].criterion_gain,
+              off.corrections[i].criterion_gain);
+  }
+}
+
+TEST(BatchingEquivalence, FfbpUnderFaultCampaign) {
+  // A fail-stopped core plus payload corruption: recovery retries and the
+  // repartition protocol reshape the schedule heavily, and the campaign's
+  // own determinism witness (schedule_hash) must not see the batching.
+  const auto p = ffbp_params();
+  const auto data = scene_data(p);
+  ep::ChipConfig cfg;
+  cfg.faults.seed = 1234;
+  cfg.faults.dma_corrupt_rate = 2e-3;
+  cfg.faults.fail_stops = {{5, 40'000}};
+  core::FfbpMapOptions opt;
+  opt.n_cores = 8;
+  const auto on = run_ffbp(cfg, true, opt, p, data);
+  const auto off = run_ffbp(cfg, false, opt, p, data);
+  expect_equivalent(on, off);
+  EXPECT_EQ(on.image, off.image);
+  EXPECT_EQ(on.faults.schedule_hash, off.faults.schedule_hash);
+  EXPECT_EQ(on.faults.injected, off.faults.injected);
+  EXPECT_EQ(on.faults.detected, off.faults.detected);
+  EXPECT_EQ(on.faults.recovered, off.faults.recovered);
+  EXPECT_EQ(on.faults.retries, off.faults.retries);
+  EXPECT_EQ(on.faults.repartitions, off.faults.repartitions);
+  EXPECT_EQ(on.faults.failed_cores, off.faults.failed_cores);
+  EXPECT_EQ(on.degraded, off.degraded);
+}
+
+TEST(BatchingEquivalence, GbpSpmd16) {
+  const auto p = sar::test_params(16, 51);
+  const auto data = scene_data(p);
+  ep::ChipConfig cfg_on;
+  ep::ChipConfig cfg_off;
+  cfg_off.batch_quanta = false;
+  const auto on = core::run_gbp_epiphany(data, p, 16, cfg_on);
+  const auto off = core::run_gbp_epiphany(data, p, 16, cfg_off);
+  expect_equivalent(on, off);
+  EXPECT_EQ(on.image, off.image);
+}
+
+TEST(BatchingEquivalence, AutofocusSequential) {
+  af::AfParams p;
+  const auto pairs = make_pairs(p, 3);
+  ep::ChipConfig cfg_off;
+  cfg_off.batch_quanta = false;
+  const auto on = core::run_autofocus_sequential_epiphany(pairs, p);
+  const auto off =
+      core::run_autofocus_sequential_epiphany(pairs, p, cfg_off);
+  expect_equivalent(on, off);
+  EXPECT_EQ(on.criteria, off.criteria);
+}
+
+TEST(BatchingEquivalence, AutofocusMpmdWithAllHooks) {
+  // The 13-core streaming pipeline is the workload most sensitive to event
+  // order (channel handshakes everywhere); run it with the sanitizer AND
+  // the power sampler attached at once.
+  af::AfParams p;
+  const auto pairs = make_pairs(p, 3);
+  ep::ChipConfig cfg_on;
+  cfg_on.check.enabled = true;
+  cfg_on.power.enabled = true;
+  ep::ChipConfig cfg_off = cfg_on;
+  cfg_off.batch_quanta = false;
+  const auto on = core::run_autofocus_mpmd(pairs, p, {}, cfg_on);
+  const auto off = core::run_autofocus_mpmd(pairs, p, {}, cfg_off);
+  expect_equivalent(on, off);
+  EXPECT_EQ(on.criteria, off.criteria);
+  expect_power_equivalent(on.power, off.power);
+}
+
+} // namespace
+} // namespace esarp

@@ -1,0 +1,232 @@
+// Bit-exactness tests of the unified kernel API (sar/kernels.hpp): every
+// available SIMD backend must reproduce the scalar reference bit for bit
+// on every kernel, including the non-multiple-of-width tails, clamp and
+// validity edge cases. Comparison is on the float bit patterns, not on a
+// tolerance — the SIMD backends are only allowed to exist because they
+// change nothing.
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/types.hpp"
+#include "sar/kernels.hpp"
+
+namespace esarp::sar {
+namespace {
+
+namespace k = kernels;
+
+std::uint32_t bits(float x) { return std::bit_cast<std::uint32_t>(x); }
+
+void expect_bits_eq(float a, float b, const char* what, std::size_t i) {
+  EXPECT_EQ(bits(a), bits(b)) << what << " lane " << i << ": " << a
+                              << " vs " << b;
+}
+
+void expect_bits_eq(cf32 a, cf32 b, const char* what, std::size_t i) {
+  expect_bits_eq(a.real(), b.real(), what, i);
+  expect_bits_eq(a.imag(), b.imag(), what, i);
+}
+
+/// Deterministic xorshift float in [lo, hi) — no libc rand, identical
+/// sequences on every platform.
+struct Rng {
+  std::uint32_t s = 0x9e3779b9u;
+  std::uint32_t next_u32() {
+    s ^= s << 13;
+    s ^= s >> 17;
+    s ^= s << 5;
+    return s;
+  }
+  float uniform(float lo, float hi) {
+    const float u =
+        static_cast<float>(next_u32() >> 8) * (1.0f / 16777216.0f);
+    return lo + (hi - lo) * u;
+  }
+  cf32 complex(float lo, float hi) {
+    const float re = uniform(lo, hi);
+    return {re, uniform(lo, hi)};
+  }
+};
+
+std::vector<k::Backend> simd_backends() {
+  std::vector<k::Backend> b;
+  if (k::backend_available(k::Backend::kSse2)) b.push_back(k::Backend::kSse2);
+  if (k::backend_available(k::Backend::kAvx2)) b.push_back(k::Backend::kAvx2);
+  return b;
+}
+
+/// Run `fn` once per available SIMD backend, restoring the scalar backend
+/// between runs so the reference outputs inside `fn` are scalar-computed.
+template <typename Fn>
+void for_each_simd_backend(Fn&& fn) {
+  const k::Backend before = k::active();
+  for (const k::Backend b : simd_backends()) {
+    SCOPED_TRACE(k::backend_name(b));
+    fn(b);
+  }
+  k::force_backend(before);
+}
+
+// Odd sizes exercise the scalar tails after the full vector quanta.
+constexpr std::size_t kSizes[] = {1, 3, 4, 7, 8, 15, 16, 101};
+
+TEST(Kernels, ScalarBackendAlwaysAvailable) {
+  EXPECT_TRUE(k::backend_available(k::Backend::kScalar));
+  EXPECT_STREQ(k::backend_name(k::Backend::kScalar), "scalar");
+}
+
+TEST(Kernels, MergeGeometryRowMatchesScalarBitForBit) {
+  for_each_simd_backend([&](k::Backend b) {
+    Rng rng;
+    for (const std::size_t n : kSizes) {
+      const float r0 = rng.uniform(1000.0f, 5000.0f);
+      const float dr = rng.uniform(0.5f, 2.0f);
+      const float d = rng.uniform(1.0f, 50.0f);
+      // cos(theta) spans [-1, 1] across rows; include both signs.
+      const float cr = 2.0f * d * rng.uniform(-1.0f, 1.0f);
+      const float d2 = d * d;
+      const float inv_2d = 1.0f / (2.0f * d);
+      const std::size_t j0 = n % 3 == 0 ? 17 : 0;
+
+      std::vector<MergeGeom> ref(n), simd(n);
+      k::force_backend(k::Backend::kScalar);
+      k::merge_geometry_row(r0, dr, j0, n, cr, d2, inv_2d, ref.data());
+      k::force_backend(b);
+      k::merge_geometry_row(r0, dr, j0, n, cr, d2, inv_2d, simd.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        expect_bits_eq(ref[i].r1, simd[i].r1, "r1", i);
+        expect_bits_eq(ref[i].theta1, simd[i].theta1, "theta1", i);
+        expect_bits_eq(ref[i].r2, simd[i].r2, "r2", i);
+        expect_bits_eq(ref[i].theta2, simd[i].theta2, "theta2", i);
+      }
+    }
+  });
+}
+
+TEST(Kernels, MergeGeometryRowClampEdges) {
+  // Degenerate geometry drives the acos argument outside [-1, 1]; the
+  // clamp ternaries must blend identically.
+  for_each_simd_backend([&](k::Backend b) {
+    const std::size_t n = 11;
+    const float d = 1e-3f;
+    std::vector<MergeGeom> ref(n), simd(n);
+    k::force_backend(k::Backend::kScalar);
+    k::merge_geometry_row(0.0f, 0.25f, 0, n, 2.0f * d, d * d,
+                          1.0f / (2.0f * d), ref.data());
+    k::force_backend(b);
+    k::merge_geometry_row(0.0f, 0.25f, 0, n, 2.0f * d, d * d,
+                          1.0f / (2.0f * d), simd.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      expect_bits_eq(ref[i].theta1, simd[i].theta1, "theta1", i);
+      expect_bits_eq(ref[i].theta2, simd[i].theta2, "theta2", i);
+    }
+  });
+}
+
+TEST(Kernels, Neville4ManyMatchesScalarBitForBit) {
+  for_each_simd_backend([&](k::Backend b) {
+    Rng rng;
+    for (const std::size_t n : kSizes) {
+      cf32 y[4];
+      for (cf32& v : y) v = rng.complex(-2.0f, 2.0f);
+      std::vector<float> t(n);
+      for (float& v : t) v = rng.uniform(0.4f, 2.6f);
+      std::vector<cf32> ref(n), simd(n);
+      k::force_backend(k::Backend::kScalar);
+      k::neville4_many(y, t.data(), ref.data(), n);
+      k::force_backend(b);
+      k::neville4_many(y, t.data(), simd.data(), n);
+      for (std::size_t i = 0; i < n; ++i)
+        expect_bits_eq(ref[i], simd[i], "neville4_many", i);
+    }
+  });
+}
+
+TEST(Kernels, Neville4RowsMatchesScalarBitForBit) {
+  for_each_simd_backend([&](k::Backend b) {
+    Rng rng;
+    for (const std::size_t n : kSizes) {
+      std::vector<cf32> rows[4];
+      for (auto& r : rows) {
+        r.resize(n);
+        for (cf32& v : r) v = rng.complex(-3.0f, 3.0f);
+      }
+      std::vector<float> t(n);
+      for (float& v : t) v = rng.uniform(0.9f, 2.1f);
+      std::vector<cf32> ref(n), simd(n);
+      k::force_backend(k::Backend::kScalar);
+      k::neville4_rows(rows[0].data(), rows[1].data(), rows[2].data(),
+                       rows[3].data(), t.data(), ref.data(), n);
+      k::force_backend(b);
+      k::neville4_rows(rows[0].data(), rows[1].data(), rows[2].data(),
+                       rows[3].data(), t.data(), simd.data(), n);
+      for (std::size_t i = 0; i < n; ++i)
+        expect_bits_eq(ref[i], simd[i], "neville4_rows", i);
+    }
+  });
+}
+
+TEST(Kernels, CriterionTermsMatchesScalarBitForBit) {
+  for_each_simd_backend([&](k::Backend b) {
+    Rng rng;
+    for (const std::size_t n : kSizes) {
+      std::vector<cf32> minus(n), plus(n);
+      for (cf32& v : minus) v = rng.complex(-4.0f, 4.0f);
+      for (cf32& v : plus) v = rng.complex(-4.0f, 4.0f);
+      std::vector<float> ref(n), simd(n);
+      k::force_backend(k::Backend::kScalar);
+      k::criterion_terms(minus.data(), plus.data(), ref.data(), n);
+      k::force_backend(b);
+      k::criterion_terms(minus.data(), plus.data(), simd.data(), n);
+      for (std::size_t i = 0; i < n; ++i)
+        expect_bits_eq(ref[i], simd[i], "criterion_terms", i);
+    }
+  });
+}
+
+TEST(Kernels, GbpContribRowMatchesScalarBitForBit) {
+  for_each_simd_backend([&](k::Backend b) {
+    Rng rng;
+    for (const std::size_t n : kSizes) {
+      GbpGrid g{};
+      g.r0 = 1000.0f;
+      g.inv_dr = 1.0f;
+      g.n_range = static_cast<int>(n);
+      g.k_phase = 25.0;
+      std::vector<cf32> pulse(n);
+      for (cf32& v : pulse) v = rng.complex(-1.0f, 1.0f);
+      std::vector<float> px(n), py(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        // Mix in-swath pixels with out-of-swath ones (validity mask).
+        const float r = rng.uniform(990.0f, 1010.0f + 2.0f * float(n));
+        px[i] = r * 0.6f;
+        py[i] = r * 0.8f;
+      }
+      std::vector<cf32> ref(n, cf32{0.5f, -0.25f});
+      std::vector<cf32> simd = ref; // same nonzero accumulator start
+      k::force_backend(k::Backend::kScalar);
+      k::gbp_contrib_row(px.data(), py.data(), 3.5f, pulse.data(), g,
+                         ref.data(), n);
+      k::force_backend(b);
+      k::gbp_contrib_row(px.data(), py.data(), 3.5f, pulse.data(), g,
+                         simd.data(), n);
+      for (std::size_t i = 0; i < n; ++i)
+        expect_bits_eq(ref[i], simd[i], "gbp_contrib_row", i);
+    }
+  });
+}
+
+TEST(Kernels, ForceBackendRoundTrip) {
+  const k::Backend before = k::active();
+  k::force_backend(k::Backend::kScalar);
+  EXPECT_EQ(k::active(), k::Backend::kScalar);
+  EXPECT_STREQ(k::active_name(), "scalar");
+  k::force_backend(before);
+  EXPECT_EQ(k::active(), before);
+}
+
+} // namespace
+} // namespace esarp::sar

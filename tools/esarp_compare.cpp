@@ -1,7 +1,8 @@
 // esarp_compare — regression check between two run manifests.
 //
 //   esarp_compare base.manifest.json current.manifest.json
-//                 [--threshold 0.05] [--metric key=thr ...] [--verbose]
+//                 [--threshold 0.05] [--metric key=thr ...]
+//                 [--noisy-metric pattern=thr ...] [--verbose]
 //
 // Diffs the "results" sections with a relative threshold (regression
 // direction inferred from the key name: throughput-like keys regress
@@ -10,6 +11,17 @@
 //
 //   esarp_compare a.json b.json --metric results.makespan_cycles=0.01
 //       --metric "metrics.counters.ext.read.bytes=0.0"
+//
+// --noisy-metric widens (or opts in) every key matching a `*`/`?` glob —
+// the go-to for machine-varying wall-clock keys next to a zero-tolerance
+// default, e.g.
+//
+//   esarp_compare a.json b.json --threshold 0.0 --noisy-metric 'wall_*=0.15'
+//
+// Resolution order per key: --metric exact match, first matching
+// --noisy-metric pattern, then the default threshold (results.* only). A
+// pattern that matches nothing is fine; an exact --metric key missing from
+// either manifest is a named failure.
 //
 // Exit status: 0 = no regression, 1 = regression past threshold (which
 // includes a --metric key that is missing from either manifest or is not
@@ -44,6 +56,13 @@ int main(int argc, char** argv) {
       const std::size_t eq = spec.rfind('=');
       if (eq == std::string::npos || eq == 0) { paths.clear(); break; }
       opt.per_key[spec.substr(0, eq)] = std::stod(spec.substr(eq + 1));
+    } else if (arg == "--noisy-metric") {
+      if (++i >= argc) { paths.clear(); break; }
+      const std::string spec = argv[i];
+      const std::size_t eq = spec.rfind('=');
+      if (eq == std::string::npos || eq == 0) { paths.clear(); break; }
+      opt.noisy_patterns.emplace_back(spec.substr(0, eq),
+                                      std::stod(spec.substr(eq + 1)));
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown option: " << arg << "\n";
       paths.clear();
@@ -54,7 +73,8 @@ int main(int argc, char** argv) {
   }
   if (paths.size() != 2) {
     std::cerr << "usage: esarp_compare base.json current.json"
-                 " [--threshold X] [--metric key=thr ...] [--verbose]\n";
+                 " [--threshold X] [--metric key=thr ...]"
+                 " [--noisy-metric pattern=thr ...] [--verbose]\n";
     return 2;
   }
 
