@@ -1,0 +1,366 @@
+#include "analysis/analyzer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace esarp::analysis {
+namespace {
+
+void add(std::vector<LintFinding>& out, std::string check, int core,
+         std::string construct, std::string span, std::string message) {
+  out.push_back(LintFinding{std::move(check), core, std::move(construct),
+                            std::move(span), std::move(message)});
+}
+
+// --- core-id -------------------------------------------------------------
+
+void check_core_ids(const MappingSpec& spec, std::vector<LintFinding>& out) {
+  std::map<int, int> uses;
+  for (const CoreSpec& c : spec.cores) {
+    if (c.id < 0 || c.id >= spec.cfg.core_count()) {
+      std::ostringstream msg;
+      msg << "core id " << c.id << " is off-chip (valid range 0.."
+          << spec.cfg.core_count() - 1 << " on a " << spec.cfg.rows << "x"
+          << spec.cfg.cols << " mesh)";
+      add(out, "core-id", c.id, c.role, {}, msg.str());
+    }
+    ++uses[c.id];
+  }
+  for (const auto& [id, n] : uses)
+    if (n > 1) {
+      std::ostringstream msg;
+      msg << "core id " << id << " is mapped " << n
+          << " times; each core runs one program";
+      add(out, "core-id", id, {}, {}, msg.str());
+    }
+}
+
+// --- local-fit -----------------------------------------------------------
+
+// Mirrors LocalMemory's bump allocator: 8-byte alignment, banks claimed in
+// ascending order, hard capacity. After a violation the walk continues from
+// the least-bad cursor so one mistake does not cascade into noise.
+void check_local_fit(const MappingSpec& spec, std::vector<LintFinding>& out) {
+  const std::size_t capacity = spec.cfg.local_mem_bytes;
+  const std::size_t bank_size =
+      capacity / static_cast<std::size_t>(spec.cfg.local_banks);
+  for (const CoreSpec& c : spec.cores) {
+    std::size_t cursor = 0;
+    for (const LocalAlloc& a : c.allocs) {
+      std::size_t from = cursor;
+      if (a.bank >= spec.cfg.local_banks) {
+        std::ostringstream msg;
+        msg << "bank " << a.bank << " does not exist (chip has "
+            << spec.cfg.local_banks << " banks of " << bank_size
+            << " bytes)";
+        add(out, "local-fit", c.id, a.name, a.span, msg.str());
+        continue;
+      }
+      if (a.bank >= 0) {
+        const std::size_t base =
+            static_cast<std::size_t>(a.bank) * bank_size;
+        if (base < cursor) {
+          std::ostringstream msg;
+          msg << "bank " << a.bank << " collision: bank base " << base
+              << " is below the allocation cursor " << cursor
+              << " (banks must be claimed in order)";
+          add(out, "local-fit", c.id, a.name, a.span, msg.str());
+        } else {
+          from = base;
+        }
+      }
+      const std::size_t aligned = (from + 7) & ~std::size_t{7};
+      if (aligned + a.bytes > capacity) {
+        std::ostringstream msg;
+        msg << "local store overflow: '" << a.name << "' needs "
+            << a.bytes << " bytes at offset " << aligned << " but only "
+            << capacity << " bytes exist";
+        add(out, "local-fit", c.id, a.name, a.span, msg.str());
+        continue;
+      }
+      cursor = aligned + a.bytes;
+    }
+  }
+}
+
+// --- barrier -------------------------------------------------------------
+
+void check_barriers(const MappingSpec& spec, std::vector<LintFinding>& out) {
+  std::map<int, const CoreSpec*> by_id;
+  for (const CoreSpec& c : spec.cores) by_id.emplace(c.id, &c);
+
+  for (std::size_t b = 0; b < spec.barriers.size(); ++b) {
+    const BarrierDecl& bar = spec.barriers[b];
+    if (static_cast<int>(bar.members.size()) != bar.parties) {
+      std::ostringstream msg;
+      msg << "arity mismatch: constructed for " << bar.parties
+          << " parties but " << bar.members.size() << " member core(s) "
+          << "are mapped to it";
+      add(out, "barrier", -1, bar.name, {}, msg.str());
+    }
+    // Crossing counts per member, from the sync traces.
+    std::uint64_t expected = 0;
+    bool first = true;
+    for (int m : bar.members) {
+      auto it = by_id.find(m);
+      if (it == by_id.end()) {
+        std::ostringstream msg;
+        msg << "member core " << m << " is not part of the mapping";
+        add(out, "barrier", m, bar.name, {}, msg.str());
+        continue;
+      }
+      std::uint64_t crossings = 0;
+      for (const SyncOp& op : it->second->sync)
+        if (op.kind == SyncOp::Kind::kBarrier && op.construct == b)
+          crossings += op.count;
+      if (first) {
+        expected = crossings;
+        first = false;
+      } else if (crossings != expected) {
+        std::ostringstream msg;
+        msg << "unbalanced crossings: core " << m << " crosses " << crossings
+            << " time(s) but core " << bar.members.front() << " crosses "
+            << expected << " time(s); the extra waiter never releases";
+        add(out, "barrier", m, bar.name, {}, msg.str());
+      }
+    }
+  }
+  // Sync ops naming a barrier nobody declared.
+  for (const CoreSpec& c : spec.cores)
+    for (const SyncOp& op : c.sync)
+      if (op.kind == SyncOp::Kind::kBarrier &&
+          op.construct >= spec.barriers.size())
+        add(out, "barrier", c.id, {}, op.span,
+            "sync trace names barrier index " +
+                std::to_string(op.construct) + " which is not declared");
+}
+
+// --- channel -------------------------------------------------------------
+
+void check_channels(const MappingSpec& spec, std::vector<LintFinding>& out) {
+  std::map<int, const CoreSpec*> by_id;
+  for (const CoreSpec& c : spec.cores) by_id.emplace(c.id, &c);
+
+  std::vector<std::uint64_t> sends(spec.channels.size(), 0);
+  std::vector<std::uint64_t> recvs(spec.channels.size(), 0);
+  for (const CoreSpec& c : spec.cores)
+    for (const SyncOp& op : c.sync) {
+      if (op.kind == SyncOp::Kind::kBarrier) continue;
+      if (op.construct >= spec.channels.size()) {
+        add(out, "channel", c.id, {}, op.span,
+            "sync trace names channel index " +
+                std::to_string(op.construct) + " which is not declared");
+        continue;
+      }
+      const ChannelDecl& ch = spec.channels[op.construct];
+      if (op.kind == SyncOp::Kind::kSend) {
+        sends[op.construct] += op.count;
+        if (c.id != ch.producer) {
+          std::ostringstream msg;
+          msg << "core " << c.id << " sends on a channel produced by core "
+              << ch.producer;
+          add(out, "channel", c.id, ch.name, op.span, msg.str());
+        }
+      } else {
+        recvs[op.construct] += op.count;
+        if (c.id != ch.consumer) {
+          std::ostringstream msg;
+          msg << "core " << c.id << " receives on a channel consumed by core "
+              << ch.consumer;
+          add(out, "channel", c.id, ch.name, op.span, msg.str());
+        }
+      }
+    }
+  for (std::size_t i = 0; i < spec.channels.size(); ++i) {
+    const ChannelDecl& ch = spec.channels[i];
+    if (by_id.find(ch.producer) == by_id.end() ||
+        by_id.find(ch.consumer) == by_id.end()) {
+      std::ostringstream msg;
+      msg << "endpoint core(s) missing from the mapping (producer "
+          << ch.producer << ", consumer " << ch.consumer << ")";
+      add(out, "channel", -1, ch.name, {}, msg.str());
+      continue;
+    }
+    if (ch.capacity == 0)
+      add(out, "channel", ch.producer, ch.name, {},
+          "capacity 0 blocks the first send forever");
+    if (sends[i] != recvs[i]) {
+      std::ostringstream msg;
+      msg << sends[i] << " send(s) vs " << recvs[i] << " receive(s): "
+          << (sends[i] > recvs[i] ? "unreceived messages are abandoned"
+                                  : "the extra receive blocks forever");
+      add(out, "channel", sends[i] > recvs[i] ? ch.producer : ch.consumer,
+          ch.name, {}, msg.str());
+    }
+  }
+}
+
+// --- deadlock ------------------------------------------------------------
+
+// Abstract execution of the per-core sync traces. Each pass advances every
+// core as far as its current op allows (sends bounded by channel capacity,
+// receives by queued messages, barriers by all members being present);
+// when a full pass makes no progress and some trace is unfinished, the
+// blocked cores are reported with the construct they wait on. Run-length
+// compressed ops advance in batches, so the fixpoint costs
+// O(total ops + messages / capacity) rather than one step per message.
+struct AbstractCore {
+  const CoreSpec* spec = nullptr;
+  std::size_t pc = 0;          // index into spec->sync
+  std::uint64_t done = 0;      // completed repetitions of sync[pc]
+};
+
+void check_deadlock(const MappingSpec& spec, std::vector<LintFinding>& out) {
+  // A malformed spec (dangling construct indices, unbalanced channels) is
+  // reported by the earlier checkers; abstract execution would only repeat
+  // those findings as a confusing hang, so it requires a well-formed graph.
+  for (const CoreSpec& c : spec.cores)
+    for (const SyncOp& op : c.sync) {
+      const std::size_t limit = op.kind == SyncOp::Kind::kBarrier
+                                    ? spec.barriers.size()
+                                    : spec.channels.size();
+      if (op.construct >= limit) return;
+    }
+
+  std::vector<AbstractCore> cores;
+  cores.reserve(spec.cores.size());
+  for (const CoreSpec& c : spec.cores)
+    cores.push_back(AbstractCore{&c, 0, 0});
+  std::vector<std::uint64_t> queued(spec.channels.size(), 0);
+
+  auto finished = [](const AbstractCore& ac) {
+    return ac.pc >= ac.spec->sync.size();
+  };
+  auto advance = [&](AbstractCore& ac, std::uint64_t n) {
+    ac.done += n;
+    while (ac.pc < ac.spec->sync.size() &&
+           ac.done >= ac.spec->sync[ac.pc].count) {
+      ac.done -= ac.spec->sync[ac.pc].count;
+      ++ac.pc;
+    }
+  };
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (AbstractCore& ac : cores) {
+      if (finished(ac)) continue;
+      const SyncOp& op = ac.spec->sync[ac.pc];
+      const std::uint64_t remaining = op.count - ac.done;
+      if (op.kind == SyncOp::Kind::kSend) {
+        const ChannelDecl& ch = spec.channels[op.construct];
+        const std::uint64_t room =
+            ch.capacity > queued[op.construct]
+                ? ch.capacity - queued[op.construct]
+                : 0;
+        const std::uint64_t n = std::min(remaining, room);
+        if (n > 0) {
+          queued[op.construct] += n;
+          advance(ac, n);
+          progress = true;
+        }
+      } else if (op.kind == SyncOp::Kind::kRecv) {
+        const std::uint64_t n = std::min(remaining, queued[op.construct]);
+        if (n > 0) {
+          queued[op.construct] -= n;
+          advance(ac, n);
+          progress = true;
+        }
+      } else {
+        const BarrierDecl& bar = spec.barriers[op.construct];
+        // Fire only when every member is parked on this same barrier.
+        std::uint64_t crossings = remaining;
+        bool all_here = true;
+        for (int m : bar.members) {
+          const AbstractCore* other = nullptr;
+          for (const AbstractCore& cand : cores)
+            if (cand.spec->id == m) other = &cand;
+          if (other == nullptr || finished(*other)) {
+            all_here = false;
+            break;
+          }
+          const SyncOp& oop = other->spec->sync[other->pc];
+          if (oop.kind != SyncOp::Kind::kBarrier ||
+              oop.construct != op.construct) {
+            all_here = false;
+            break;
+          }
+          crossings = std::min(crossings, oop.count - other->done);
+        }
+        if (all_here && crossings > 0) {
+          for (int m : bar.members)
+            for (AbstractCore& cand : cores)
+              if (cand.spec->id == m) advance(cand, crossings);
+          progress = true;
+        }
+      }
+    }
+  }
+
+  for (const AbstractCore& ac : cores) {
+    if (finished(ac)) continue;
+    const SyncOp& op = ac.spec->sync[ac.pc];
+    std::ostringstream msg;
+    std::string construct;
+    if (op.kind == SyncOp::Kind::kBarrier) {
+      construct = spec.barriers[op.construct].name;
+      msg << "blocked waiting on barrier '" << construct << "' ("
+          << op.count - ac.done << " crossing(s) remaining)";
+    } else if (op.kind == SyncOp::Kind::kSend) {
+      const ChannelDecl& ch = spec.channels[op.construct];
+      construct = ch.name;
+      msg << "blocked sending on channel '" << construct << "' (queue "
+          << queued[op.construct] << "/" << ch.capacity << " full, "
+          << op.count - ac.done << " message(s) remaining)";
+    } else {
+      construct = spec.channels[op.construct].name;
+      msg << "blocked receiving on channel '" << construct
+          << "' (queue empty, " << op.count - ac.done
+          << " message(s) remaining)";
+    }
+    add(out, "deadlock", ac.spec->id, construct, op.span, msg.str());
+  }
+}
+
+} // namespace
+
+std::vector<LintFinding> analyze(const MappingSpec& spec) {
+  std::vector<LintFinding> out;
+  check_core_ids(spec, out);
+  check_local_fit(spec, out);
+  check_barriers(spec, out);
+  check_channels(spec, out);
+  check_deadlock(spec, out);
+  auto key = [](const LintFinding& f) {
+    return std::tie(f.check, f.core, f.construct, f.span, f.message);
+  };
+  std::stable_sort(out.begin(), out.end(),
+                   [&](const LintFinding& a, const LintFinding& b) {
+                     return key(a) < key(b);
+                   });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [&](const LintFinding& a, const LintFinding& b) {
+                          return key(a) == key(b);
+                        }),
+            out.end());
+  return out;
+}
+
+std::string format(const LintFinding& f) {
+  std::ostringstream os;
+  os << "[" << f.check << "]";
+  if (f.core >= 0) os << " core " << f.core;
+  if (!f.construct.empty() || !f.span.empty()) {
+    os << " (";
+    if (!f.construct.empty()) os << f.construct;
+    if (!f.construct.empty() && !f.span.empty()) os << ", ";
+    if (!f.span.empty()) os << "span " << f.span;
+    os << ")";
+  }
+  os << ": " << f.message;
+  return os.str();
+}
+
+} // namespace esarp::analysis

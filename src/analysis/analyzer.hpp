@@ -1,0 +1,45 @@
+// Static legality checks over a MappingSpec. Each checker proves one
+// property the runtime sanitizer (src/check) can only observe dynamically:
+//
+//   core-id        every core id is on-chip and used at most once
+//   local-fit      per-core local-store and bank-budget fit, mirroring
+//                  LocalMemory's bump allocator (alignment, claim-in-order
+//                  bank rule, 32 KB capacity)
+//   barrier        declared arity matches the member list, every member
+//                  exists, and all members cross the barrier equally often
+//   channel        channel endpoints exist and sends match receives
+//   deadlock       abstract execution of the per-core sync traces reaches
+//                  the end of every trace; anything stuck (crossed
+//                  send/recv order, capacity backpressure loops, barrier
+//                  wait-for cycles) is reported with the blocked construct
+//
+// Findings mirror src/check diagnostics: core id + construct + span, in
+// deterministic order, consumable as console text or JSON.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/mapping_spec.hpp"
+
+namespace esarp::analysis {
+
+/// One static finding. `check` names the checker that produced it.
+struct LintFinding {
+  std::string check;      ///< "core-id", "local-fit", "barrier", ...
+  int core = -1;          ///< offending core id (-1: mapping-level)
+  std::string construct;  ///< barrier/channel/buffer name involved
+  std::string span;       ///< declared source span, if any
+  std::string message;
+};
+
+/// Run every checker over the spec. Findings come back sorted by
+/// (check, core, construct, message) and deduplicated, so repeated runs
+/// are byte-identical. An empty vector means the mapping is legal.
+[[nodiscard]] std::vector<LintFinding> analyze(const MappingSpec& spec);
+
+/// `[check] core N (construct, span): message` — one finding per line,
+/// mirroring check::Diagnostic::format.
+[[nodiscard]] std::string format(const LintFinding& f);
+
+} // namespace esarp::analysis

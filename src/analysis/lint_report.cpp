@@ -1,0 +1,145 @@
+#include "analysis/lint_report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/json.hpp"
+
+namespace esarp::analysis {
+
+void write_console_report(std::ostream& os,
+                          const std::vector<MappingReport>& reports) {
+  // Build the whole report before writing so concurrent stderr users
+  // cannot interleave mid-line (same convention as esarp-check).
+  std::ostringstream buf;
+  for (const MappingReport& r : reports) {
+    buf << "==esarp-lint== mapping '" << r.name << "' (" << r.family << ", "
+        << r.cores << " core(s)): ";
+    if (r.findings.empty()) {
+      buf << "clean; predicted " << r.prediction.makespan << " cycles, "
+          << r.prediction.energy.total_j() << " J, "
+          << r.prediction.energy.avg_watts << " W avg\n";
+    } else {
+      buf << r.findings.size() << " finding(s)\n";
+      for (const LintFinding& f : r.findings)
+        buf << "  " << format(f) << "\n";
+    }
+    if (r.validated)
+      buf << "  cross-validated: simulated " << r.simulated_cycles
+          << " cycles (cycle error " << r.cycle_error * 100.0
+          << "%), simulated " << r.simulated_joules << " J (energy error "
+          << r.energy_error * 100.0 << "%)\n";
+  }
+  os << buf.str();
+  os.flush();
+}
+
+namespace {
+
+void write_prediction(JsonWriter& w, const CostPrediction& p) {
+  w.begin_object();
+  w.kv("makespan_cycles", static_cast<std::uint64_t>(p.makespan));
+  w.kv("ext_read_bytes", p.ext_read_bytes);
+  w.kv("ext_write_bytes", p.ext_write_bytes);
+  w.kv("noc_byte_hops", p.byte_hops);
+  w.key("energy");
+  w.begin_object();
+  w.kv("core_active_j", p.energy.core_active_j);
+  w.kv("core_idle_j", p.energy.core_idle_j);
+  w.kv("alu_j", p.energy.alu_j);
+  w.kv("noc_j", p.energy.noc_j);
+  w.kv("elink_j", p.energy.elink_j);
+  w.kv("static_j", p.energy.static_j);
+  w.kv("total_j", p.energy.total_j());
+  w.kv("avg_watts", p.energy.avg_watts);
+  w.end_object();
+  w.key("phases");
+  w.begin_array();
+  for (const PhasePrediction& ph : p.phases) {
+    w.begin_object();
+    w.kv("name", ph.name);
+    w.kv("serial_max", static_cast<std::uint64_t>(ph.serial_max));
+    w.kv("convoy", static_cast<std::uint64_t>(ph.convoy));
+    w.kv("read_port", static_cast<std::uint64_t>(ph.read_port));
+    w.kv("write_port", static_cast<std::uint64_t>(ph.write_port));
+    w.kv("barrier_overhead",
+         static_cast<std::uint64_t>(ph.barrier_overhead));
+    w.kv("makespan", static_cast<std::uint64_t>(ph.makespan));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("cores");
+  w.begin_array();
+  for (const CorePrediction& c : p.cores) {
+    w.begin_object();
+    w.kv("id", c.id);
+    w.kv("role", c.role);
+    w.kv("busy_cycles", static_cast<std::uint64_t>(c.busy));
+    w.kv("serial_cycles", static_cast<std::uint64_t>(c.serial));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+} // namespace
+
+void write_manifest(std::ostream& os,
+                    const std::vector<MappingReport>& reports) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "esarp-lint-manifest/1");
+  w.kv("total_findings", static_cast<std::uint64_t>(total_findings(reports)));
+  w.key("mappings");
+  w.begin_array();
+  for (const MappingReport& r : reports) {
+    w.begin_object();
+    w.kv("name", r.name);
+    w.kv("family", r.family);
+    w.kv("cores", r.cores);
+    w.key("findings");
+    w.begin_array();
+    for (const LintFinding& f : r.findings) {
+      w.begin_object();
+      w.kv("check", f.check);
+      w.kv("core", f.core);
+      w.kv("construct", f.construct);
+      w.kv("span", f.span);
+      w.kv("message", f.message);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("prediction");
+    write_prediction(w, r.prediction);
+    if (r.validated) {
+      w.key("validation");
+      w.begin_object();
+      w.kv("simulated_cycles", static_cast<std::uint64_t>(r.simulated_cycles));
+      w.kv("cycle_error", r.cycle_error);
+      w.kv("simulated_total_j", r.simulated_joules);
+      w.kv("energy_error", r.energy_error);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  ESARP_ENSURES(w.done());
+}
+
+void write_manifest(const std::filesystem::path& path,
+                    const std::vector<MappingReport>& reports) {
+  std::ofstream out(path);
+  if (!out)
+    throw ContractViolation("cannot write lint manifest: " + path.string());
+  write_manifest(out, reports);
+}
+
+std::size_t total_findings(const std::vector<MappingReport>& reports) {
+  std::size_t n = 0;
+  for (const MappingReport& r : reports) n += r.findings.size();
+  return n;
+}
+
+} // namespace esarp::analysis

@@ -1,0 +1,50 @@
+// Reporters for `esarp lint` — the static mapping analyzer.
+//
+// Console reports mirror the esarp-check style: one line per finding with
+// core id + construct + span, plus a per-mapping summary line carrying the
+// analytic prediction. The JSON manifest (schema "esarp-lint-manifest/1")
+// bundles findings + cost prediction per mapping — and, when the caller
+// cross-validated against simulation, the measured error — so CI can
+// archive it and the mapping-search tooling can consume it.
+#pragma once
+
+#include <filesystem>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/cost_model.hpp"
+
+namespace esarp::analysis {
+
+/// Everything the reporters know about one linted mapping.
+struct MappingReport {
+  std::string name;
+  std::string family;
+  int cores = 0;
+  std::vector<LintFinding> findings;
+  CostPrediction prediction;
+  /// Filled when the mapping was cross-validated against full simulation.
+  bool validated = false;
+  Cycles simulated_cycles = 0;
+  double cycle_error = 0.0;      ///< |predicted - simulated| / simulated
+  double simulated_joules = 0.0;
+  double energy_error = 0.0;
+};
+
+/// One block per mapping: summary line + findings (if any).
+void write_console_report(std::ostream& os,
+                          const std::vector<MappingReport>& reports);
+
+/// Schema "esarp-lint-manifest/1".
+void write_manifest(std::ostream& os,
+                    const std::vector<MappingReport>& reports);
+void write_manifest(const std::filesystem::path& path,
+                    const std::vector<MappingReport>& reports);
+
+/// Total unsuppressed findings across all mappings.
+[[nodiscard]] std::size_t total_findings(
+    const std::vector<MappingReport>& reports);
+
+} // namespace esarp::analysis

@@ -127,14 +127,24 @@ BlockPair project_contribution_blocks(const sar::SubapertureImage& a,
                                         fetch_b);
     }
   }
-  if (tally)
-    *tally += static_cast<std::uint64_t>(p_af.block_rows) *
-                  p_af.block_cols *
-                  (sar::kMergePixelOps + 2 * sar::kNeville4Ops +
-                   OpCounts{.fadd = 16, .fmul = 32, .load = 16}) +
-              static_cast<std::uint64_t>(p_af.block_rows) *
-                  sar::kMergeRowOps;
+  if (tally) *tally += project_block_ops(p_af);
   return bp;
+}
+
+OpCounts project_block_ops(const AfParams& criterion) {
+  return static_cast<std::uint64_t>(criterion.block_rows) *
+             criterion.block_cols *
+             (sar::kMergePixelOps + 2 * sar::kNeville4Ops +
+              OpCounts{.fadd = 16, .fmul = 32, .load = 16}) +
+         static_cast<std::uint64_t>(criterion.block_rows) * sar::kMergeRowOps;
+}
+
+OpCounts estimate_pair_ops(const AfParams& criterion, std::size_t n_blocks) {
+  const std::uint64_t steps =
+      static_cast<std::uint64_t>(criterion.shift_candidates.size()) *
+      criterion.windows * criterion.samples_per_row;
+  return static_cast<std::uint64_t>(n_blocks) *
+         (project_block_ops(criterion) + steps * per_sample_ops(criterion));
 }
 
 PairEstimate estimate_pair_shift(const sar::SubapertureImage& a,

@@ -71,6 +71,19 @@ struct IntegratedResult {
   std::size_t sweeps_run = 0;  ///< total criterion sweeps executed
 };
 
+/// Ops charged for projecting one area-of-interest block pair out of the
+/// children (project_contribution_blocks' tally term).
+[[nodiscard]] OpCounts project_block_ops(const AfParams& criterion);
+
+/// Static op count of one estimate_pair_shift call that lands `n_blocks`
+/// area-of-interest blocks: per block, one pair projection plus one
+/// criterion sweep. Children smaller than the criterion block land zero
+/// blocks and cost zero ops. The static cost model
+/// (src/core/mapping_desc.cpp) relies on this matching the tally
+/// estimate_pair_shift accumulates at runtime.
+[[nodiscard]] OpCounts estimate_pair_ops(const AfParams& criterion,
+                                         std::size_t n_blocks);
+
 /// Run FFBP with per-merge autofocus. With an error-free flight path the
 /// estimated shifts are ~0 and the output approaches the plain ffbp()
 /// image; with a path error it recovers most of the lost focus.

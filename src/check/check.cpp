@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <tuple>
 
 #include "check/report.hpp"
 #include "epiphany/external_memory.hpp"
@@ -440,6 +441,23 @@ void CheckContext::finalize(bool allow_throw) {
                  std::to_string(b.parties) +
                  "-party barrier no other core reached");
     }
+    // Deterministic output: diagnostics are reported in (cycle, core,
+    // span, kind) order with exact repeats collapsed, so reports are
+    // byte-identical run to run regardless of ESARP_JOBS or the engine's
+    // within-cycle event order.
+    const auto key = [](const Diagnostic& d) {
+      return std::tie(d.cycle, d.core, d.span, d.kind, d.message,
+                      d.suppressed);
+    };
+    std::stable_sort(diags_.begin(), diags_.end(),
+                     [&](const Diagnostic& a, const Diagnostic& b) {
+                       return key(a) < key(b);
+                     });
+    diags_.erase(std::unique(diags_.begin(), diags_.end(),
+                             [&](const Diagnostic& a, const Diagnostic& b) {
+                               return key(a) == key(b);
+                             }),
+                 diags_.end());
     if (!diags_.empty()) write_console_report(std::cerr, diags_, dropped_);
     if (!opt_.json_out.empty())
       write_json_report(opt_.json_out, diags_, dropped_);

@@ -73,13 +73,17 @@ void write_console_report(std::ostream& os,
   std::size_t suppressed = 0;
   for (const Diagnostic& d : diags)
     if (d.suppressed) ++suppressed;
-  os << "==esarp-check== " << diags.size() << " hazard diagnostic(s)";
-  if (suppressed > 0) os << " (" << suppressed << " suppressed)";
-  if (dropped > 0) os << ", " << dropped << " dropped past the cap";
-  os << ":\n";
+  // Build the whole report first and emit it with one stream write, so
+  // concurrent finalizers (ESARP_JOBS > 1 sweeps) never interleave lines.
+  std::ostringstream buf;
+  buf << "==esarp-check== " << diags.size() << " hazard diagnostic(s)";
+  if (suppressed > 0) buf << " (" << suppressed << " suppressed)";
+  if (dropped > 0) buf << ", " << dropped << " dropped past the cap";
+  buf << ":\n";
   for (const Diagnostic& d : diags)
-    os << "==esarp-check==   " << d.format()
-       << (d.suppressed ? "  [suppressed]" : "") << "\n";
+    buf << "==esarp-check==   " << d.format()
+        << (d.suppressed ? "  [suppressed]" : "") << "\n";
+  os << buf.str();
 }
 
 void write_json_report(const std::filesystem::path& path,

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/fastmath.hpp"
+#include "core/mapping_profiles.hpp"
 #include "epiphany/graph.hpp"
 #include "epiphany/machine_metrics.hpp"
 #include "epiphany/resilient.hpp"
@@ -15,46 +16,6 @@ namespace esarp::core {
 
 namespace {
 
-/// Streaming message: one range-interpolated column (all block rows at one
-/// sample position). Sized for the paper's 6-row blocks (up to 8 rows).
-struct RangePacket {
-  std::array<cf32, 8> col;
-  std::uint8_t rows = 0;
-  std::uint8_t valid = 0;
-};
-
-/// Streaming message: squared magnitudes of the beam outputs at one sample
-/// position (up to 4 beam windows).
-struct BeamPacket {
-  std::array<float, 4> mags;
-  std::uint8_t count = 0;
-  std::uint8_t valid = 0;
-};
-
-/// Core ids of the 13-core pipeline on the 4x4 mesh.
-struct Placement {
-  int range[2][3]; ///< [block][window]
-  int beam[2][3];
-  int corr;
-};
-
-Placement make_placement(AfPlacement kind) {
-  if (kind == AfPlacement::kCompact) {
-    // Paper Fig. 9 style: each window pipeline occupies one mesh row;
-    // range -> beam are horizontal neighbours, beams flank the columns
-    // next to the correlator's column.
-    //   block 0: range col 0 -> beam col 1; block 1: range col 3 -> beam
-    //   col 2; correlator at (3,1), adjacent to the last beam row.
-    return Placement{{{0, 4, 8}, {3, 7, 11}},
-                     {{1, 5, 9}, {2, 6, 10}},
-                     13};
-  }
-  // Scattered: every producer-consumer pair is several hops apart.
-  return Placement{{{0, 1, 2}, {4, 8, 12}},
-                   {{15, 14, 13}, {3, 7, 11}},
-                   5};
-}
-
 struct AfShared {
   std::span<const cf32> blocks_ext; ///< [pair][block(2)][rows*cols]
   std::span<float> out_ext;         ///< criterion results [pair][shift]
@@ -62,22 +23,6 @@ struct AfShared {
   std::unique_ptr<ep::Channel<RangePacket>> range_to_beam[2][3];
   std::unique_ptr<ep::Channel<BeamPacket>> beam_to_corr[2][3];
 };
-
-/// Per-sample work charged on a range core: the sample geometry plus one
-/// Neville evaluation per block row.
-OpCounts range_core_sample_ops(const af::AfParams& p) {
-  return af::kSampleGeomOps + af::range_stage_ops(p.block_rows);
-}
-/// Per-sample work charged on a beam core.
-OpCounts beam_core_sample_ops(const af::AfParams& p) {
-  return af::kSampleGeomOps +
-         static_cast<std::uint64_t>(p.beams) * af::kBeamOutputOps;
-}
-/// Per-sample work charged on the correlation core.
-OpCounts corr_sample_ops(const af::AfParams& p) {
-  return static_cast<std::uint64_t>(p.beams) * af::kCorrTermOps +
-         OpCounts{.ialu = 4, .branch = 1};
-}
 
 template <typename OutChan>
 ep::Task range_program(ep::CoreCtx& ctx, const af::AfParams& p,
@@ -569,7 +514,7 @@ AfSimResult run_autofocus_mpmd(std::span<const af::BlockPair> pairs,
   st.out_ext = m.ext().alloc<float>(pairs.size() * p.shift_candidates.size());
   st.criteria.resize(pairs.size());
 
-  const Placement pl = make_placement(opt.placement);
+  const Placement pl = make_placement(opt.placement == AfPlacement::kCompact);
   for (int f = 0; f < 2; ++f) {
     for (int w = 0; w < 3; ++w) {
       st.range_to_beam[f][w] = m.make_channel<RangePacket>(

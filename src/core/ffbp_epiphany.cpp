@@ -5,6 +5,7 @@
 #include "common/assert.hpp"
 #include "common/fastmath.hpp"
 #include "core/ffbp_layout.hpp"
+#include "core/mapping_profiles.hpp"
 #include "epiphany/machine_metrics.hpp"
 #include "epiphany/resilient.hpp"
 #include "sar/kernels.hpp"
@@ -13,11 +14,6 @@
 namespace esarp::core {
 
 namespace {
-
-/// Work of predicting the two contributing child rows for a parent row
-/// (one merge_geometry evaluation at the row's mid pixel plus index math).
-constexpr OpCounts kPredictOps =
-    sar::kMergeGeomOps + OpCounts{.fma = 2, .fcmp = 4, .ialu = 10};
 
 struct SharedState {
   std::span<cf32> buf_a;

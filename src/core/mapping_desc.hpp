@@ -1,0 +1,44 @@
+// Declarative descriptors of the shipped Epiphany mappings.
+//
+// Each describe_* function exports the footprint and communication
+// topology of one mapping — local-store allocations, barrier/channel
+// wiring, per-phase compute/DMA/traffic totals — as an
+// analysis::MappingSpec, built from the same constants the core programs
+// execute (core/mapping_profiles.hpp, the kernel op counts, the level
+// layouts). `esarp lint` and the mapping-search tooling analyze these
+// without running the scheduler; tests/test_analysis.cpp pins how closely
+// the resulting cost predictions track full simulation.
+#pragma once
+
+#include <cstddef>
+
+#include "analysis/mapping_spec.hpp"
+#include "autofocus/af_params.hpp"
+#include "core/autofocus_epiphany.hpp"
+#include "core/ffbp_epiphany.hpp"
+#include "sar/params.hpp"
+
+namespace esarp::core {
+
+/// FFBP SPMD partition (plain, sequential, double-buffered or with
+/// integrated autofocus, exactly as run_ffbp_epiphany maps it).
+[[nodiscard]] analysis::MappingSpec
+describe_ffbp_mapping(const sar::RadarParams& p, const FfbpMapOptions& opt,
+                      ep::ChipConfig cfg = {});
+
+/// GBP row partition (run_gbp_epiphany).
+[[nodiscard]] analysis::MappingSpec
+describe_gbp_mapping(const sar::RadarParams& p, int n_cores,
+                     ep::ChipConfig cfg = {});
+
+/// The 13-core autofocus MPMD pipeline (run_autofocus_mpmd).
+[[nodiscard]] analysis::MappingSpec
+describe_autofocus_mpmd(std::size_t n_pairs, const af::AfParams& p,
+                        const AfMapOptions& opt, ep::ChipConfig cfg = {});
+
+/// Single-core autofocus baseline (run_autofocus_sequential_epiphany).
+[[nodiscard]] analysis::MappingSpec
+describe_autofocus_sequential(std::size_t n_pairs, const af::AfParams& p,
+                              ep::ChipConfig cfg = {});
+
+} // namespace esarp::core

@@ -6,12 +6,15 @@
 #include <filesystem>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "check/check.hpp"
 #include "check/report.hpp"
+#include "common/json.hpp"
 #include "core/ffbp_epiphany.hpp"
 #include "epiphany/machine.hpp"
 #include "sar/scene.hpp"
@@ -451,6 +454,125 @@ TEST(Check, MalformedSuppressionFileRejected) {
   EXPECT_THROW((void)check::load_suppressions(path), ContractViolation);
   std::filesystem::remove(path);
   EXPECT_THROW((void)check::load_suppressions(path), ContractViolation);
+}
+
+TEST(Check, SuppressionFileVariants) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "esarp_check_supp_var.txt";
+  // Leading-colon rules have an empty kind and are malformed.
+  {
+    std::ofstream f(path);
+    f << ":leading-colon\n";
+  }
+  EXPECT_THROW((void)check::load_suppressions(path), ContractViolation);
+  // Comments, blank lines and surrounding whitespace are tolerated; only
+  // real rules load.
+  {
+    std::ofstream f(path);
+    f << "# comment\n\n   \t \n  channel:*leak*  \n*:anything?\n";
+  }
+  const auto rules = check::load_suppressions(path);
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0], "channel:*leak*");
+  EXPECT_EQ(rules[1], "*:anything?");
+  std::filesystem::remove(path);
+}
+
+TEST(Check, ZeroMatchGlobSuppressionLeavesHazardsFatal) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "esarp_check_nomatch.txt";
+  {
+    std::ofstream f(path);
+    f << "channel:*no such message ever*\n";
+    f << "dma-race:completely-unrelated-?\n";
+  }
+  ep::ChipConfig cfg = checked_config(/*abort_on_hazard=*/true);
+  cfg.check.suppressions = path.string();
+  ep::Machine m(cfg);
+  auto chan = m.make_channel<int>(1, 4);
+  m.launch(0, [&](ep::CoreCtx& ctx) -> ep::Task {
+    co_await chan->send(ctx, 7); // never received
+  });
+  m.launch(1, [&](ep::CoreCtx&) -> ep::Task { co_return; });
+  EXPECT_THROW(m.run(), CheckFailure);
+  ASSERT_EQ(m.checker()->diagnostics().size(), 1u);
+  EXPECT_FALSE(m.checker()->diagnostics()[0].suppressed);
+  EXPECT_EQ(m.checker()->unsuppressed_count(), 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(Check, JsonReportRoundTripsThroughParser) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "esarp_check_roundtrip.json";
+  ep::ChipConfig cfg = checked_config();
+  cfg.check.json_out = path.string();
+  ep::Machine m(cfg);
+  auto chan = m.make_channel<int>(1, 4, "leaky");
+  m.launch(0, [&](ep::CoreCtx& ctx) -> ep::Task {
+    co_await chan->send(ctx, 7);
+  });
+  m.launch(1, [&](ep::CoreCtx&) -> ep::Task { co_return; });
+  m.run();
+
+  const JsonValue doc = load_json_file(path);
+  ASSERT_NE(doc.find("schema"), nullptr);
+  EXPECT_EQ(doc.find("schema")->as_string(), "esarp-check-report/1");
+  EXPECT_EQ(doc.find("dropped")->as_number(), 0.0);
+  const auto& diags = doc.find("diagnostics")->as_array();
+  ASSERT_EQ(diags.size(), 1u);
+  const auto& recorded = m.checker()->diagnostics()[0];
+  EXPECT_EQ(diags[0].find("kind")->as_string(),
+            check::to_string(recorded.kind));
+  EXPECT_EQ(diags[0].find("core")->as_number(),
+            static_cast<double>(recorded.core));
+  EXPECT_EQ(diags[0].find("cycle")->as_number(),
+            static_cast<double>(recorded.cycle));
+  EXPECT_EQ(diags[0].find("message")->as_string(), recorded.message);
+  EXPECT_FALSE(diags[0].find("suppressed")->as_bool());
+  std::filesystem::remove(path);
+}
+
+TEST(Check, DiagnosticsAreSortedAndDedupedAtFinalize) {
+  ep::ChipConfig cfg = checked_config();
+  ep::Machine m(cfg);
+  check::CheckContext* ck = m.checker();
+  ASSERT_NE(ck, nullptr);
+  // Seed teardown hazards out of order (core 2 before core 0) plus an
+  // exact duplicate (two distinct channels, same name, same leak count
+  // produce byte-identical diagnostics at the same cycle).
+  int a = 0;
+  int b = 0;
+  int c = 0;
+  ck->on_chan_send(&a, "dup", 2);
+  ck->on_chan_send(&b, "dup", 0);
+  ck->on_chan_send(&c, "dup", 0);
+  ck->finalize(/*allow_throw=*/false);
+  const auto& diags = ck->diagnostics();
+  ASSERT_EQ(diags.size(), 2u); // core-0 duplicate collapsed
+  EXPECT_EQ(diags[0].core, 0);
+  EXPECT_EQ(diags[1].core, 2);
+  for (const auto& d : diags)
+    EXPECT_NE(d.message.find("never received"), std::string::npos);
+}
+
+TEST(Check, ConsoleReportIsByteStable) {
+  std::vector<check::Diagnostic> diags;
+  check::Diagnostic d;
+  d.kind = Hazard::kChannel;
+  d.core = 1;
+  d.cycle = 42;
+  d.message = "channel 'x': 1 message(s) sent but never received";
+  diags.push_back(d);
+  d.suppressed = true;
+  diags.push_back(d);
+  std::ostringstream first;
+  std::ostringstream second;
+  check::write_console_report(first, diags, /*dropped=*/1);
+  check::write_console_report(second, diags, 1);
+  EXPECT_EQ(first.str(), second.str());
+  EXPECT_NE(first.str().find("2 hazard diagnostic(s) (1 suppressed), "
+                             "1 dropped past the cap"),
+            std::string::npos);
 }
 
 TEST(Check, DiagnosticCapDropsExcess) {

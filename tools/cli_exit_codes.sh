@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Asserts the esarp CLI's documented exit-code contract (tools/esarp_cli.cpp
 # header): 0 ok, 2 usage error, 3 simulated-chip deadlock, 4 contract
-# violation (including the max_cycles watchdog), 5 unrecovered fault.
+# violation (including the max_cycles watchdog), 5 unrecovered fault,
+# 6 static-analysis (esarp lint) findings.
 # ctest only distinguishes zero from nonzero, so scripted checks are the
 # one place the *specific* codes scripts and CI key off are pinned down.
 #
@@ -45,6 +46,15 @@ expect 4 "$esarp" chaos --in "$ds" --cores 4 --dma-corrupt 1e-3 \
 
 # Every transfer attempt corrupted -> retries exhaust -> FaultUnrecovered.
 expect 5 "$esarp" chaos --in "$ds" --cores 4 --dma-corrupt 1.0
+
+# Static mapping analysis: the shipped mappings lint clean...
+expect 0 "$esarp" lint --mapping all
+# ...an unknown mapping name is a usage error...
+expect 2 "$esarp" lint --mapping no-such-mapping
+# ...and a mapping that provably cannot fit (double-buffered prefetch at
+# the paper's 1001-bin rows overflows the four-bank local store) exits
+# with the distinct findings code.
+expect 6 "$esarp" lint --mapping ffbp-db --pulses 32 --range 1001
 
 if [ "$fails" -gt 0 ]; then
   echo "cli_exit_codes: $fails check(s) failed" >&2

@@ -10,12 +10,16 @@
 //                  [--heatmap p.pgm] [--trace t.json] [--metrics m.json]
 //   esarp analyze  --in raw.esrp
 //   esarp report   --in m.manifest.json
+//   esarp lint     [--mapping all|ffbp|...] [--pulses N] [--range M]
+//                  [--cores N] [--pairs N] [--json m.json] [--validate]
 //
 // Datasets are the library's .esrp container (see sar/io.hpp), so the
 // expensive products can be generated once and reused. --trace writes a
 // Chrome/Perfetto trace of the chip run; --metrics writes a run manifest
 // (docs/observability.md) that tools/esarp_compare can diff. `chaos`
 // runs a seeded fault-injection campaign (docs/fault-injection.md).
+// `lint` statically analyzes the shipped mappings without running the
+// scheduler (docs/static-analysis.md).
 //
 // Exit codes (stable, scripted against by CI):
 //   0  success
@@ -24,14 +28,18 @@
 //   3  simulation deadlock (ep::SimDeadlock)
 //   4  contract violation, including the max_cycles watchdog
 //   5  fault campaign exhausted its recovery budget (FaultUnrecovered)
+//   6  `esarp lint` found mapping violations
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <optional>
+#include <span>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/format.hpp"
@@ -41,8 +49,11 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "analysis/lint_report.hpp"
 #include "core/autofocus_epiphany.hpp"
 #include "core/ffbp_epiphany.hpp"
+#include "core/gbp_epiphany.hpp"
+#include "core/mapping_desc.hpp"
 #include "epiphany/machine_metrics.hpp"
 #include "host/sweep_runner.hpp"
 #include "telemetry/manifest.hpp"
@@ -67,6 +78,7 @@ constexpr int kExitUsage = 2;
 constexpr int kExitDeadlock = 3;
 constexpr int kExitContract = 4;
 constexpr int kExitFaultUnrecovered = 5;
+constexpr int kExitLintFindings = 6;
 
 /// Minimal --key value / --flag argument map.
 class Args {
@@ -132,7 +144,11 @@ int usage() {
       "                 [--heatmap p.pgm] [--trace t.json]"
       " [--metrics m.json]\n"
       "  esarp analyze  --in f.esrp\n"
-      "  esarp report   --in m.manifest.json\n";
+      "  esarp report   --in m.manifest.json\n"
+      "  esarp lint     [--mapping all|ffbp|ffbp-db|ffbp-seq|ffbp-af|gbp|\n"
+      "                            af-mpmd|af-mpmd-scattered|af-seq]\n"
+      "                 [--pulses N] [--range M] [--cores N] [--pairs N]\n"
+      "                 [--no-prefetch] [--json m.json] [--validate]\n";
   return kExitUsage;
 }
 
@@ -678,6 +694,153 @@ int cmd_analyze(const Args& args) {
   return 0;
 }
 
+/// Static mapping analysis (docs/static-analysis.md): build the declarative
+/// descriptor of each requested mapping, run the legality checkers and the
+/// analytic cost model, and report findings + predictions. No simulation
+/// unless --validate, which also runs each mapping on the simulated chip
+/// and records the prediction error in the manifest.
+int cmd_lint(const Args& args) {
+  const std::string which = args.str("mapping", "all");
+  const auto pulses = static_cast<std::size_t>(args.num("pulses", 32));
+  const auto range = static_cast<std::size_t>(args.num("range", 101));
+  const int cores = static_cast<int>(args.num("cores", 16));
+  const auto n_pairs = static_cast<std::size_t>(args.num("pairs", 4));
+  const bool validate = args.has("validate");
+
+  const sar::RadarParams p = sar::test_params(pulses, range);
+  const af::AfParams afp;
+  const af::IntegratedOptions aopt;
+
+  // Simulation inputs, generated lazily: specs need none, --validate does.
+  Array2D<cf32> data;
+  std::vector<af::BlockPair> pairs;
+  const auto raw_data = [&]() -> const Array2D<cf32>& {
+    if (data.size() == 0)
+      data = sar::simulate_compressed(p, sar::six_target_scene(p));
+    return data;
+  };
+  const auto block_pairs = [&]() -> std::span<const af::BlockPair> {
+    if (pairs.empty()) {
+      Rng rng(1);
+      for (std::size_t i = 0; i < n_pairs; ++i)
+        pairs.push_back(
+            af::synthetic_block_pair(rng, afp, rng.uniform_f(-0.5f, 0.5f)));
+    }
+    return pairs;
+  };
+
+  struct Entry {
+    const char* key;
+    analysis::MappingSpec spec;
+    std::function<std::pair<ep::Cycles, double>()> simulate;
+  };
+  std::vector<Entry> entries;
+  const auto want = [&](const char* key) {
+    return which == "all" || which == key;
+  };
+
+  if (want("ffbp") || want("ffbp-db")) {
+    core::FfbpMapOptions opt;
+    opt.n_cores = cores;
+    opt.prefetch = !args.has("no-prefetch");
+    opt.double_buffer = which == "ffbp-db" || args.has("double-buffer");
+    entries.push_back({opt.double_buffer ? "ffbp-db" : "ffbp",
+                       core::describe_ffbp_mapping(p, opt), [&, opt] {
+                         const auto sim =
+                             core::run_ffbp_epiphany(raw_data(), p, opt);
+                         return std::pair{sim.cycles, sim.energy.total_j()};
+                       }});
+  }
+  if (want("ffbp-seq")) {
+    core::FfbpMapOptions opt;
+    opt.n_cores = 1;
+    opt.prefetch = false;
+    entries.push_back({"ffbp-seq", core::describe_ffbp_mapping(p, opt),
+                       [&, opt] {
+                         const auto sim =
+                             core::run_ffbp_epiphany(raw_data(), p, opt);
+                         return std::pair{sim.cycles, sim.energy.total_j()};
+                       }});
+  }
+  if (want("ffbp-af")) {
+    core::FfbpMapOptions opt;
+    opt.n_cores = cores;
+    opt.autofocus = &aopt;
+    entries.push_back({"ffbp-af", core::describe_ffbp_mapping(p, opt),
+                       [&, opt] {
+                         const auto sim =
+                             core::run_ffbp_epiphany(raw_data(), p, opt);
+                         return std::pair{sim.cycles, sim.energy.total_j()};
+                       }});
+  }
+  if (want("gbp")) {
+    entries.push_back({"gbp", core::describe_gbp_mapping(p, cores), [&] {
+                         const auto sim =
+                             core::run_gbp_epiphany(raw_data(), p, cores);
+                         return std::pair{sim.cycles, sim.energy.total_j()};
+                       }});
+  }
+  for (const bool compact : {true, false}) {
+    const char* key = compact ? "af-mpmd" : "af-mpmd-scattered";
+    if (!want(key)) continue;
+    core::AfMapOptions opt;
+    opt.placement =
+        compact ? core::AfPlacement::kCompact : core::AfPlacement::kScattered;
+    entries.push_back({key, core::describe_autofocus_mpmd(n_pairs, afp, opt),
+                       [&, opt] {
+                         const auto sim =
+                             core::run_autofocus_mpmd(block_pairs(), afp, opt);
+                         return std::pair{sim.cycles, sim.energy.total_j()};
+                       }});
+  }
+  if (want("af-seq")) {
+    entries.push_back({"af-seq",
+                       core::describe_autofocus_sequential(n_pairs, afp),
+                       [&] {
+                         const auto sim =
+                             core::run_autofocus_sequential_epiphany(
+                                 block_pairs(), afp);
+                         return std::pair{sim.cycles, sim.energy.total_j()};
+                       }});
+  }
+  if (entries.empty()) {
+    std::cerr << "unknown --mapping: " << which << "\n";
+    return usage();
+  }
+
+  std::vector<analysis::MappingReport> reports;
+  for (auto& e : entries) {
+    analysis::MappingReport rep;
+    rep.name = e.spec.name;
+    rep.family = e.spec.family;
+    rep.cores = static_cast<int>(e.spec.cores.size());
+    rep.findings = analysis::analyze(e.spec);
+    rep.prediction = analysis::predict_cost(e.spec);
+    if (validate && rep.findings.empty()) {
+      const auto [sim_cycles, sim_joules] = e.simulate();
+      rep.validated = true;
+      rep.simulated_cycles = sim_cycles;
+      rep.simulated_joules = sim_joules;
+      const auto pred = static_cast<double>(rep.prediction.makespan);
+      rep.cycle_error = std::abs(pred - static_cast<double>(sim_cycles)) /
+                        static_cast<double>(std::max<ep::Cycles>(sim_cycles, 1));
+      rep.energy_error =
+          std::abs(rep.prediction.energy.total_j() - sim_joules) /
+          std::max(sim_joules, 1e-12);
+    }
+    reports.push_back(std::move(rep));
+  }
+
+  analysis::write_console_report(std::cout, reports);
+  const std::string json_path = args.str("json");
+  if (args.has("json") && json_path.empty()) return usage();
+  if (!json_path.empty()) {
+    analysis::write_manifest(std::filesystem::path(json_path), reports);
+    std::cout << "lint manifest written to " << json_path << "\n";
+  }
+  return analysis::total_findings(reports) == 0 ? kExitOk : kExitLintFindings;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -696,6 +859,7 @@ int main(int argc, char** argv) {
     if (cmd == "chaos") return cmd_chaos(args);
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "report") return cmd_report(args);
+    if (cmd == "lint") return cmd_lint(args);
   } catch (const fault::FaultUnrecovered& e) {
     std::cerr << "fault unrecovered: " << e.what() << "\n";
     return kExitFaultUnrecovered;
