@@ -92,7 +92,7 @@ ep::Task gbp_core_program(ep::CoreCtx& ctx, const sar::RadarParams& p,
 
 GbpSimResult run_gbp_epiphany(const Array2D<cf32>& data,
                               const sar::RadarParams& p, int n_cores,
-                              ep::ChipConfig cfg) {
+                              ep::ChipConfig cfg, ep::Cycles max_cycles) {
   p.validate();
   ESARP_EXPECTS(n_cores >= 1 && n_cores <= cfg.core_count());
   ESARP_EXPECTS(p.n_pulses % 2 == 0);
@@ -118,13 +118,16 @@ GbpSimResult run_gbp_epiphany(const Array2D<cf32>& data,
   }
 
   GbpSimResult res;
-  res.cycles = m.run();
+  res.cycles = m.run(max_cycles);
   res.seconds = m.seconds(res.cycles);
   res.perf = m.report();
   res.power = ep::collect_power(m, res.perf);
   res.energy = res.power.energy;
   res.image = Array2D<cf32>(p.n_pulses, p.n_range);
   std::copy(st.image_ext.begin(), st.image_ext.end(), res.image.data());
+  if (const fault::FaultInjector* fi = m.fault_injector()) {
+    res.faults = fi->summary();
+  }
   return res;
 }
 

@@ -29,13 +29,20 @@ struct GbpSimResult {
   /// Time-resolved power trace + span-level energy attribution, filled
   /// when power sampling was enabled for the run (power.hpp).
   ep::PowerReport power;
+  /// Campaign totals when the run executed under a fault plan
+  /// (default-constructed otherwise) — same contract as FfbpSimResult.
+  fault::FaultSummary faults;
 };
 
 /// Run GBP on `n_cores` simulated cores. The image matches sar::gbp up to
 /// floating-point accumulation order (the SPMD kernel sums pulse pairs).
+/// `max_cycles` arms the scheduler watchdog (0 = unbounded), the same
+/// per-job timeout knob FfbpMapOptions exposes — the fleet runtime
+/// (src/serve) uses it to bound a wedged job instead of hanging the fleet.
 [[nodiscard]] GbpSimResult run_gbp_epiphany(const Array2D<cf32>& data,
                                             const sar::RadarParams& p,
                                             int n_cores = 16,
-                                            ep::ChipConfig cfg = {});
+                                            ep::ChipConfig cfg = {},
+                                            ep::Cycles max_cycles = 0);
 
 } // namespace esarp::core

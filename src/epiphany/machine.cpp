@@ -99,13 +99,28 @@ Cycles Machine::run(Cycles max_cycles) {
   ESARP_EXPECTS(!programs_.empty());
   ran_ = true;
   for (auto& p : programs_) sched_.schedule_at(0, p.task.handle());
+  // A planned whole-chip fail-stop reuses the scheduler watchdog as its
+  // stop mechanism: nothing executes at or beyond the kill cycle. The
+  // expiry is converted to fault::ChipFailed so callers can tell "the
+  // chip died on schedule" apart from "the run blew its cycle budget".
+  const Cycles chip_fail =
+      injector_ != nullptr ? injector_->plan().chip_fail_cycle : 0;
+  const bool chip_fail_first =
+      chip_fail > 0 && (max_cycles == 0 || chip_fail < max_cycles);
   Cycles end = 0;
   try {
-    end = sched_.run(max_cycles);
+    end = sched_.run(chip_fail_first ? chip_fail : max_cycles);
   } catch (const WatchdogExpired& e) {
+    if (checker_ != nullptr) checker_->finalize(/*allow_throw=*/false);
+    if (chip_fail_first) {
+      injector_->mark_chip_failed(e.cycle());
+      std::ostringstream msg;
+      msg << "whole-chip fail-stop at cycle " << e.cycle() << " ("
+          << e.pending_events() << " events abandoned)";
+      throw fault::ChipFailed(e.cycle(), msg.str());
+    }
     // Rebuild the watchdog error with the per-core picture: which
     // programs were still live, in what state, and inside which phase.
-    if (checker_ != nullptr) checker_->finalize(/*allow_throw=*/false);
     throw WatchdogExpired(e.cycle(), e.pending_events(),
                           ";" + blocked_cores_brief());
   }

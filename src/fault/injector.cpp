@@ -143,6 +143,18 @@ bool FaultInjector::marked_failed(int core) const {
          failed_[static_cast<std::size_t>(core)];
 }
 
+void FaultInjector::mark_chip_failed(std::uint64_t cycle) {
+  if (chip_failed_) {
+    return;
+  }
+  chip_failed_ = true;
+  record(Site::kChipFailStop, /*core=*/-1, 0, cycle);
+  totals_.failed_chips = 1;
+  if (metrics_ != nullptr) {
+    metrics_->gauge("fault.failed_chips").set(1.0);
+  }
+}
+
 void FaultInjector::count_detected(Site site) {
   totals_.detected++;
   if (metrics_ != nullptr) {

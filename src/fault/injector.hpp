@@ -46,6 +46,7 @@ struct FaultSummary {
   std::uint64_t af_windows_dropped = 0;
   std::uint64_t af_pairs_dropped = 0;
   std::uint64_t failed_cores = 0;
+  std::uint64_t failed_chips = 0; ///< 0 or 1: whole-chip fail-stop fired
   std::uint64_t schedule_hash = 0;
 };
 
@@ -81,6 +82,14 @@ public:
   void mark_failed(int core, std::uint64_t cycle);
 
   [[nodiscard]] bool marked_failed(int core) const;
+
+  /// Record that the whole chip hit FaultPlan::chip_fail_cycle and stopped
+  /// (log entry under Site::kChipFailStop with core = -1, plus the
+  /// fault.failed_chips gauge; idempotent). Called by Machine::run just
+  /// before it throws fault::ChipFailed.
+  void mark_chip_failed(std::uint64_t cycle);
+
+  [[nodiscard]] bool chip_failed() const { return chip_failed_; }
 
   // -- Recovery accounting (called from the resilience layer) -------------
 
@@ -121,6 +130,7 @@ private:
   std::vector<std::uint64_t> dma_ops_;
   std::vector<std::uint64_t> noc_ops_;
   std::vector<bool> failed_;
+  bool chip_failed_ = false;
 
   std::vector<FaultRecord> log_;
   FaultSummary totals_;

@@ -36,6 +36,23 @@ public:
       : std::runtime_error(what) {}
 };
 
+/// Thrown by Machine::run when the plan's whole-chip fail-stop fires
+/// mid-run: the chip executed no simulated work at or beyond
+/// FaultPlan::chip_fail_cycle, so the job it was serving is gone. The
+/// fleet runtime (src/serve) catches this, marks the chip dead and
+/// migrates the job; a bare `esarp chaos` run maps it to the
+/// FaultUnrecovered exit code (5) — the chip itself cannot recover.
+class ChipFailed : public FaultUnrecovered {
+public:
+  ChipFailed(std::uint64_t cycle, const std::string& what)
+      : FaultUnrecovered(what), cycle_(cycle) {}
+
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+
+private:
+  std::uint64_t cycle_;
+};
+
 /// Injection sites (the labels on fault.injected{site=...} counters).
 enum class Site : std::uint8_t {
   kDmaCorrupt, ///< transfer delivered corrupted payload (checksum-detected)
@@ -43,6 +60,7 @@ enum class Site : std::uint8_t {
   kNocStall,   ///< NoC link held busy for extra cycles (delay-only)
   kMemBits,    ///< bit flip in data resident in a local bank
   kFailStop,   ///< whole core stops executing at a fixed cycle
+  kChipFailStop, ///< the entire chip stops executing at a fixed cycle
 };
 
 [[nodiscard]] constexpr const char* to_string(Site s) {
@@ -52,6 +70,7 @@ enum class Site : std::uint8_t {
     case Site::kNocStall: return "noc-stall";
     case Site::kMemBits: return "mem-bits";
     case Site::kFailStop: return "fail-stop";
+    case Site::kChipFailStop: return "chip-fail-stop";
   }
   return "?";
 }
@@ -94,6 +113,13 @@ struct FaultPlan {
 
   std::vector<FailStop> fail_stops;
 
+  /// Whole-chip fail-stop: the chip executes no simulated work at or
+  /// beyond this cycle — Machine::run throws fault::ChipFailed instead of
+  /// returning. 0 disables. Unlike per-core fail_stops there is no
+  /// on-chip recovery path; this models losing a board in a multi-chip
+  /// fleet (docs/serving.md), where recovery means migrating the job.
+  std::uint64_t chip_fail_cycle = 0;
+
   /// true: workloads use the recovery runtime (retry/timeout/repartition).
   /// false: faults are injected but the plain kernels run — the
   /// pre-resilience behaviour (fail-stops deadlock, corruption lands in
@@ -107,7 +133,8 @@ struct FaultPlan {
   /// default plan leaves every simulation bit-identical to pre-fault code.
   [[nodiscard]] bool enabled() const {
     return dma_corrupt_rate > 0.0 || dma_drop_rate > 0.0 ||
-           noc_stall_rate > 0.0 || membits_rate > 0.0 || !fail_stops.empty();
+           noc_stall_rate > 0.0 || membits_rate > 0.0 ||
+           !fail_stops.empty() || chip_fail_cycle > 0;
   }
 };
 

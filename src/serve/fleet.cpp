@@ -1,0 +1,649 @@
+#include "serve/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "core/ffbp_epiphany.hpp"
+#include "core/gbp_epiphany.hpp"
+#include "epiphany/scheduler.hpp"
+#include "fault/injector.hpp"
+#include "host/sweep_runner.hpp"
+#include "sar/params.hpp"
+#include "sar/scene.hpp"
+
+namespace esarp::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffU;
+    h *= kFnvPrime;
+  }
+}
+
+/// Deterministic per-attempt seed: a SplitMix64 finalizer over the
+/// campaign seed and the attempt coordinates, so reordering host threads
+/// can never change any roll (same contract as fault/injector.cpp).
+[[nodiscard]] std::uint64_t attempt_seed(std::uint64_t campaign_seed,
+                                         int job_id, int attempt, int chip) {
+  SplitMix64 sm(campaign_seed ^
+                (static_cast<std::uint64_t>(static_cast<unsigned>(job_id))
+                 << 40) ^
+                (static_cast<std::uint64_t>(static_cast<unsigned>(attempt))
+                 << 20) ^
+                static_cast<std::uint64_t>(static_cast<unsigned>(chip)));
+  return sm.next();
+}
+
+[[nodiscard]] double u01(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+/// Aperture actually formed at `degrade` halvings. The floor keeps the
+/// factorization meaningful for the job's core count (at least two pulses
+/// per core, never below 16): degrading past the floor re-rolls the
+/// attempt seed but not the image size.
+[[nodiscard]] std::size_t degraded_pulses(std::size_t pulses, int degrade,
+                                          int cores) {
+  const std::size_t floor_p =
+      std::max<std::size_t>(16, 2 * static_cast<std::size_t>(cores));
+  std::size_t p = pulses >> static_cast<unsigned>(degrade);
+  return std::max(p, std::min(floor_p, pulses));
+}
+
+enum class AttemptStatus : std::uint8_t {
+  kOk,          ///< image delivered and checksum-verified
+  kChipKilled,  ///< whole-chip fail-stop fired mid-job
+  kTimedOut,    ///< watchdog expired (timeout_factor x clean makespan)
+  kCorrupt,     ///< image delivered but failed verification
+  kUnrecovered, ///< on-chip recovery exhausted (fault::FaultUnrecovered)
+};
+
+/// One resolved dispatch: everything exec_attempt needs, with the scene
+/// data and fault-free reference memoized on the scheduler thread so the
+/// worker pool only reads shared state.
+struct Attempt {
+  int job_id = 0;
+  int attempt = 0; ///< 0-based attempt index across degrade levels
+  int chip = 0;
+  const Array2D<cf32>* data = nullptr;
+  sar::RadarParams params;
+  Algo algo = Algo::kFfbp;
+  int cores = 16;
+  fault::FaultPlan plan;
+  std::uint64_t clean_cycles = 0;
+  double clean_energy_j = 0.0;
+  std::uint64_t clean_checksum = 0;
+  std::uint64_t timeout_cycles = 0;
+};
+
+struct AttemptOutcome {
+  AttemptStatus status = AttemptStatus::kOk;
+  std::uint64_t cycles = 0; ///< simulated cycles the chip was occupied
+  double energy_j = 0.0;    ///< only meaningful for kOk
+  std::uint64_t checksum = 0;
+  fault::FaultSummary faults;
+};
+
+/// Run one whole job on one simulated chip — the per-job analogue of
+/// resilient.hpp's verified transfer: execute, bound with a watchdog,
+/// checksum the delivered image against the fault-free reference.
+[[nodiscard]] AttemptOutcome exec_attempt(const Attempt& a,
+                                          const ep::ChipConfig& base) {
+  AttemptOutcome out;
+  if (!a.plan.enabled()) {
+    // Fault-free attempts are bit-identical to the memoized reference run
+    // (the simulator is deterministic), so serving a clean job costs no
+    // host time beyond the first job of its shape.
+    out.cycles = a.clean_cycles;
+    out.energy_j = a.clean_energy_j;
+    out.checksum = a.clean_checksum;
+    return out;
+  }
+  ep::ChipConfig cfg = base;
+  cfg.faults = a.plan;
+  try {
+    bool degraded_image = false;
+    if (a.algo == Algo::kFfbp) {
+      core::FfbpMapOptions opt;
+      opt.n_cores = a.cores;
+      opt.max_cycles = a.timeout_cycles;
+      auto sim = core::run_ffbp_epiphany(*a.data, a.params, opt, cfg);
+      out.cycles = sim.cycles;
+      out.energy_j = sim.energy.total_j();
+      out.faults = sim.faults;
+      degraded_image = sim.degraded;
+      out.checksum = fault::FaultInjector::checksum(
+          sim.image.data(), sim.image.rows() * sim.image.cols() *
+                                sizeof(cf32));
+    } else {
+      auto sim = core::run_gbp_epiphany(*a.data, a.params, a.cores, cfg,
+                                        a.timeout_cycles);
+      out.cycles = sim.cycles;
+      out.energy_j = sim.energy.total_j();
+      out.faults = sim.faults;
+      out.checksum = fault::FaultInjector::checksum(
+          sim.image.data(), sim.image.rows() * sim.image.cols() *
+                                sizeof(cf32));
+    }
+    if (degraded_image || out.checksum != a.clean_checksum) {
+      // The chip *thinks* it delivered, but the image is not the verified
+      // fault-free result — the fleet treats that exactly like a failed
+      // transfer checksum and retries elsewhere.
+      out.status = AttemptStatus::kCorrupt;
+    }
+  } catch (const fault::ChipFailed& e) {
+    out.status = AttemptStatus::kChipKilled;
+    out.cycles = e.cycle();
+  } catch (const fault::FaultUnrecovered&) {
+    out.status = AttemptStatus::kUnrecovered;
+    out.cycles = a.clean_cycles; // deterministic stand-in for the lost time
+  } catch (const ep::WatchdogExpired& e) {
+    out.status = AttemptStatus::kTimedOut;
+    out.cycles = e.cycle();
+  }
+  if (out.cycles == 0) out.cycles = 1; // occupy the chip for a nonzero time
+  return out;
+}
+
+} // namespace
+
+bool Fleet::SimKey::operator<(const SimKey& o) const {
+  if (pulses != o.pulses) return pulses < o.pulses;
+  if (range != o.range) return range < o.range;
+  if (algo != o.algo) return algo < o.algo;
+  return cores < o.cores;
+}
+
+Fleet::Fleet(FleetConfig cfg) : cfg_(std::move(cfg)) {
+  ESARP_EXPECTS(cfg_.n_chips >= 1);
+  ESARP_EXPECTS(cfg_.policy.max_attempts >= 1);
+  ESARP_EXPECTS(cfg_.policy.max_degrade >= 0);
+  ESARP_EXPECTS(cfg_.policy.backoff_base_s >= 0.0);
+  ESARP_EXPECTS(cfg_.policy.timeout_factor >= 0.0);
+}
+
+const Array2D<cf32>& Fleet::scene_data(std::size_t pulses,
+                                       std::size_t range) {
+  const auto key = std::make_pair(pulses, range);
+  auto it = data_cache_.find(key);
+  if (it == data_cache_.end()) {
+    const sar::RadarParams p = sar::test_params(pulses, range);
+    it = data_cache_
+             .emplace(key,
+                      sar::simulate_compressed(p, sar::six_target_scene(p)))
+             .first;
+  }
+  return it->second;
+}
+
+const Fleet::CleanRef& Fleet::clean_ref(const SimKey& key) {
+  auto it = clean_cache_.find(key);
+  if (it != clean_cache_.end()) return it->second;
+
+  const Array2D<cf32>& data = scene_data(key.pulses, key.range);
+  const sar::RadarParams p = sar::test_params(key.pulses, key.range);
+  ep::ChipConfig cfg = cfg_.chip;
+  cfg.faults = fault::FaultPlan{}; // reference runs are always fault-free
+  CleanRef ref;
+  if (static_cast<Algo>(key.algo) == Algo::kFfbp) {
+    core::FfbpMapOptions opt;
+    opt.n_cores = key.cores;
+    auto sim = core::run_ffbp_epiphany(data, p, opt, cfg);
+    ref.cycles = sim.cycles;
+    ref.seconds = sim.seconds;
+    ref.energy_j = sim.energy.total_j();
+    ref.checksum = fault::FaultInjector::checksum(
+        sim.image.data(), sim.image.rows() * sim.image.cols() * sizeof(cf32));
+  } else {
+    auto sim = core::run_gbp_epiphany(data, p, key.cores, cfg);
+    ref.cycles = sim.cycles;
+    ref.seconds = sim.seconds;
+    ref.energy_j = sim.energy.total_j();
+    ref.checksum = fault::FaultInjector::checksum(
+        sim.image.data(), sim.image.rows() * sim.image.cols() * sizeof(cf32));
+  }
+  return clean_cache_.emplace(key, ref).first->second;
+}
+
+double percentile(std::vector<double> xs, double q) {
+  ESARP_EXPECTS(!xs.empty());
+  ESARP_EXPECTS(q > 0.0 && q <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  // Nearest-rank: the smallest value with at least q of the sample at or
+  // below it — an actual observation, never an interpolation.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(xs.size())));
+  return xs[std::max<std::size_t>(rank, 1) - 1];
+}
+
+ServeReport Fleet::run(const ArrivalTrace& trace) {
+  ESARP_EXPECTS(!trace.jobs.empty());
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    ESARP_EXPECTS(trace.jobs[i].id == static_cast<int>(i));
+    ESARP_EXPECTS(trace.jobs[i].deadline_s > 0.0);
+  }
+
+  struct Pending {
+    JobSpec spec;
+    double release_s = 0.0;
+    int attempts_level = 0; ///< dispatches at the current degrade level
+    int attempts_total = 0;
+    int degrade = 0;
+    int migrations = 0;
+    int last_chip = -1;
+    double first_dispatch_s = -1.0;
+  };
+  struct Inflight {
+    Pending job;
+    int chip = 0;
+    double start_s = 0.0;
+    double finish_s = 0.0;
+    AttemptOutcome out;
+  };
+
+  ServeReport rep;
+  rep.jobs.resize(trace.jobs.size());
+  rep.chips.assign(static_cast<std::size_t>(cfg_.n_chips), ChipStatus{});
+  ServeCounters& ctr = rep.counters;
+  ctr.jobs_total = trace.jobs.size();
+
+  std::vector<bool> finished(trace.jobs.size(), false);
+  std::vector<bool> chip_busy(static_cast<std::size_t>(cfg_.n_chips), false);
+  std::vector<Pending> waiting;
+  std::vector<Inflight> running;
+  host::SweepRunner pool(cfg_.host_jobs);
+
+  std::uint64_t hash = kFnvOffset;
+  double now = 0.0;
+  double makespan = 0.0;
+  std::size_t next_arrival = 0;
+  std::size_t remaining = trace.jobs.size();
+
+  const auto requeue = [&](Inflight& inf) {
+    Pending j = inf.job;
+    j.last_chip = inf.chip;
+    ctr.retries++;
+    if (j.attempts_level >= cfg_.policy.max_attempts) {
+      // Retry budget for this quality level is spent: escalate to a
+      // smaller aperture (one fewer FFBP merge level) with a fresh
+      // budget, rather than dropping the job.
+      j.degrade++;
+      j.attempts_level = 0;
+      ctr.degradations++;
+      if (j.degrade > cfg_.policy.max_degrade) {
+        std::ostringstream msg;
+        msg << "serve: job " << j.spec.id << " exhausted "
+            << j.attempts_total << " attempts at max degradation level "
+            << cfg_.policy.max_degrade;
+        throw fault::FaultUnrecovered(msg.str());
+      }
+    }
+    const unsigned shift =
+        std::min<unsigned>(static_cast<unsigned>(j.attempts_total - 1), 20);
+    j.release_s = inf.finish_s + cfg_.policy.backoff_base_s *
+                                     static_cast<double>(1ULL << shift);
+    waiting.push_back(j);
+  };
+
+  const auto retire = [&](Inflight& inf) {
+    chip_busy[static_cast<std::size_t>(inf.chip)] = false;
+    ChipStatus& cs = rep.chips[static_cast<std::size_t>(inf.chip)];
+    cs.busy_s += inf.finish_s - inf.start_s;
+    cs.faults_detected += inf.out.faults.detected;
+    ctr.faults_injected += inf.out.faults.injected;
+    ctr.faults_detected += inf.out.faults.detected;
+    ctr.faults_recovered += inf.out.faults.recovered;
+    if (cs.health == ChipHealth::kHealthy &&
+        cs.faults_detected > cfg_.policy.health_fault_limit) {
+      cs.health = ChipHealth::kDegraded;
+    }
+    fnv_mix(hash, static_cast<std::uint64_t>(inf.job.spec.id));
+    fnv_mix(hash, static_cast<std::uint64_t>(inf.job.attempts_total));
+    fnv_mix(hash, static_cast<std::uint64_t>(inf.chip));
+    fnv_mix(hash, static_cast<std::uint64_t>(inf.out.status));
+    fnv_mix(hash, inf.out.cycles);
+
+    switch (inf.out.status) {
+      case AttemptStatus::kOk: {
+        cs.jobs_completed++;
+        cs.energy_j += inf.out.energy_j;
+        JobRecord& rec = rep.jobs[static_cast<std::size_t>(inf.job.spec.id)];
+        rec.spec = inf.job.spec;
+        rec.start_s = inf.job.first_dispatch_s;
+        rec.finish_s = inf.finish_s;
+        rec.latency_s = inf.finish_s - inf.job.spec.arrival_s;
+        rec.attempts = inf.job.attempts_total;
+        rec.migrations = inf.job.migrations;
+        rec.degrade_level = inf.job.degrade;
+        rec.chip = inf.chip;
+        rec.sim_cycles = inf.out.cycles;
+        rec.energy_j = inf.out.energy_j;
+        rec.image_checksum = inf.out.checksum;
+        if (rec.degrade_level > 0) {
+          rec.state = JobState::kDegraded;
+          ctr.jobs_degraded++;
+        } else if (rec.latency_s <= inf.job.spec.deadline_s) {
+          rec.state = JobState::kMet;
+          ctr.jobs_met++;
+        } else {
+          rec.state = JobState::kLate;
+          ctr.jobs_late++;
+        }
+        finished[static_cast<std::size_t>(inf.job.spec.id)] = true;
+        remaining--;
+        makespan = std::max(makespan, inf.finish_s);
+        return;
+      }
+      case AttemptStatus::kChipKilled:
+        cs.health = ChipHealth::kFailed;
+        cs.failed_at_s = inf.finish_s;
+        ctr.chip_kills++;
+        break;
+      case AttemptStatus::kTimedOut: ctr.timeouts++; break;
+      case AttemptStatus::kCorrupt: ctr.checksum_failures++; break;
+      case AttemptStatus::kUnrecovered: break;
+    }
+    requeue(inf);
+  };
+
+  // Prefer a different chip than the failed attempt's (migration), then a
+  // healthy chip over a degraded one, then the lowest id — all free chips
+  // considered, failed chips never.
+  const auto pick_chip = [&](int last_chip) {
+    int best = -1;
+    int best_score = std::numeric_limits<int>::max();
+    for (int c = 0; c < cfg_.n_chips; ++c) {
+      const ChipStatus& cs = rep.chips[static_cast<std::size_t>(c)];
+      if (chip_busy[static_cast<std::size_t>(c)] ||
+          cs.health == ChipHealth::kFailed) {
+        continue;
+      }
+      const int score = (cs.health == ChipHealth::kDegraded ? 4 : 0) +
+                        (c == last_chip ? 2 : 0);
+      if (score < best_score) {
+        best_score = score;
+        best = c;
+      }
+    }
+    return best;
+  };
+
+  while (remaining > 0) {
+    // 1. Retire every attempt finishing at or before the fleet clock.
+    //    Event times are assigned, never accumulated, so the comparison
+    //    is exact.
+    for (std::size_t i = 0; i < running.size();) {
+      if (running[i].finish_s <= now) {
+        Inflight inf = running[i];
+        running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+        retire(inf);
+      } else {
+        ++i;
+      }
+    }
+
+    // 2. Admit arrivals.
+    while (next_arrival < trace.jobs.size() &&
+           trace.jobs[next_arrival].arrival_s <= now) {
+      Pending j;
+      j.spec = trace.jobs[next_arrival];
+      j.release_s = j.spec.arrival_s;
+      waiting.push_back(j);
+      ++next_arrival;
+    }
+
+    // 3. Dispatch released jobs to free chips, oldest release first (job
+    //    id breaks ties) — then run the instant's batch on the worker
+    //    pool in index order (deterministic regardless of host_jobs).
+    std::sort(waiting.begin(), waiting.end(),
+              [](const Pending& a, const Pending& b) {
+                if (a.release_s != b.release_s)
+                  return a.release_s < b.release_s;
+                return a.spec.id < b.spec.id;
+              });
+    std::vector<Attempt> batch;
+    std::vector<Pending> batch_jobs;
+    for (std::size_t i = 0; i < waiting.size();) {
+      if (waiting[i].release_s > now) {
+        ++i;
+        continue;
+      }
+      const int chip = pick_chip(waiting[i].last_chip);
+      if (chip < 0) break; // no free usable chip at this instant
+      Pending j = waiting[i];
+      waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(i));
+
+      if (j.first_dispatch_s < 0.0) j.first_dispatch_s = now;
+      if (j.last_chip >= 0 && chip != j.last_chip) {
+        j.migrations++;
+        ctr.migrations++;
+      }
+      chip_busy[static_cast<std::size_t>(chip)] = true;
+      rep.chips[static_cast<std::size_t>(chip)].attempts++;
+      ctr.attempts++;
+
+      Attempt a;
+      a.job_id = j.spec.id;
+      a.attempt = j.attempts_total;
+      a.chip = chip;
+      a.algo = j.spec.algo;
+      a.cores = j.spec.n_cores;
+      const std::size_t pulses =
+          degraded_pulses(j.spec.n_pulses, j.degrade, j.spec.n_cores);
+      a.data = &scene_data(pulses, j.spec.n_range);
+      a.params = sar::test_params(pulses, j.spec.n_range);
+      const CleanRef& ref = clean_ref(SimKey{pulses, j.spec.n_range,
+                                             static_cast<int>(j.spec.algo),
+                                             j.spec.n_cores});
+      a.clean_cycles = ref.cycles;
+      a.clean_energy_j = ref.energy_j;
+      a.clean_checksum = ref.checksum;
+      if (cfg_.policy.timeout_factor > 0.0) {
+        a.timeout_cycles = static_cast<std::uint64_t>(
+            cfg_.policy.timeout_factor * static_cast<double>(ref.cycles));
+      }
+      if (cfg_.chaos.enabled()) {
+        a.plan.seed = attempt_seed(cfg_.chaos.seed, a.job_id, a.attempt,
+                                   a.chip);
+        a.plan.dma_corrupt_rate = cfg_.chaos.dma_corrupt_rate;
+        a.plan.dma_drop_rate = cfg_.chaos.dma_drop_rate;
+        a.plan.membits_rate = cfg_.chaos.membits_rate;
+        a.plan.noc_stall_rate = cfg_.chaos.noc_stall_rate;
+        if (cfg_.chaos.chip_kill_rate > 0.0) {
+          SplitMix64 sm(a.plan.seed ^ 0x6368697066616b65ULL);
+          if (u01(sm.next()) < cfg_.chaos.chip_kill_rate) {
+            // Kill cycle uniform in 10..90% of the fault-free makespan:
+            // always mid-job, never so early the dispatch is free.
+            const std::uint64_t lo = std::max<std::uint64_t>(
+                ref.cycles / 10, 1);
+            const std::uint64_t span =
+                std::max<std::uint64_t>(ref.cycles * 8 / 10, 1);
+            a.plan.chip_fail_cycle = lo + sm.next() % span;
+          }
+        }
+      }
+      j.attempts_total++;
+      j.attempts_level++;
+      batch.push_back(a);
+      batch_jobs.push_back(j);
+    }
+    if (!batch.empty()) {
+      auto outs = pool.run(batch.size(), [&](std::size_t i) {
+        return exec_attempt(batch[i], cfg_.chip);
+      });
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        Inflight inf;
+        inf.job = batch_jobs[i];
+        inf.chip = batch[i].chip;
+        inf.start_s = now;
+        inf.finish_s = now + cfg_.chip.seconds(outs[i].cycles);
+        inf.out = outs[i];
+        running.push_back(inf);
+      }
+    }
+
+    if (remaining == 0) break;
+
+    // 4. Advance the fleet clock to the next event strictly after `now`.
+    double next = std::numeric_limits<double>::infinity();
+    if (next_arrival < trace.jobs.size()) {
+      next = std::min(next, trace.jobs[next_arrival].arrival_s);
+    }
+    for (const Inflight& inf : running) next = std::min(next, inf.finish_s);
+    for (const Pending& j : waiting) {
+      if (j.release_s > now) next = std::min(next, j.release_s);
+    }
+    if (!std::isfinite(next)) {
+      // Jobs outstanding, nothing running, nothing arriving, no release
+      // ahead: every chip is dead. The campaign cannot make progress.
+      std::ostringstream msg;
+      msg << "serve: fleet exhausted with " << remaining
+          << " job(s) outstanding (all " << cfg_.n_chips
+          << " chips failed)";
+      throw fault::FaultUnrecovered(msg.str());
+    }
+    now = std::max(next, now);
+  }
+
+  // Drain bookkeeping for attempts that were still in flight when the
+  // last job completed (their chips stay busy past the makespan, but
+  // every *job* already has a terminal record, so nothing to retire).
+  for (std::size_t id = 0; id < finished.size(); ++id) {
+    ESARP_REQUIRE(finished[id], "serve: job without terminal state");
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(rep.jobs.size());
+  for (const JobRecord& r : rep.jobs) {
+    latencies.push_back(r.latency_s);
+    rep.energy_total_j += r.energy_j;
+    fnv_mix(hash, static_cast<std::uint64_t>(r.spec.id));
+    fnv_mix(hash, static_cast<std::uint64_t>(r.state));
+    fnv_mix(hash, static_cast<std::uint64_t>(r.attempts));
+    fnv_mix(hash, static_cast<std::uint64_t>(r.degrade_level));
+    fnv_mix(hash, r.sim_cycles);
+    fnv_mix(hash, r.image_checksum);
+  }
+  rep.makespan_s = makespan;
+  rep.latency_p50_s = percentile(latencies, 0.50);
+  rep.latency_p95_s = percentile(latencies, 0.95);
+  rep.latency_p99_s = percentile(latencies, 0.99);
+  rep.latency_max_s = *std::max_element(latencies.begin(), latencies.end());
+  double sum = 0.0;
+  for (const double l : latencies) sum += l;
+  rep.latency_mean_s = sum / static_cast<double>(latencies.size());
+  rep.throughput_jobs_per_s =
+      makespan > 0.0 ? static_cast<double>(ctr.jobs_total) / makespan : 0.0;
+  rep.energy_per_image_j =
+      rep.energy_total_j / static_cast<double>(ctr.jobs_total);
+  rep.slo_attainment = static_cast<double>(ctr.jobs_met) /
+                       static_cast<double>(ctr.jobs_total);
+  rep.schedule_hash = hash;
+  return rep;
+}
+
+void fill_serve_manifest(telemetry::RunManifest& m, const FleetConfig& cfg,
+                         const ArrivalTrace& trace, const ServeReport& rep) {
+  m.set_schema("esarp-serve-manifest/1");
+  m.add_chip("rows", cfg.chip.rows);
+  m.add_chip("cols", cfg.chip.cols);
+  m.add_chip("clock_hz", cfg.chip.clock_hz);
+  m.add_chip("n_chips", cfg.n_chips);
+
+  m.add_workload("n_jobs", static_cast<double>(trace.jobs.size()));
+  m.add_workload("trace_seed", static_cast<double>(trace.seed));
+  m.add_workload("chaos_seed", static_cast<double>(cfg.chaos.seed));
+  m.add_workload("chip_kill_rate", cfg.chaos.chip_kill_rate);
+  m.add_workload("dma_corrupt_rate", cfg.chaos.dma_corrupt_rate);
+  m.add_workload("dma_drop_rate", cfg.chaos.dma_drop_rate);
+  m.add_workload("membits_rate", cfg.chaos.membits_rate);
+  m.add_workload("noc_stall_rate", cfg.chaos.noc_stall_rate);
+  m.add_workload("max_attempts", cfg.policy.max_attempts);
+  m.add_workload("max_degrade", cfg.policy.max_degrade);
+  m.add_workload("backoff_base_s", cfg.policy.backoff_base_s);
+  m.add_workload("timeout_factor", cfg.policy.timeout_factor);
+
+  const ServeCounters& c = rep.counters;
+  m.add_result("jobs_total", static_cast<double>(c.jobs_total));
+  m.add_result("jobs_met", static_cast<double>(c.jobs_met));
+  m.add_result("jobs_late", static_cast<double>(c.jobs_late));
+  m.add_result("jobs_degraded", static_cast<double>(c.jobs_degraded));
+  m.add_result("jobs_lost", static_cast<double>(c.jobs_lost));
+  m.add_result("attempts", static_cast<double>(c.attempts));
+  m.add_result("retries", static_cast<double>(c.retries));
+  m.add_result("migrations", static_cast<double>(c.migrations));
+  m.add_result("degradations", static_cast<double>(c.degradations));
+  m.add_result("chip_kills", static_cast<double>(c.chip_kills));
+  m.add_result("timeouts", static_cast<double>(c.timeouts));
+  m.add_result("checksum_failures",
+               static_cast<double>(c.checksum_failures));
+  m.add_result("faults_injected", static_cast<double>(c.faults_injected));
+  m.add_result("faults_detected", static_cast<double>(c.faults_detected));
+  m.add_result("faults_recovered",
+               static_cast<double>(c.faults_recovered));
+  m.add_result("latency_p50_s", rep.latency_p50_s);
+  m.add_result("latency_p95_s", rep.latency_p95_s);
+  m.add_result("latency_p99_s", rep.latency_p99_s);
+  m.add_result("latency_mean_s", rep.latency_mean_s);
+  m.add_result("latency_max_s", rep.latency_max_s);
+  m.add_result("slo_attainment", rep.slo_attainment);
+  m.add_result("throughput_jobs_per_s", rep.throughput_jobs_per_s);
+  m.add_result("energy_total_j", rep.energy_total_j);
+  m.add_result("energy_per_image_j", rep.energy_per_image_j);
+  m.add_result("makespan_s", rep.makespan_s);
+  // The 64-bit campaign hash split into two exactly-representable
+  // doubles, same idiom as the chaos bench manifests.
+  m.add_result("schedule_hash_hi",
+               static_cast<double>(rep.schedule_hash >> 32));
+  m.add_result("schedule_hash_lo",
+               static_cast<double>(rep.schedule_hash & 0xffffffffULL));
+  std::uint64_t chips_failed = 0;
+  std::uint64_t chips_degraded = 0;
+  for (const ChipStatus& cs : rep.chips) {
+    if (cs.health == ChipHealth::kFailed) chips_failed++;
+    if (cs.health == ChipHealth::kDegraded) chips_degraded++;
+  }
+  m.add_result("chips_failed", static_cast<double>(chips_failed));
+  m.add_result("chips_degraded", static_cast<double>(chips_degraded));
+}
+
+void fill_serve_metrics(telemetry::MetricsRegistry& reg,
+                        const ServeReport& rep) {
+  const ServeCounters& c = rep.counters;
+  reg.counter("serve.jobs_total").add(c.jobs_total);
+  reg.counter("serve.jobs_met").add(c.jobs_met);
+  reg.counter("serve.jobs_late").add(c.jobs_late);
+  reg.counter("serve.jobs_degraded").add(c.jobs_degraded);
+  reg.counter("serve.attempts").add(c.attempts);
+  reg.counter("serve.retries").add(c.retries);
+  reg.counter("serve.migrations").add(c.migrations);
+  reg.counter("serve.degradations").add(c.degradations);
+  reg.counter("serve.chip_kills").add(c.chip_kills);
+  reg.counter("serve.timeouts").add(c.timeouts);
+  reg.counter("serve.checksum_failures").add(c.checksum_failures);
+  reg.gauge("serve.slo_attainment").set(rep.slo_attainment);
+  reg.gauge("serve.latency_p99_s").set(rep.latency_p99_s);
+  reg.gauge("serve.throughput_jobs_per_s").set(rep.throughput_jobs_per_s);
+  for (std::size_t i = 0; i < rep.chips.size(); ++i) {
+    const ChipStatus& cs = rep.chips[i];
+    const auto lbl = [&](const char* name) {
+      return telemetry::labeled(name, {{"chip", std::to_string(i)}});
+    };
+    reg.counter(lbl("serve.chip.attempts")).add(cs.attempts);
+    reg.counter(lbl("serve.chip.jobs_completed")).add(cs.jobs_completed);
+    reg.gauge(lbl("serve.chip.busy_s")).set(cs.busy_s);
+    reg.gauge(lbl("serve.chip.health"))
+        .set(static_cast<double>(static_cast<int>(cs.health)));
+  }
+}
+
+} // namespace esarp::serve

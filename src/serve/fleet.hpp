@@ -1,0 +1,195 @@
+// The SAR-as-a-service fleet runtime (docs/serving.md): N simulated
+// Epiphany chips serving an arrival trace of image-formation jobs with
+// robustness as the first-class concern.
+//
+// Design in one paragraph: the fleet clock is a discrete-event loop over
+// {arrival, attempt-completion, retry-release} instants. At each instant
+// ready jobs are dispatched to free chips (healthy before degraded, both
+// in id order), each dispatch runs one whole job on one simulated chip
+// under a per-attempt fault plan derived deterministically from
+// (campaign seed, job id, attempt, chip), and each attempt is bounded by
+// a watchdog (timeout_factor x the memoized fault-free makespan) and
+// verified by an FNV checksum against the fault-free image — the
+// whole-job generalization of the per-transfer retry/verify loop in
+// src/epiphany/resilient.hpp. Failed attempts (chip fail-stop, timeout,
+// checksum mismatch, unrecovered faults) re-enter the queue with
+// exponential backoff; after max_attempts at one quality level the job
+// degrades (aperture halved -> one fewer FFBP merge level) instead of
+// being dropped. A job is lost only by aborting the entire campaign with
+// fault::FaultUnrecovered (exit code 5) — zero-lost-jobs is an invariant,
+// not a metric.
+//
+// Determinism contract: every scheduling decision, fault roll and
+// simulated outcome is a pure function of (trace, FleetConfig). Attempts
+// dispatched at the same instant run under host::SweepRunner, whose
+// index-order determinism makes host_jobs > 1 bit-identical to the
+// sequential schedule. ServeReport and the serve manifest contain no
+// wall-clock values, so two same-seed campaigns produce byte-identical
+// manifests — the property the serve-smoke CI job pins with `cmp`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/array2d.hpp"
+#include "common/types.hpp"
+#include "epiphany/config.hpp"
+#include "serve/job.hpp"
+#include "serve/trace.hpp"
+#include "telemetry/manifest.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace esarp::serve {
+
+/// Fleet-level chaos campaign: per-dispatch whole-chip kill probability
+/// plus the transfer-fault rates forwarded into each attempt's FaultPlan.
+struct ChaosPlan {
+  std::uint64_t seed = 1;
+  /// Probability that a given dispatch's chip fail-stops mid-job (the
+  /// kill cycle lands uniformly in 10..90% of the job's fault-free
+  /// makespan). The chip is then kFailed for the rest of the campaign.
+  double chip_kill_rate = 0.0;
+  double dma_corrupt_rate = 0.0;
+  double dma_drop_rate = 0.0;
+  double membits_rate = 0.0;
+  double noc_stall_rate = 0.0;
+
+  [[nodiscard]] bool enabled() const {
+    return chip_kill_rate > 0.0 || dma_corrupt_rate > 0.0 ||
+           dma_drop_rate > 0.0 || membits_rate > 0.0 || noc_stall_rate > 0.0;
+  }
+};
+
+/// Robustness policy: retry budget, backoff shape, degradation ladder.
+struct ServePolicy {
+  int max_attempts = 3;     ///< dispatches per quality level before degrading
+  int max_degrade = 2;      ///< aperture halvings before the campaign aborts
+  double backoff_base_s = 100e-6; ///< retry n is released base * 2^n after
+                                  ///< the failed attempt finishes
+  double timeout_factor = 8.0;    ///< per-attempt watchdog, x clean makespan
+  /// Cumulative detected faults on one chip before its health drops to
+  /// kDegraded (it then only takes jobs when no healthy chip is free).
+  std::uint64_t health_fault_limit = 64;
+};
+
+struct FleetConfig {
+  int n_chips = 4;
+  ep::ChipConfig chip; ///< per-chip configuration (faults field is ignored;
+                       ///< each attempt installs its own derived plan)
+  ServePolicy policy;
+  ChaosPlan chaos;
+  /// Host worker threads for attempts dispatched at the same fleet
+  /// instant (host::SweepRunner; <= 0 picks hardware_concurrency). Has no
+  /// effect on results — only on host wall time.
+  int host_jobs = 1;
+};
+
+enum class ChipHealth : std::uint8_t { kHealthy, kDegraded, kFailed };
+
+[[nodiscard]] constexpr const char* to_string(ChipHealth h) {
+  switch (h) {
+    case ChipHealth::kHealthy: return "healthy";
+    case ChipHealth::kDegraded: return "degraded";
+    case ChipHealth::kFailed: return "failed";
+  }
+  return "?";
+}
+
+/// Per-chip health and utilization, fed by per-attempt FaultSummary and
+/// watchdog outcomes.
+struct ChipStatus {
+  ChipHealth health = ChipHealth::kHealthy;
+  std::uint64_t attempts = 0;       ///< dispatches onto this chip
+  std::uint64_t jobs_completed = 0; ///< successful attempts
+  std::uint64_t faults_detected = 0; ///< cumulative, drives kDegraded
+  double busy_s = 0.0;    ///< simulated seconds spent executing attempts
+  double energy_j = 0.0;  ///< simulated energy of completed attempts
+  double failed_at_s = -1.0; ///< fleet time of the fail-stop (-1 = alive)
+};
+
+/// Campaign counters (all deterministic, all surfaced in the manifest).
+struct ServeCounters {
+  std::uint64_t jobs_total = 0;
+  std::uint64_t jobs_met = 0;
+  std::uint64_t jobs_late = 0;
+  std::uint64_t jobs_degraded = 0;
+  std::uint64_t jobs_lost = 0; ///< always 0 by construction (see header)
+  std::uint64_t attempts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t degradations = 0;
+  std::uint64_t chip_kills = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t checksum_failures = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t faults_detected = 0;
+  std::uint64_t faults_recovered = 0;
+};
+
+struct ServeReport {
+  std::vector<JobRecord> jobs; ///< by job id
+  std::vector<ChipStatus> chips;
+  ServeCounters counters;
+  double makespan_s = 0.0; ///< last completion (fleet clock)
+  double latency_p50_s = 0.0;
+  double latency_p95_s = 0.0;
+  double latency_p99_s = 0.0;
+  double latency_mean_s = 0.0;
+  double latency_max_s = 0.0;
+  double throughput_jobs_per_s = 0.0; ///< jobs_total / makespan_s
+  double energy_total_j = 0.0;        ///< winning attempts only
+  double energy_per_image_j = 0.0;
+  /// Fraction of jobs delivered full-quality within their deadline.
+  double slo_attainment = 0.0;
+  /// FNV-1a over every job's terminal record and every attempt outcome —
+  /// the campaign-level reproducibility witness (equal seeds, equal hash).
+  std::uint64_t schedule_hash = 0;
+};
+
+/// Nearest-rank percentile (q in (0, 1]) of an unsorted sample.
+[[nodiscard]] double percentile(std::vector<double> xs, double q);
+
+class Fleet {
+public:
+  explicit Fleet(FleetConfig cfg);
+
+  /// Serve the whole trace; returns when every job has a terminal state.
+  /// Throws fault::FaultUnrecovered when the fleet cannot make progress
+  /// (all chips failed with jobs outstanding, or a job exhausted every
+  /// retry at the deepest degradation level).
+  [[nodiscard]] ServeReport run(const ArrivalTrace& trace);
+
+private:
+  struct CleanRef {
+    std::uint64_t cycles = 0;
+    double seconds = 0.0;
+    double energy_j = 0.0;
+    std::uint64_t checksum = 0;
+  };
+  struct SimKey {
+    std::size_t pulses, range;
+    int algo, cores;
+    bool operator<(const SimKey& o) const;
+  };
+
+  const Array2D<cf32>& scene_data(std::size_t pulses, std::size_t range);
+  const CleanRef& clean_ref(const SimKey& key);
+
+  FleetConfig cfg_;
+  std::map<std::pair<std::size_t, std::size_t>, Array2D<cf32>> data_cache_;
+  std::map<SimKey, CleanRef> clean_cache_;
+};
+
+/// Fill `m` with the campaign's chip/workload/results sections and tag it
+/// "esarp-serve-manifest/1" (full key list in docs/serving.md). Adds no
+/// wall-clock values: same-seed manifests are byte-identical.
+void fill_serve_manifest(telemetry::RunManifest& m, const FleetConfig& cfg,
+                         const ArrivalTrace& trace, const ServeReport& rep);
+
+/// Dump the campaign into `reg` as serve.* counters/gauges (per-chip keys
+/// labeled {chip=N}) for --metrics style snapshots.
+void fill_serve_metrics(telemetry::MetricsRegistry& reg,
+                        const ServeReport& rep);
+
+} // namespace esarp::serve

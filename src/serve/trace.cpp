@@ -1,0 +1,144 @@
+#include "serve/trace.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/json.hpp"
+#include "common/rng.hpp"
+
+namespace esarp::serve {
+
+namespace {
+
+constexpr const char* kTraceSchema = "esarp-arrival-trace/1";
+
+/// Exponential inter-arrival sample at mean 1/rate (inverse transform).
+[[nodiscard]] double exp_sample(Rng& rng, double rate_hz) {
+  return -std::log(1.0 - rng.uniform()) / rate_hz;
+}
+
+} // namespace
+
+ArrivalTrace make_trace(const TraceParams& p) {
+  ESARP_EXPECTS(p.n_jobs >= 1);
+  ESARP_EXPECTS(p.rate_hz > 0.0);
+  ESARP_EXPECTS(!p.bursty || p.burst_mean >= 1.0);
+
+  ArrivalTrace t;
+  t.seed = p.seed;
+  t.jobs.reserve(p.n_jobs);
+
+  JobSpec proto;
+  proto.n_pulses = p.n_pulses;
+  proto.n_range = p.n_range;
+  proto.algo = p.algo;
+  proto.n_cores = p.n_cores;
+  proto.deadline_s = p.deadline_s;
+
+  Rng rng(p.seed);
+  double now = 0.0;
+  while (t.jobs.size() < p.n_jobs) {
+    if (!p.bursty) {
+      now += exp_sample(rng, p.rate_hz);
+      JobSpec j = proto;
+      j.id = static_cast<int>(t.jobs.size());
+      j.arrival_s = now;
+      t.jobs.push_back(j);
+      continue;
+    }
+    // Bursts arrive as a Poisson process at rate/burst_mean so the *mean*
+    // job rate stays rate_hz; burst sizes are geometric with mean
+    // burst_mean, and every job in a burst lands at the burst instant.
+    now += exp_sample(rng, p.rate_hz / p.burst_mean);
+    std::size_t burst = 1;
+    while (rng.uniform() < 1.0 - 1.0 / p.burst_mean) ++burst;
+    for (std::size_t i = 0; i < burst && t.jobs.size() < p.n_jobs; ++i) {
+      JobSpec j = proto;
+      j.id = static_cast<int>(t.jobs.size());
+      j.arrival_s = now;
+      t.jobs.push_back(j);
+    }
+  }
+  return t;
+}
+
+void save_trace(const std::filesystem::path& path, const ArrivalTrace& t) {
+  if (path.has_parent_path())
+    std::filesystem::create_directories(path.parent_path());
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream f(tmp);
+    ESARP_REQUIRE(f.good(), "cannot open " + tmp.string() + " for writing");
+    JsonWriter w(f);
+    w.begin_object();
+    w.kv("schema", kTraceSchema);
+    w.kv("seed", t.seed);
+    w.key("jobs");
+    w.begin_array();
+    for (const JobSpec& j : t.jobs) {
+      w.begin_object();
+      w.kv("id", j.id);
+      w.kv("arrival_s", j.arrival_s);
+      w.kv("n_pulses", static_cast<std::uint64_t>(j.n_pulses));
+      w.kv("n_range", static_cast<std::uint64_t>(j.n_range));
+      w.kv("algo", to_string(j.algo));
+      w.kv("n_cores", j.n_cores);
+      w.kv("deadline_s", j.deadline_s);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    f << "\n";
+    ESARP_REQUIRE(f.good(), "failed writing " + tmp.string());
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+ArrivalTrace load_trace(const std::filesystem::path& path) {
+  const JsonValue doc = load_json_file(path);
+  const JsonValue* schema = doc.find("schema");
+  ESARP_REQUIRE(schema != nullptr && schema->is_string() &&
+                    schema->as_string() == kTraceSchema,
+                path.string() + ": missing or unknown trace \"schema\"");
+  const JsonValue* seed = doc.find("seed");
+  ESARP_REQUIRE(seed != nullptr && seed->is_number(),
+                path.string() + ": missing \"seed\"");
+  const JsonValue* jobs = doc.find("jobs");
+  ESARP_REQUIRE(jobs != nullptr && jobs->is_array(),
+                path.string() + ": missing \"jobs\" array");
+
+  ArrivalTrace t;
+  t.seed = static_cast<std::uint64_t>(seed->as_number());
+  double prev_arrival = -1.0;
+  for (const JsonValue& e : jobs->as_array()) {
+    const auto num = [&](const char* key) {
+      const JsonValue* v = e.find(key);
+      ESARP_REQUIRE(v != nullptr && v->is_number(),
+                    path.string() + ": job missing numeric \"" +
+                        std::string(key) + "\"");
+      return v->as_number();
+    };
+    JobSpec j;
+    j.id = static_cast<int>(num("id"));
+    j.arrival_s = num("arrival_s");
+    j.n_pulses = static_cast<std::size_t>(num("n_pulses"));
+    j.n_range = static_cast<std::size_t>(num("n_range"));
+    j.n_cores = static_cast<int>(num("n_cores"));
+    j.deadline_s = num("deadline_s");
+    const JsonValue* algo = e.find("algo");
+    ESARP_REQUIRE(algo != nullptr && algo->is_string(),
+                  path.string() + ": job missing \"algo\"");
+    j.algo = algo_from_string(algo->as_string());
+    ESARP_REQUIRE(j.arrival_s >= prev_arrival,
+                  path.string() + ": jobs not sorted by arrival_s");
+    prev_arrival = j.arrival_s;
+    t.jobs.push_back(j);
+  }
+  ESARP_REQUIRE(!t.jobs.empty(), path.string() + ": empty trace");
+  return t;
+}
+
+} // namespace esarp::serve

@@ -1,0 +1,52 @@
+// Synthetic arrival traces for the fleet runtime (docs/serving.md).
+//
+// A trace is the replayable input of a serve campaign: a seeded list of
+// JobSpecs sorted by arrival time. Two generators cover the load shapes
+// latency studies care about — a Poisson process (memoryless steady load)
+// and a bursty process (Poisson bursts with geometric sizes, arrivals
+// inside a burst landing at the same instant so the queue actually
+// builds). Traces round-trip through JSON ("esarp-arrival-trace/1") so CI
+// can pin one file and replay it forever.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace esarp::serve {
+
+/// Knobs for the trace generators. Every job in a generated trace shares
+/// the scene/algorithm/deadline template; heterogeneous traces can be
+/// edited or synthesized as JSON.
+struct TraceParams {
+  std::size_t n_jobs = 16;
+  double rate_hz = 400.0; ///< mean arrival rate (jobs per second)
+  bool bursty = false;    ///< burst arrivals instead of a plain Poisson
+  double burst_mean = 4.0; ///< mean jobs per burst (bursty only, >= 1)
+  std::uint64_t seed = 1;
+  std::size_t n_pulses = 64;
+  std::size_t n_range = 101;
+  Algo algo = Algo::kFfbp;
+  int n_cores = 16;
+  double deadline_s = 0.05;
+};
+
+struct ArrivalTrace {
+  std::uint64_t seed = 0;
+  std::vector<JobSpec> jobs; ///< sorted by (arrival_s, id); ids are dense
+};
+
+/// Generate a trace from `p` (Poisson or bursty per p.bursty). Pure
+/// function of the parameters — same params, same trace, byte for byte.
+[[nodiscard]] ArrivalTrace make_trace(const TraceParams& p);
+
+/// Write the trace as "esarp-arrival-trace/1" JSON (atomic tmp + rename).
+void save_trace(const std::filesystem::path& path, const ArrivalTrace& t);
+
+/// Load a trace written by save_trace (or hand-authored to the schema).
+/// Throws ContractViolation on schema/shape errors.
+[[nodiscard]] ArrivalTrace load_trace(const std::filesystem::path& path);
+
+} // namespace esarp::serve

@@ -14,7 +14,8 @@ namespace esarp::telemetry {
 bool higher_is_better(const std::string& key) {
   static const char* kGoodUp[] = {"utilization", "flops",   "throughput",
                                   "hit_rate",    "px_per_s", "speedup",
-                                  "pixels_per_s", "events_per_second"};
+                                  "pixels_per_s", "events_per_second",
+                                  "slo_attainment", "jobs_per_s"};
   for (const char* s : kGoodUp)
     if (key.find(s) != std::string::npos) return true;
   return false;
@@ -66,11 +67,30 @@ std::optional<double> noisy_threshold(const CompareOptions& opt,
 }
 
 void check_schema(const JsonValue& v, const char* which) {
+  // Run manifests ("esarp-run-manifest/1") and serve manifests
+  // ("esarp-serve-manifest/1") share the chip/workload/results/metrics
+  // layout, so the differ accepts any esarp manifest family.
   const JsonValue* schema = v.find("schema");
   if (schema == nullptr || !schema->is_string() ||
-      schema->as_string().rfind("esarp-run-manifest/", 0) != 0)
+      !glob_match("esarp-*-manifest/*", schema->as_string()))
     throw ContractViolation(std::string(which) +
                             " manifest: missing or unknown \"schema\"");
+}
+
+/// The built-in serving-latency band (CompareOptions::latency_slo_band),
+/// applied to `latency_*`/`slo_*` keys not claimed by an explicit override.
+std::optional<double> latency_slo_threshold(const CompareOptions& opt,
+                                            const std::string& key) {
+  std::string name = key;
+  for (const char* prefix : kSectionPrefixes) {
+    if (key.rfind(prefix, 0) == 0) {
+      name = key.substr(std::string(prefix).size());
+      break;
+    }
+  }
+  if (glob_match("latency_*", name) || glob_match("slo_*", name))
+    return opt.latency_slo_band;
+  return std::nullopt;
 }
 
 /// Flatten one numeric section into key -> value pairs. Entries that should
@@ -173,14 +193,16 @@ CompareReport compare_manifests(const JsonValue& base,
     }
 
     // Threshold resolution: explicit per-key override wins, then the first
-    // matching noisy glob pattern; otherwise the default threshold applies
-    // to "results" entries only.
+    // matching noisy glob pattern, then the built-in latency/slo band;
+    // otherwise the default threshold applies to "results" entries only.
     const auto ov = opt.per_key.find(key);
     std::optional<double> threshold;
     if (ov != opt.per_key.end()) {
       threshold = ov->second;
     } else if (const auto noisy = noisy_threshold(opt, key)) {
       threshold = *noisy;
+    } else if (const auto band = latency_slo_threshold(opt, key)) {
+      threshold = *band;
     } else if (key.rfind("results.", 0) == 0) {
       threshold = opt.default_threshold;
     }

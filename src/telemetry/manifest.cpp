@@ -38,7 +38,7 @@ void write_section(JsonWriter& w, const char* name,
 void RunManifest::write(std::ostream& os) const {
   JsonWriter w(os);
   w.begin_object();
-  w.kv("schema", "esarp-run-manifest/1");
+  w.kv("schema", schema_);
   w.kv("tool", tool_);
   w.kv("version", esarp_version());
   write_section(w, "chip", chip_);

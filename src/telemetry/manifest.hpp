@@ -34,6 +34,13 @@ class RunManifest {
 public:
   explicit RunManifest(std::string tool) : tool_(std::move(tool)) {}
 
+  /// Override the schema tag. The default is "esarp-run-manifest/1"; the
+  /// fleet runtime writes "esarp-serve-manifest/1" (docs/serving.md) with
+  /// the same section layout. esarp_compare accepts any esarp manifest
+  /// family, so serve manifests stay diffable.
+  void set_schema(std::string schema) { schema_ = std::move(schema); }
+  [[nodiscard]] const std::string& schema() const { return schema_; }
+
   /// Numeric chip-configuration entry (rows, cols, clock_hz, ...).
   void add_chip(std::string name, double v) {
     chip_.emplace_back(std::move(name), v);
@@ -61,6 +68,7 @@ private:
   using Section = std::vector<std::pair<std::string, double>>;
 
   std::string tool_;
+  std::string schema_ = "esarp-run-manifest/1";
   Section chip_;
   Section workload_;
   Section results_;

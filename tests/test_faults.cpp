@@ -7,11 +7,13 @@
 
 #include <cmath>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "core/autofocus_epiphany.hpp"
 #include "core/ffbp_epiphany.hpp"
+#include "core/gbp_epiphany.hpp"
 #include "epiphany/machine.hpp"
 #include "epiphany/resilient.hpp"
 #include "fault/injector.hpp"
@@ -347,6 +349,111 @@ TEST(AfFaults, DeadRangeCoreWithoutResilienceDeadlocksThePipeline) {
   cfg.faults.resilient = false;
   EXPECT_THROW(core::run_autofocus_mpmd(pairs, p, {}, cfg),
                ep::SimDeadlock);
+}
+
+// --- Whole-chip fail-stop (the serve-fleet fault kind) --------------------
+
+TEST(ChipFailStop, PlanFieldEnablesInjectionAndNamesTheSite) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  plan.chip_fail_cycle = 1;
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_STREQ(fault::to_string(Site::kChipFailStop), "chip-fail-stop");
+}
+
+TEST(ChipFailStop, MidRunKillThrowsChipFailed) {
+  const auto p = ffbp_params();
+  const auto data = ffbp_data(p);
+  core::FfbpMapOptions opt;
+  opt.n_cores = 8;
+  ep::ChipConfig cfg;
+  cfg.faults.chip_fail_cycle = 50'000; // well before the clean makespan
+  try {
+    (void)core::run_ffbp_epiphany(data, p, opt, cfg);
+    FAIL() << "expected fault::ChipFailed";
+  } catch (const fault::ChipFailed& e) {
+    EXPECT_GE(e.cycle(), 50'000u);
+    EXPECT_NE(std::string(e.what()).find("fail-stop"), std::string::npos);
+  }
+  // ChipFailed derives from FaultUnrecovered, so callers that only handle
+  // the unrecoverable category (CLI exit 5) still catch it.
+  EXPECT_THROW((void)core::run_ffbp_epiphany(data, p, opt, cfg),
+               fault::FaultUnrecovered);
+}
+
+TEST(ChipFailStop, KillCycleBeyondTheMakespanIsHarmless) {
+  const auto p = ffbp_params();
+  const auto data = ffbp_data(p);
+  core::FfbpMapOptions opt;
+  opt.n_cores = 8;
+  const auto clean = core::run_ffbp_epiphany(data, p, opt);
+  ep::ChipConfig cfg;
+  cfg.faults.chip_fail_cycle = 1'000'000'000'000ULL;
+  const auto armed = core::run_ffbp_epiphany(data, p, opt, cfg);
+  EXPECT_EQ(armed.faults.failed_chips, 0u);
+  EXPECT_EQ(armed.image, clean.image);
+  // Arming the plan installs the injector, so the resilient verify cost
+  // appears — but the campaign completes and nothing is recorded as failed.
+  EXPECT_GE(armed.cycles, clean.cycles);
+  EXPECT_EQ(armed.faults.injected, 0u);
+}
+
+TEST(ChipFailStop, MarkChipFailedIsIdempotentAndLogged) {
+  FaultPlan plan;
+  plan.chip_fail_cycle = 123;
+  FaultInjector inj(plan, nullptr);
+  EXPECT_FALSE(inj.chip_failed());
+  inj.mark_chip_failed(123);
+  inj.mark_chip_failed(456); // second kill of a dead chip is a no-op
+  EXPECT_TRUE(inj.chip_failed());
+  EXPECT_EQ(inj.summary().failed_chips, 1u);
+  ASSERT_EQ(inj.log().size(), 1u);
+  EXPECT_EQ(inj.log()[0].site, Site::kChipFailStop);
+  EXPECT_EQ(inj.log()[0].cycle, 123u);
+}
+
+TEST(ChipFailStop, GbpRunnerSurfacesFaultSummaryAndWatchdog) {
+  const auto p = sar::test_params(16, 65);
+  const auto data = sar::simulate_compressed(p, sar::six_target_scene(p));
+  ep::ChipConfig cfg;
+  cfg.faults.seed = 9;
+  cfg.faults.dma_corrupt_rate = 5e-2;
+  const auto res = core::run_gbp_epiphany(data, p, 4, cfg);
+  // GBP streams through raw DMA (no per-transfer verify), so injections
+  // are recorded but undetected — catching them end-to-end is exactly why
+  // the serve fleet checksums whole images against the fault-free run.
+  EXPECT_GT(res.faults.injected, 0u);
+  EXPECT_EQ(res.faults.detected, 0u);
+  // The new max_cycles bound turns a too-slow run into a watchdog trip —
+  // the serve fleet's per-attempt timeout.
+  EXPECT_THROW((void)core::run_gbp_epiphany(data, p, 4, cfg, 1'000),
+               ep::WatchdogExpired);
+}
+
+// --- Retry-policy edges ---------------------------------------------------
+
+TEST(RetryPolicy, BackoffSequenceIsExponentialInTheRetryIndex) {
+  fault::RetryPolicy pol;
+  pol.backoff_base = 64;
+  for (int retry = 0; retry < 8; ++retry)
+    EXPECT_EQ(ep::detail::backoff_for(pol, retry),
+              static_cast<ep::Cycles>(64) << retry);
+}
+
+TEST(RetryPolicy, ExhaustedRetriesThrowFaultUnrecovered) {
+  // Corrupting every transfer defeats verification on every one of the
+  // max_attempts retries: the resilient path must give up loudly instead
+  // of looping forever or returning a corrupt image.
+  const auto p = ffbp_params();
+  const auto data = ffbp_data(p);
+  core::FfbpMapOptions opt;
+  opt.n_cores = 4;
+  ep::ChipConfig cfg;
+  cfg.faults.seed = 3;
+  cfg.faults.dma_corrupt_rate = 1.0;
+  cfg.faults.retry.max_attempts = 3;
+  EXPECT_THROW((void)core::run_ffbp_epiphany(data, p, opt, cfg),
+               fault::FaultUnrecovered);
 }
 
 TEST(AfFaults, TransferCampaignRecoversCriteriaWithinTolerance) {

@@ -1,0 +1,333 @@
+// Fleet runtime contract (docs/serving.md): seeded arrival traces
+// round-trip through JSON and regenerate bit-identically; a clean
+// campaign meets every deadline; chaos campaigns (whole-chip fail-stop +
+// DMA corruption) finish with zero lost jobs and byte-identical same-seed
+// manifests; an unservable fleet aborts with FaultUnrecovered instead of
+// silently dropping work.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/json.hpp"
+#include "fault/plan.hpp"
+#include "serve/fleet.hpp"
+#include "serve/trace.hpp"
+#include "telemetry/compare.hpp"
+#include "telemetry/manifest.hpp"
+
+namespace esarp {
+namespace {
+
+using serve::Algo;
+using serve::ArrivalTrace;
+using serve::ChipHealth;
+using serve::Fleet;
+using serve::FleetConfig;
+using serve::JobState;
+using serve::ServeReport;
+using serve::TraceParams;
+
+TraceParams small_trace_params(std::uint64_t seed = 5) {
+  TraceParams p;
+  p.n_jobs = 6;
+  p.rate_hz = 2000.0;
+  p.seed = seed;
+  p.n_pulses = 32;
+  p.n_range = 65;
+  p.deadline_s = 0.01;
+  return p;
+}
+
+FleetConfig small_fleet(int chips) {
+  FleetConfig cfg;
+  cfg.n_chips = chips;
+  return cfg;
+}
+
+std::filesystem::path temp_file(const std::string& name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// --- Trace generation -----------------------------------------------------
+
+TEST(ArrivalTraceGen, SameParamsSameTrace) {
+  const ArrivalTrace a = serve::make_trace(small_trace_params());
+  const ArrivalTrace b = serve::make_trace(small_trace_params());
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].id, b.jobs[i].id);
+    EXPECT_EQ(a.jobs[i].arrival_s, b.jobs[i].arrival_s);
+  }
+  const ArrivalTrace c = serve::make_trace(small_trace_params(6));
+  bool differs = false;
+  for (std::size_t i = 0; i < a.jobs.size(); ++i)
+    differs = differs || a.jobs[i].arrival_s != c.jobs[i].arrival_s;
+  EXPECT_TRUE(differs);
+}
+
+TEST(ArrivalTraceGen, PoissonTraceIsSortedWithDenseIds) {
+  const ArrivalTrace t = serve::make_trace(small_trace_params());
+  ASSERT_EQ(t.jobs.size(), 6u);
+  for (std::size_t i = 0; i < t.jobs.size(); ++i) {
+    EXPECT_EQ(t.jobs[i].id, i);
+    EXPECT_GE(t.jobs[i].arrival_s, 0.0);
+    if (i > 0) {
+      EXPECT_GE(t.jobs[i].arrival_s, t.jobs[i - 1].arrival_s);
+    }
+  }
+}
+
+TEST(ArrivalTraceGen, BurstyTraceHasSameInstantArrivals) {
+  TraceParams p = small_trace_params();
+  p.n_jobs = 32;
+  p.bursty = true;
+  p.burst_mean = 4.0;
+  const ArrivalTrace t = serve::make_trace(p);
+  ASSERT_EQ(t.jobs.size(), 32u);
+  std::size_t coincident = 0;
+  for (std::size_t i = 1; i < t.jobs.size(); ++i)
+    if (t.jobs[i].arrival_s == t.jobs[i - 1].arrival_s) ++coincident;
+  EXPECT_GT(coincident, 0u); // bursts land at one instant so queues build
+}
+
+TEST(ArrivalTraceGen, RoundTripsThroughJson) {
+  const ArrivalTrace t = serve::make_trace(small_trace_params());
+  const auto path = temp_file("esarp_test_trace.json");
+  serve::save_trace(path, t);
+  const ArrivalTrace back = serve::load_trace(path);
+  EXPECT_EQ(back.seed, t.seed);
+  ASSERT_EQ(back.jobs.size(), t.jobs.size());
+  for (std::size_t i = 0; i < t.jobs.size(); ++i) {
+    EXPECT_EQ(back.jobs[i].id, t.jobs[i].id);
+    EXPECT_EQ(back.jobs[i].arrival_s, t.jobs[i].arrival_s);
+    EXPECT_EQ(back.jobs[i].n_pulses, t.jobs[i].n_pulses);
+    EXPECT_EQ(back.jobs[i].n_range, t.jobs[i].n_range);
+    EXPECT_EQ(back.jobs[i].algo, t.jobs[i].algo);
+    EXPECT_EQ(back.jobs[i].n_cores, t.jobs[i].n_cores);
+    EXPECT_EQ(back.jobs[i].deadline_s, t.jobs[i].deadline_s);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ArrivalTraceGen, LoadRejectsWrongSchema) {
+  const auto path = temp_file("esarp_test_bad_trace.json");
+  std::ofstream(path) << R"({"schema":"esarp-run-manifest/1","jobs":[]})";
+  EXPECT_THROW((void)serve::load_trace(path), ContractViolation);
+  std::filesystem::remove(path);
+}
+
+TEST(ServeMath, NearestRankPercentile) {
+  std::vector<double> xs = {5.0, 1.0, 4.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(serve::percentile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(serve::percentile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(serve::percentile(xs, 0.01), 1.0);
+}
+
+// --- Clean campaigns ------------------------------------------------------
+
+TEST(FleetServe, CleanCampaignMeetsEveryDeadline) {
+  Fleet fleet(small_fleet(2));
+  const ArrivalTrace trace = serve::make_trace(small_trace_params());
+  const ServeReport rep = fleet.run(trace);
+  EXPECT_EQ(rep.counters.jobs_total, 6u);
+  EXPECT_EQ(rep.counters.jobs_met, 6u);
+  EXPECT_EQ(rep.counters.jobs_lost, 0u);
+  EXPECT_EQ(rep.counters.attempts, 6u);
+  EXPECT_EQ(rep.counters.retries, 0u);
+  EXPECT_EQ(rep.counters.migrations, 0u);
+  EXPECT_DOUBLE_EQ(rep.slo_attainment, 1.0);
+  EXPECT_GT(rep.throughput_jobs_per_s, 0.0);
+  EXPECT_GT(rep.energy_per_image_j, 0.0);
+  EXPECT_GE(rep.latency_p99_s, rep.latency_p50_s);
+  for (const auto& job : rep.jobs) {
+    EXPECT_EQ(job.state, JobState::kMet);
+    EXPECT_LE(job.latency_s, 0.01);
+    EXPECT_EQ(job.attempts, 1);
+  }
+  for (const auto& chip : rep.chips)
+    EXPECT_EQ(chip.health, ChipHealth::kHealthy);
+}
+
+TEST(FleetServe, SameSeedCampaignsAreBitIdentical) {
+  const ArrivalTrace trace = serve::make_trace(small_trace_params());
+  FleetConfig cfg = small_fleet(4);
+  cfg.chaos.seed = 7;
+  cfg.chaos.chip_kill_rate = 0.5;
+  cfg.chaos.dma_corrupt_rate = 2e-6;
+  const ServeReport a = Fleet(cfg).run(trace);
+  const ServeReport b = Fleet(cfg).run(trace);
+  EXPECT_EQ(a.schedule_hash, b.schedule_hash);
+
+  const auto pa = temp_file("esarp_serve_a.json");
+  const auto pb = temp_file("esarp_serve_b.json");
+  telemetry::RunManifest ma("serve"), mb("serve");
+  serve::fill_serve_manifest(ma, cfg, trace, a);
+  serve::fill_serve_manifest(mb, cfg, trace, b);
+  ma.write(pa);
+  mb.write(pb);
+  EXPECT_EQ(slurp(pa), slurp(pb)); // the CI serve-smoke `cmp` property
+  std::filesystem::remove(pa);
+  std::filesystem::remove(pb);
+}
+
+TEST(FleetServe, HostThreadCountDoesNotChangeTheCampaign) {
+  const ArrivalTrace trace = serve::make_trace(small_trace_params());
+  FleetConfig cfg = small_fleet(4);
+  cfg.chaos.seed = 7;
+  cfg.chaos.chip_kill_rate = 0.5;
+  const std::uint64_t seq = Fleet(cfg).run(trace).schedule_hash;
+  cfg.host_jobs = 4;
+  EXPECT_EQ(Fleet(cfg).run(trace).schedule_hash, seq);
+}
+
+// --- Chaos campaigns ------------------------------------------------------
+
+TEST(FleetServe, ChaosCampaignLosesNoJobs) {
+  // Seeded so the campaign actually exercises the fail-stop path: chips
+  // die mid-job, their jobs migrate, and every job still reaches a
+  // terminal state (met, late, or degraded — never lost).
+  const ArrivalTrace trace = serve::make_trace(small_trace_params());
+  FleetConfig cfg = small_fleet(4);
+  cfg.chaos.seed = 7;
+  cfg.chaos.chip_kill_rate = 0.5;
+  cfg.chaos.dma_corrupt_rate = 2e-6;
+  const ServeReport rep = Fleet(cfg).run(trace);
+  EXPECT_GE(rep.counters.chip_kills, 1u);
+  EXPECT_GE(rep.counters.migrations, 1u);
+  EXPECT_GE(rep.counters.retries, rep.counters.chip_kills);
+  EXPECT_EQ(rep.counters.jobs_lost, 0u);
+  EXPECT_EQ(rep.counters.jobs_met + rep.counters.jobs_late +
+                rep.counters.jobs_degraded,
+            rep.counters.jobs_total);
+  std::size_t failed = 0;
+  for (const auto& chip : rep.chips)
+    if (chip.health == ChipHealth::kFailed) {
+      ++failed;
+      EXPECT_GE(chip.failed_at_s, 0.0);
+    }
+  EXPECT_EQ(failed, rep.counters.chip_kills);
+}
+
+TEST(FleetServe, KilledAttemptsEventuallyDegrade) {
+  // With a one-attempt retry budget, a single fail-stop pushes the job
+  // down the degradation ladder instead of burning more full-quality
+  // retries. Scan a few chaos seeds for a campaign that both degrades and
+  // completes — the scan itself is deterministic.
+  const ArrivalTrace trace = serve::make_trace(small_trace_params());
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 10 && !found; ++seed) {
+    FleetConfig cfg = small_fleet(4);
+    cfg.policy.max_attempts = 1;
+    cfg.chaos.seed = seed;
+    cfg.chaos.chip_kill_rate = 0.45;
+    try {
+      const ServeReport rep = Fleet(cfg).run(trace);
+      if (rep.counters.degradations == 0) continue;
+      found = true;
+      EXPECT_GE(rep.counters.jobs_degraded, 1u);
+      EXPECT_EQ(rep.counters.jobs_lost, 0u);
+      EXPECT_LT(rep.slo_attainment, 1.0);
+      for (const auto& job : rep.jobs) {
+        if (job.state == JobState::kDegraded) {
+          EXPECT_GE(job.degrade_level, 1);
+        }
+      }
+    } catch (const fault::FaultUnrecovered&) {
+      // This seed killed the whole fleet — a legal outcome, keep scanning.
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FleetServe, ExhaustedFleetAbortsLoudly) {
+  // Every dispatch kills its chip: after both chips die the fleet cannot
+  // make progress and must abort with FaultUnrecovered (CLI exit 5), not
+  // drop the outstanding jobs.
+  const ArrivalTrace trace = serve::make_trace(small_trace_params());
+  FleetConfig cfg = small_fleet(2);
+  cfg.chaos.chip_kill_rate = 1.0;
+  Fleet fleet(cfg);
+  EXPECT_THROW((void)fleet.run(trace), fault::FaultUnrecovered);
+}
+
+TEST(FleetServe, PersistentCorruptionExhaustsTheDegradationLadder) {
+  // Corrupting every transfer defeats the checksum verify at every
+  // degradation level, so the job runs out of ladder and the campaign
+  // aborts instead of returning a corrupt image.
+  TraceParams p = small_trace_params();
+  p.n_jobs = 1;
+  const ArrivalTrace trace = serve::make_trace(p);
+  FleetConfig cfg = small_fleet(2);
+  cfg.policy.max_attempts = 1;
+  cfg.policy.max_degrade = 1;
+  cfg.chaos.dma_corrupt_rate = 1.0;
+  Fleet fleet(cfg);
+  EXPECT_THROW((void)fleet.run(trace), fault::FaultUnrecovered);
+}
+
+// --- Manifest -------------------------------------------------------------
+
+TEST(ServeManifest, CarriesTheServeSchemaAndComparesClean) {
+  const ArrivalTrace trace = serve::make_trace(small_trace_params());
+  FleetConfig cfg = small_fleet(2);
+  const ServeReport rep = Fleet(cfg).run(trace);
+  telemetry::RunManifest m("serve");
+  serve::fill_serve_manifest(m, cfg, trace, rep);
+  std::ostringstream os;
+  m.write(os);
+  const JsonValue doc = parse_json(os.str());
+  ASSERT_NE(doc.find("schema"), nullptr);
+  EXPECT_EQ(doc.find("schema")->as_string(), "esarp-serve-manifest/1");
+  const JsonValue* results = doc.find("results");
+  ASSERT_NE(results, nullptr);
+  for (const char* key :
+       {"jobs_total", "jobs_lost", "latency_p99_s", "slo_attainment",
+        "throughput_jobs_per_s", "energy_per_image_j", "retries",
+        "migrations", "degradations", "chip_kills", "schedule_hash_lo"}) {
+    EXPECT_NE(results->find(key), nullptr) << key;
+  }
+  // compare_manifests accepts the serve schema and a self-compare is
+  // clean at zero tolerance (the CI regression gate).
+  telemetry::CompareOptions opt;
+  opt.default_threshold = 0.0;
+  opt.latency_slo_band = 0.0;
+  const auto cmp = telemetry::compare_manifests(doc, doc, opt);
+  EXPECT_TRUE(cmp.ok());
+}
+
+TEST(ServeManifest, MetricsRegistryMirrorsTheCounters) {
+  const ArrivalTrace trace = serve::make_trace(small_trace_params());
+  FleetConfig cfg = small_fleet(2);
+  const ServeReport rep = Fleet(cfg).run(trace);
+  telemetry::MetricsRegistry reg;
+  serve::fill_serve_metrics(reg, rep);
+  telemetry::RunManifest m("serve");
+  m.set_metrics(&reg);
+  std::ostringstream os;
+  m.write(os);
+  const JsonValue doc = parse_json(os.str());
+  const JsonValue* counters = doc.find_path("metrics.counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* jobs = counters->find("serve.jobs_total");
+  ASSERT_NE(jobs, nullptr);
+  EXPECT_DOUBLE_EQ(jobs->as_number(), 6.0);
+  const JsonValue* gauges = doc.find_path("metrics.gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_NE(gauges->find("serve.slo_attainment"), nullptr);
+}
+
+} // namespace
+} // namespace esarp

@@ -53,6 +53,41 @@ TEST(SweepRunner, PropagatesWorkerExceptions) {
                std::runtime_error);
 }
 
+TEST(SweepRunner, ThrowAtEitherEndFailsTheRunWithoutHanging) {
+  // The serve fleet leans on this: a job that dies on the very first or
+  // very last index must fail the whole run() promptly — workers past the
+  // throw still join, nothing deadlocks, and the exception surfaces.
+  host::SweepRunner pool(8);
+  for (const std::size_t bad : {std::size_t{0}, std::size_t{63}}) {
+    EXPECT_THROW(pool.run(64,
+                          [&](std::size_t i) -> int {
+                            if (i == bad) throw std::runtime_error("edge");
+                            return static_cast<int>(i);
+                          }),
+                 std::runtime_error);
+  }
+  // The pool stays usable after a failed run.
+  const auto out = pool.run(16, [](std::size_t i) { return i * 2; });
+  ASSERT_EQ(out.size(), 16u);
+  EXPECT_EQ(out[15], 30u);
+}
+
+TEST(SweepRunner, OneOfSeveralThrownExceptionsSurfaces) {
+  // Multiple throwing jobs: exactly one exception is rethrown (the first
+  // recorded — chronological, not index order) and it is one of ours, not
+  // a terminate() or a silent success.
+  host::SweepRunner pool(4);
+  try {
+    (void)pool.run(32, [](std::size_t i) -> int {
+      if (i == 3 || i == 20) throw std::runtime_error("worker-failure");
+      return 0;
+    });
+    FAIL() << "expected a worker exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "worker-failure");
+  }
+}
+
 TEST(SweepRunner, JobsFromEnvironment) {
   ::setenv("ESARP_JOBS", "3", 1);
   EXPECT_EQ(host::sweep_jobs_from_env(1), 3);

@@ -490,6 +490,90 @@ TEST(Compare, NoisyPatternResolutionOrder) {
   EXPECT_TRUE(telemetry::compare_manifests(base, base, unmatched).ok());
 }
 
+TEST(Compare, LatencyAndSloKeysGetTheBuiltinNoiseBand) {
+  // latency_* / slo_* are order statistics over small job populations, so
+  // they default to a 10% band even at a zero default threshold: +8% p99
+  // passes, +12% fails; other keys stay zero-tolerance.
+  const auto make = [](double p99, double makespan) {
+    telemetry::RunManifest m("cmp");
+    m.add_result("latency_p99_s", p99);
+    m.add_result("makespan_cycles", makespan);
+    std::ostringstream os;
+    m.write(os);
+    return parse_json(os.str());
+  };
+  const JsonValue base = make(1.0e-3, 1000.0);
+  telemetry::CompareOptions opt;
+  opt.default_threshold = 0.0;
+  EXPECT_TRUE(telemetry::compare_manifests(base, make(1.08e-3, 1000.0), opt)
+                  .ok());
+  EXPECT_FALSE(telemetry::compare_manifests(base, make(1.12e-3, 1000.0), opt)
+                   .ok());
+  EXPECT_FALSE(telemetry::compare_manifests(base, make(1.0e-3, 1001.0), opt)
+                   .ok());
+  // latency_slo_band 0 pins the band for same-seed deterministic diffs
+  // (the CLI spelling is --latency-band 0.0).
+  telemetry::CompareOptions pinned;
+  pinned.default_threshold = 0.0;
+  pinned.latency_slo_band = 0.0;
+  EXPECT_FALSE(
+      telemetry::compare_manifests(base, make(1.08e-3, 1000.0), pinned).ok());
+}
+
+TEST(Compare, SloAttainmentIsHigherIsBetter) {
+  EXPECT_TRUE(telemetry::higher_is_better("results.slo_attainment"));
+  EXPECT_TRUE(telemetry::higher_is_better("results.throughput_jobs_per_s"));
+  EXPECT_FALSE(telemetry::higher_is_better("results.latency_p99_s"));
+  // Attainment RISING past the band is an improvement, never a regression.
+  const auto make = [](double slo) {
+    telemetry::RunManifest m("cmp");
+    m.add_result("slo_attainment", slo);
+    std::ostringstream os;
+    m.write(os);
+    return parse_json(os.str());
+  };
+  const JsonValue base = make(0.80);
+  EXPECT_TRUE(telemetry::compare_manifests(base, make(0.99)).ok());
+  EXPECT_FALSE(telemetry::compare_manifests(base, make(0.60)).ok());
+}
+
+TEST(Compare, UserThresholdsOverrideTheLatencyBand) {
+  const auto make = [](double p99) {
+    telemetry::RunManifest m("cmp");
+    m.add_result("latency_p99_s", p99);
+    std::ostringstream os;
+    m.write(os);
+    return parse_json(os.str());
+  };
+  const JsonValue base = make(1.0e-3);
+  const JsonValue worse = make(1.05e-3); // +5%: inside the builtin band
+  // A matching --noisy-metric pattern beats the builtin band...
+  telemetry::CompareOptions noisy;
+  noisy.noisy_patterns.emplace_back("latency_*", 0.0);
+  EXPECT_FALSE(telemetry::compare_manifests(base, worse, noisy).ok());
+  // ...and an exact --metric key beats both.
+  telemetry::CompareOptions exact;
+  exact.noisy_patterns.emplace_back("latency_*", 0.50);
+  exact.per_key["results.latency_p99_s"] = 0.01;
+  EXPECT_FALSE(telemetry::compare_manifests(base, worse, exact).ok());
+}
+
+TEST(Compare, AcceptsAnyEsarpManifestSchema) {
+  // The schema gate is a glob: run manifests, serve manifests and future
+  // esarp-*-manifest variants all compare; foreign documents still throw.
+  telemetry::RunManifest m("serve");
+  m.set_schema("esarp-serve-manifest/1");
+  m.add_result("jobs_total", 6.0);
+  std::ostringstream os;
+  m.write(os);
+  const JsonValue doc = parse_json(os.str());
+  EXPECT_TRUE(telemetry::compare_manifests(doc, doc).ok());
+  const JsonValue foreign =
+      parse_json(R"({"schema":"someone-elses-manifest/1","results":{}})");
+  EXPECT_THROW(telemetry::compare_manifests(foreign, foreign),
+               ContractViolation);
+}
+
 TEST(Compare, RejectsNonManifestDocuments) {
   const JsonValue junk = parse_json(R"({"hello":"world"})");
   EXPECT_THROW(telemetry::compare_manifests(junk, junk), ContractViolation);

@@ -47,6 +47,19 @@ expect 4 "$esarp" chaos --in "$ds" --cores 4 --dma-corrupt 1e-3 \
 # Every transfer attempt corrupted -> retries exhaust -> FaultUnrecovered.
 expect 5 "$esarp" chaos --in "$ds" --cores 4 --dma-corrupt 1.0
 
+# Serve fleet: a small clean campaign terminates every job.
+expect 0 "$esarp" serve --gen poisson --jobs-count 4 --chips 2 \
+  --pulses 32 --range 65 --rate 2000 --seed 5
+
+# No trace and no generator -> usage error; so is an unknown generator.
+expect 2 "$esarp" serve
+expect 2 "$esarp" serve --gen no-such-process
+
+# Every dispatch fail-stops its chip: the whole fleet dies with jobs
+# outstanding and the campaign aborts -> FaultUnrecovered.
+expect 5 "$esarp" serve --gen poisson --jobs-count 4 --chips 2 \
+  --pulses 32 --range 65 --rate 2000 --seed 5 --chip-kill 1.0
+
 # Static mapping analysis: the shipped mappings lint clean...
 expect 0 "$esarp" lint --mapping all
 # ...an unknown mapping name is a usage error...

@@ -12,6 +12,9 @@
 //   esarp report   --in m.manifest.json
 //   esarp lint     [--mapping all|ffbp|...] [--pulses N] [--range M]
 //                  [--cores N] [--pairs N] [--json m.json] [--validate]
+//   esarp serve    --trace t.json | --gen poisson|bursty [--chips N]
+//                  [--chip-kill R] [--dma-corrupt R] [--seed S]
+//                  [--metrics m.json] [...]
 //
 // Datasets are the library's .esrp container (see sar/io.hpp), so the
 // expensive products can be generated once and reused. --trace writes a
@@ -19,7 +22,11 @@
 // (docs/observability.md) that tools/esarp_compare can diff. `chaos`
 // runs a seeded fault-injection campaign (docs/fault-injection.md).
 // `lint` statically analyzes the shipped mappings without running the
-// scheduler (docs/static-analysis.md).
+// scheduler (docs/static-analysis.md). `serve` replays an arrival trace
+// through the multi-chip fleet runtime and writes an
+// esarp-serve-manifest/1 (docs/serving.md); a fleet that cannot finish
+// every job (all chips dead, or a job out of retries at max degradation)
+// exits 5 like any other unrecovered fault.
 //
 // Exit codes (stable, scripted against by CI):
 //   0  success
@@ -56,6 +63,9 @@
 #include "core/mapping_desc.hpp"
 #include "epiphany/machine_metrics.hpp"
 #include "host/sweep_runner.hpp"
+#include "serve/fleet.hpp"
+#include "serve/trace.hpp"
+#include "telemetry/compare.hpp"
 #include "telemetry/manifest.hpp"
 #include "autofocus/integrated.hpp"
 #include "sar/ffbp.hpp"
@@ -148,7 +158,16 @@ int usage() {
       "  esarp lint     [--mapping all|ffbp|ffbp-db|ffbp-seq|ffbp-af|gbp|\n"
       "                            af-mpmd|af-mpmd-scattered|af-seq]\n"
       "                 [--pulses N] [--range M] [--cores N] [--pairs N]\n"
-      "                 [--no-prefetch] [--json m.json] [--validate]\n";
+      "                 [--no-prefetch] [--json m.json] [--validate]\n"
+      "  esarp serve    --trace t.json | --gen poisson|bursty\n"
+      "                 [--jobs-count N] [--rate HZ] [--burst-mean K]\n"
+      "                 [--pulses N] [--range M] [--cores N]\n"
+      "                 [--algo ffbp|gbp] [--deadline S] [--trace-out f]\n"
+      "                 [--chips N] [--seed S] [--chip-kill R]\n"
+      "                 [--dma-corrupt R] [--dma-drop R] [--noc-stall R]\n"
+      "                 [--membits R] [--retry-max N] [--degrade-max N]\n"
+      "                 [--backoff S] [--timeout-factor F] [--jobs N]\n"
+      "                 [--metrics m.json]\n";
   return kExitUsage;
 }
 
@@ -469,9 +488,11 @@ int cmd_report(const Args& args) {
   if (in.empty()) return usage();
   const JsonValue doc = load_json_file(in);
   const JsonValue* schema = doc.find("schema");
+  // Run and serve manifests share the chip/workload/results layout, so
+  // the report renders any esarp manifest family.
   if (schema == nullptr || !schema->is_string() ||
-      schema->as_string().rfind("esarp-run-manifest/", 0) != 0)
-    throw ContractViolation(in + " is not an esarp run manifest");
+      !telemetry::glob_match("esarp-*-manifest/*", schema->as_string()))
+    throw ContractViolation(in + " is not an esarp manifest");
 
   const auto* tool = doc.find("tool");
   const auto* version = doc.find("version");
@@ -841,6 +862,135 @@ int cmd_lint(const Args& args) {
   return analysis::total_findings(reports) == 0 ? kExitOk : kExitLintFindings;
 }
 
+/// SAR-as-a-service fleet runtime (docs/serving.md): replay an arrival
+/// trace (pinned file or generated Poisson/bursty) through N simulated
+/// chips with retry, migration and graceful degradation, optionally under
+/// a fleet chaos campaign, and report latency percentiles / SLO
+/// attainment / energy-per-image. Deterministic: same trace + seed =>
+/// byte-identical --metrics manifest.
+int cmd_serve(const Args& args) {
+  const std::string trace_path = args.str("trace");
+  const std::string gen = args.str("gen");
+  if (args.has("trace") && trace_path.empty()) return usage();
+  if (trace_path.empty() && gen.empty()) {
+    std::cerr << "serve: need an input trace (--trace f.json) or a "
+                 "generator (--gen poisson|bursty)\n";
+    return usage();
+  }
+
+  serve::ArrivalTrace trace;
+  if (!trace_path.empty()) {
+    trace = serve::load_trace(trace_path);
+  } else {
+    serve::TraceParams tp;
+    if (gen == "bursty") {
+      tp.bursty = true;
+    } else if (gen != "poisson") {
+      std::cerr << "unknown --gen: " << gen << " (want poisson|bursty)\n";
+      return usage();
+    }
+    const long n_jobs = args.num("jobs-count", 16);
+    tp.rate_hz = args.real("rate", 400.0);
+    tp.burst_mean = args.real("burst-mean", 4.0);
+    if (n_jobs < 1 || tp.rate_hz <= 0.0 || tp.burst_mean < 1.0)
+      return usage();
+    tp.n_jobs = static_cast<std::size_t>(n_jobs);
+    tp.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+    tp.n_pulses = static_cast<std::size_t>(args.num("pulses", 64));
+    tp.n_range = static_cast<std::size_t>(args.num("range", 101));
+    tp.n_cores = static_cast<int>(args.num("cores", 16));
+    tp.algo = serve::algo_from_string(args.str("algo", "ffbp"));
+    tp.deadline_s = args.real("deadline", 0.01);
+    if (tp.deadline_s <= 0.0) return usage();
+    trace = serve::make_trace(tp);
+  }
+  const std::string trace_out = args.str("trace-out");
+  if (args.has("trace-out") && trace_out.empty()) return usage();
+  if (!trace_out.empty()) {
+    serve::save_trace(trace_out, trace);
+    std::cout << "arrival trace written to " << trace_out << " ("
+              << trace.jobs.size() << " jobs)\n";
+  }
+
+  serve::FleetConfig fc;
+  fc.n_chips = static_cast<int>(args.num("chips", 4));
+  fc.host_jobs = static_cast<int>(args.num("jobs", 1));
+  fc.chaos.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  fc.chaos.chip_kill_rate = args.real("chip-kill", 0.0);
+  fc.chaos.dma_corrupt_rate = args.real("dma-corrupt", 0.0);
+  fc.chaos.dma_drop_rate = args.real("dma-drop", 0.0);
+  fc.chaos.membits_rate = args.real("membits", 0.0);
+  fc.chaos.noc_stall_rate = args.real("noc-stall", 0.0);
+  fc.policy.max_attempts = static_cast<int>(args.num("retry-max", 3));
+  fc.policy.max_degrade = static_cast<int>(args.num("degrade-max", 2));
+  fc.policy.backoff_base_s = args.real("backoff", 100e-6);
+  fc.policy.timeout_factor = args.real("timeout-factor", 8.0);
+  if (fc.n_chips < 1 || fc.policy.max_attempts < 1 ||
+      fc.policy.max_degrade < 0 || fc.policy.backoff_base_s < 0.0 ||
+      fc.policy.timeout_factor < 0.0) {
+    return usage();
+  }
+
+  std::cerr << "serving " << trace.jobs.size() << " job(s) on "
+            << fc.n_chips << " chip(s)"
+            << (fc.chaos.enabled() ? " under chaos" : "") << "...\n";
+  WallTimer timer;
+  serve::Fleet fleet(fc);
+  const serve::ServeReport rep = fleet.run(trace);
+  const serve::ServeCounters& c = rep.counters;
+
+  Table t("serve campaign (" + std::to_string(fc.n_chips) +
+          " chips, seed " + std::to_string(fc.chaos.seed) + ")");
+  t.header({"Metric", "Value"});
+  t.row({"jobs met / late / degraded",
+         std::to_string(c.jobs_met) + " / " + std::to_string(c.jobs_late) +
+             " / " + std::to_string(c.jobs_degraded)});
+  t.row({"jobs lost", std::to_string(c.jobs_lost)});
+  t.row({"SLO attainment", Table::num(rep.slo_attainment * 100.0, 1) + " %"});
+  t.row({"latency p50 / p95 / p99",
+         format_seconds(rep.latency_p50_s) + " / " +
+             format_seconds(rep.latency_p95_s) + " / " +
+             format_seconds(rep.latency_p99_s)});
+  t.row({"throughput", format_rate(rep.throughput_jobs_per_s, "jobs")});
+  t.row({"energy per image", Table::num(rep.energy_per_image_j * 1e3, 3) +
+                                 " mJ"});
+  t.row({"attempts / retries", std::to_string(c.attempts) + " / " +
+                                   std::to_string(c.retries)});
+  t.row({"migrations / degradations",
+         std::to_string(c.migrations) + " / " +
+             std::to_string(c.degradations)});
+  t.row({"chip kills / timeouts / checksum fails",
+         std::to_string(c.chip_kills) + " / " + std::to_string(c.timeouts) +
+             " / " + std::to_string(c.checksum_failures)});
+  t.row({"fleet makespan", format_seconds(rep.makespan_s)});
+  std::size_t alive = 0;
+  for (const serve::ChipStatus& cs : rep.chips)
+    if (cs.health != serve::ChipHealth::kFailed) ++alive;
+  t.row({"chips alive", std::to_string(alive) + " / " +
+                            std::to_string(rep.chips.size())});
+  {
+    std::ostringstream hash;
+    hash << std::hex << rep.schedule_hash;
+    t.note("schedule hash " + hash.str() +
+           " (same trace + seed => same campaign); host wall time " +
+           format_seconds(timer.elapsed_s()));
+  }
+  t.print(std::cout);
+
+  const std::string metrics_path = args.str("metrics");
+  if (args.has("metrics") && metrics_path.empty()) return usage();
+  if (!metrics_path.empty()) {
+    telemetry::RunManifest man("esarp_serve");
+    serve::fill_serve_manifest(man, fc, trace, rep);
+    telemetry::MetricsRegistry reg;
+    serve::fill_serve_metrics(reg, rep);
+    man.set_metrics(&reg);
+    man.write(std::filesystem::path(metrics_path));
+    std::cout << "serve manifest written to " << metrics_path << "\n";
+  }
+  return kExitOk;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -860,6 +1010,7 @@ int main(int argc, char** argv) {
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "report") return cmd_report(args);
     if (cmd == "lint") return cmd_lint(args);
+    if (cmd == "serve") return cmd_serve(args);
   } catch (const fault::FaultUnrecovered& e) {
     std::cerr << "fault unrecovered: " << e.what() << "\n";
     return kExitFaultUnrecovered;

@@ -19,7 +19,11 @@
 //   esarp_compare a.json b.json --threshold 0.0 --noisy-metric 'wall_*=0.15'
 //
 // Resolution order per key: --metric exact match, first matching
-// --noisy-metric pattern, then the default threshold (results.* only). A
+// --noisy-metric pattern, then the builtin latency/SLO noise band (keys
+// named latency_* or slo_* default to a 10% relative band because order
+// statistics over small job populations are legitimately noisy — override
+// with --latency-band, e.g. --latency-band 0.0 when diffing same-seed
+// deterministic runs), then the default threshold (results.* only). A
 // pattern that matches nothing is fine; an exact --metric key missing from
 // either manifest is a named failure.
 //
@@ -50,6 +54,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--threshold") {
       if (++i >= argc) { paths.clear(); break; }
       opt.default_threshold = std::stod(argv[i]);
+    } else if (arg == "--latency-band") {
+      if (++i >= argc) { paths.clear(); break; }
+      opt.latency_slo_band = std::stod(argv[i]);
     } else if (arg == "--metric") {
       if (++i >= argc) { paths.clear(); break; }
       const std::string spec = argv[i];
@@ -73,7 +80,7 @@ int main(int argc, char** argv) {
   }
   if (paths.size() != 2) {
     std::cerr << "usage: esarp_compare base.json current.json"
-                 " [--threshold X] [--metric key=thr ...]"
+                 " [--threshold X] [--latency-band X] [--metric key=thr ...]"
                  " [--noisy-metric pattern=thr ...] [--verbose]\n";
     return 2;
   }
