@@ -5,10 +5,12 @@
 #include <limits>
 #include <sstream>
 
+#include "analysis/cost_model.hpp"
 #include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "core/ffbp_epiphany.hpp"
 #include "core/gbp_epiphany.hpp"
+#include "core/mapping_desc.hpp"
 #include "epiphany/scheduler.hpp"
 #include "fault/injector.hpp"
 #include "host/sweep_runner.hpp"
@@ -67,6 +69,13 @@ enum class AttemptStatus : std::uint8_t {
   kUnrecovered, ///< on-chip recovery exhausted (fault::FaultUnrecovered)
 };
 
+/// Schedule-hash status codes for events with no AttemptStatus of their
+/// own. Distinct from every AttemptStatus value; both only ever mix into
+/// the hash when hedging / shedding is enabled, so campaigns with the
+/// overload policies off reproduce PR 8 hashes bit for bit.
+constexpr std::uint64_t kHashCancelled = 5; ///< attempt cut short by a winner
+constexpr std::uint64_t kHashShed = 6;      ///< job retired by admission control
+
 /// One resolved dispatch: everything exec_attempt needs, with the scene
 /// data and fault-free reference memoized on the scheduler thread so the
 /// worker pool only reads shared state.
@@ -74,6 +83,8 @@ struct Attempt {
   int job_id = 0;
   int attempt = 0; ///< 0-based attempt index across degrade levels
   int chip = 0;
+  bool is_hedge = false; ///< duplicate attempt launched near the deadline
+  double est_service_s = 0.0; ///< memoized clean makespan (wait estimator)
   const Array2D<cf32>* data = nullptr;
   sar::RadarParams params;
   Algo algo = Algo::kFfbp;
@@ -169,6 +180,15 @@ Fleet::Fleet(FleetConfig cfg) : cfg_(std::move(cfg)) {
   ESARP_EXPECTS(cfg_.policy.max_degrade >= 0);
   ESARP_EXPECTS(cfg_.policy.backoff_base_s >= 0.0);
   ESARP_EXPECTS(cfg_.policy.timeout_factor >= 0.0);
+  ESARP_EXPECTS(cfg_.policy.shed.deadline_factor > 0.0);
+  ESARP_EXPECTS(cfg_.policy.hedge.margin_factor > 0.0);
+  ESARP_EXPECTS(cfg_.policy.probation_clean_limit >= 0);
+  ESARP_EXPECTS(cfg_.initial_health.empty() ||
+                cfg_.initial_health.size() ==
+                    static_cast<std::size_t>(cfg_.n_chips));
+  for (const ChipHealth h : cfg_.initial_health) {
+    ESARP_EXPECTS(h != ChipHealth::kFailed);
+  }
 }
 
 const Array2D<cf32>& Fleet::scene_data(std::size_t pulses,
@@ -214,6 +234,38 @@ const Fleet::CleanRef& Fleet::clean_ref(const SimKey& key) {
   return clean_cache_.emplace(key, ref).first->second;
 }
 
+double Fleet::model_rel_err(const SimKey& key) {
+  (void)clean_ref(key); // ensure the simulated reference exists
+  CleanRef& ref = clean_cache_.find(key)->second;
+  if (ref.model_rel_err >= 0.0) return ref.model_rel_err;
+  // The shed policy packs queues with the *simulated* clean makespans; the
+  // analytic model (src/analysis) independently predicts the same mapping
+  // so a corrupted or stale memo cannot silently mis-steer admission
+  // control. The worst divergence is surfaced as shed_model_max_rel_err.
+  const sar::RadarParams p = sar::test_params(key.pulses, key.range);
+  analysis::MappingSpec spec;
+  if (static_cast<Algo>(key.algo) == Algo::kFfbp) {
+    core::FfbpMapOptions opt;
+    opt.n_cores = key.cores;
+    spec = core::describe_ffbp_mapping(p, opt, cfg_.chip);
+  } else {
+    spec = core::describe_gbp_mapping(p, key.cores, cfg_.chip);
+  }
+  const analysis::CostPrediction pred = analysis::predict_cost(spec);
+  ref.model_rel_err =
+      std::abs(static_cast<double>(pred.makespan) -
+               static_cast<double>(ref.cycles)) /
+      static_cast<double>(ref.cycles);
+  return ref.model_rel_err;
+}
+
+double backoff_delay_s(double base_s, int attempts_total) {
+  ESARP_EXPECTS(attempts_total >= 1);
+  const unsigned shift =
+      std::min<unsigned>(static_cast<unsigned>(attempts_total - 1), 20);
+  return base_s * static_cast<double>(1ULL << shift);
+}
+
 double percentile(std::vector<double> xs, double q) {
   ESARP_EXPECTS(!xs.empty());
   ESARP_EXPECTS(q > 0.0 && q <= 1.0);
@@ -232,6 +284,8 @@ ServeReport Fleet::run(const ArrivalTrace& trace) {
     ESARP_EXPECTS(trace.jobs[i].deadline_s > 0.0);
   }
 
+  const ServePolicy& pol = cfg_.policy;
+
   struct Pending {
     JobSpec spec;
     double release_s = 0.0;
@@ -239,91 +293,163 @@ ServeReport Fleet::run(const ArrivalTrace& trace) {
     int attempts_total = 0;
     int degrade = 0;
     int migrations = 0;
+    int hedges = 0;      ///< hedge attempts launched for this job
+    int inflight = 0;    ///< attempts currently running (<= 2 with hedging)
+    bool hedged = false; ///< a hedge was launched (at most one per job)
     int last_chip = -1;
+    int active_chip = -1; ///< chip of the primary running attempt
     double first_dispatch_s = -1.0;
   };
   struct Inflight {
-    Pending job;
+    int job_id = 0;
+    int attempts_snapshot = 0; ///< job's attempts_total just after launch
     int chip = 0;
+    bool is_hedge = false;
+    bool cancelled = false; ///< a sibling attempt already delivered
     double start_s = 0.0;
     double finish_s = 0.0;
+    double est_service_s = 0.0; ///< clean makespan (queue-wait estimator)
     AttemptOutcome out;
   };
 
   ServeReport rep;
   rep.jobs.resize(trace.jobs.size());
   rep.chips.assign(static_cast<std::size_t>(cfg_.n_chips), ChipStatus{});
+  for (std::size_t c = 0; c < cfg_.initial_health.size(); ++c) {
+    rep.chips[c].health = cfg_.initial_health[c];
+  }
   ServeCounters& ctr = rep.counters;
   ctr.jobs_total = trace.jobs.size();
 
   std::vector<bool> finished(trace.jobs.size(), false);
   std::vector<bool> chip_busy(static_cast<std::size_t>(cfg_.n_chips), false);
   std::vector<Pending> waiting;
+  std::map<int, Pending> live; ///< jobs with at least one running attempt
   std::vector<Inflight> running;
   host::SweepRunner pool(cfg_.host_jobs);
 
   std::uint64_t hash = kFnvOffset;
+  double shed_model_err = 0.0;
   double now = 0.0;
   double makespan = 0.0;
   std::size_t next_arrival = 0;
   std::size_t remaining = trace.jobs.size();
 
-  const auto requeue = [&](Inflight& inf) {
-    Pending j = inf.job;
-    j.last_chip = inf.chip;
+  /// Memoized clean makespan of the job's shape at its degrade level —
+  /// the service-time estimate the shed policy packs queues with.
+  const auto clean_service_s = [&](const JobSpec& spec, int degrade) {
+    const std::size_t pulses =
+        degraded_pulses(spec.n_pulses, degrade, spec.n_cores);
+    const SimKey key{pulses, spec.n_range, static_cast<int>(spec.algo),
+                     spec.n_cores};
+    if (pol.shed.enabled) {
+      shed_model_err = std::max(shed_model_err, model_rel_err(key));
+    }
+    return clean_ref(key).seconds;
+  };
+
+  const auto requeue = [&](Pending j, int from_chip, double finish_s) {
+    j.last_chip = from_chip;
+    j.active_chip = -1;
+    j.inflight = 0;
     ctr.retries++;
-    if (j.attempts_level >= cfg_.policy.max_attempts) {
+    if (j.attempts_level >= pol.max_attempts) {
       // Retry budget for this quality level is spent: escalate to a
       // smaller aperture (one fewer FFBP merge level) with a fresh
       // budget, rather than dropping the job.
       j.degrade++;
       j.attempts_level = 0;
       ctr.degradations++;
-      if (j.degrade > cfg_.policy.max_degrade) {
+      if (j.degrade > pol.max_degrade) {
         std::ostringstream msg;
         msg << "serve: job " << j.spec.id << " exhausted "
             << j.attempts_total << " attempts at max degradation level "
-            << cfg_.policy.max_degrade;
+            << pol.max_degrade;
         throw fault::FaultUnrecovered(msg.str());
       }
     }
-    const unsigned shift =
-        std::min<unsigned>(static_cast<unsigned>(j.attempts_total - 1), 20);
-    j.release_s = inf.finish_s + cfg_.policy.backoff_base_s *
-                                     static_cast<double>(1ULL << shift);
+    j.release_s =
+        finish_s + backoff_delay_s(pol.backoff_base_s, j.attempts_total);
     waiting.push_back(j);
   };
 
   const auto retire = [&](Inflight& inf) {
+    const auto id = static_cast<std::size_t>(inf.job_id);
     chip_busy[static_cast<std::size_t>(inf.chip)] = false;
     ChipStatus& cs = rep.chips[static_cast<std::size_t>(inf.chip)];
     cs.busy_s += inf.finish_s - inf.start_s;
+    Pending& j = live.at(inf.job_id);
+    const auto drop_inflight = [&] {
+      if (--j.inflight == 0) live.erase(inf.job_id);
+    };
+
+    if (inf.cancelled) {
+      // A sibling attempt already delivered this job: the chip is simply
+      // released at the win instant. No fault or health bookkeeping — the
+      // attempt's simulated outcome never materialized.
+      fnv_mix(hash, static_cast<std::uint64_t>(inf.job_id));
+      fnv_mix(hash, static_cast<std::uint64_t>(inf.attempts_snapshot));
+      fnv_mix(hash, static_cast<std::uint64_t>(inf.chip));
+      fnv_mix(hash, kHashCancelled);
+      fnv_mix(hash, inf.out.cycles);
+      ctr.hedge_cancelled++;
+      if (inf.is_hedge) ctr.hedge_wasted++;
+      drop_inflight();
+      return;
+    }
+
     cs.faults_detected += inf.out.faults.detected;
+    cs.fault_window += inf.out.faults.detected;
     ctr.faults_injected += inf.out.faults.injected;
     ctr.faults_detected += inf.out.faults.detected;
     ctr.faults_recovered += inf.out.faults.recovered;
     if (cs.health == ChipHealth::kHealthy &&
-        cs.faults_detected > cfg_.policy.health_fault_limit) {
+        cs.fault_window > pol.health_fault_limit) {
       cs.health = ChipHealth::kDegraded;
+      cs.consecutive_clean = 0;
+      cs.probations++;
+      ctr.chip_probations++;
     }
-    fnv_mix(hash, static_cast<std::uint64_t>(inf.job.spec.id));
-    fnv_mix(hash, static_cast<std::uint64_t>(inf.job.attempts_total));
+    fnv_mix(hash, static_cast<std::uint64_t>(inf.job_id));
+    fnv_mix(hash, static_cast<std::uint64_t>(inf.attempts_snapshot));
     fnv_mix(hash, static_cast<std::uint64_t>(inf.chip));
     fnv_mix(hash, static_cast<std::uint64_t>(inf.out.status));
     fnv_mix(hash, inf.out.cycles);
+
+    // Probation: a degraded chip earns back kHealthy after
+    // probation_clean_limit consecutive clean attempts; any failure or
+    // detected fault resets the streak.
+    if (pol.probation_clean_limit > 0 && cs.health == ChipHealth::kDegraded) {
+      if (inf.out.status == AttemptStatus::kOk &&
+          inf.out.faults.detected == 0) {
+        if (++cs.consecutive_clean >= pol.probation_clean_limit) {
+          cs.health = ChipHealth::kHealthy;
+          cs.fault_window = 0;
+          cs.consecutive_clean = 0;
+          cs.recoveries++;
+          ctr.chip_recoveries++;
+        }
+      } else {
+        cs.consecutive_clean = 0;
+      }
+    }
 
     switch (inf.out.status) {
       case AttemptStatus::kOk: {
         cs.jobs_completed++;
         cs.energy_j += inf.out.energy_j;
-        JobRecord& rec = rep.jobs[static_cast<std::size_t>(inf.job.spec.id)];
-        rec.spec = inf.job.spec;
-        rec.start_s = inf.job.first_dispatch_s;
+        ESARP_REQUIRE(!finished[id],
+                      "serve: duplicate delivery for one job (siblings "
+                      "must be cancelled at the win instant)");
+        JobRecord& rec = rep.jobs[id];
+        rec.spec = j.spec;
+        rec.start_s = j.first_dispatch_s;
         rec.finish_s = inf.finish_s;
-        rec.latency_s = inf.finish_s - inf.job.spec.arrival_s;
-        rec.attempts = inf.job.attempts_total;
-        rec.migrations = inf.job.migrations;
-        rec.degrade_level = inf.job.degrade;
+        rec.latency_s = inf.finish_s - j.spec.arrival_s;
+        rec.attempts = j.attempts_total;
+        rec.migrations = j.migrations;
+        rec.degrade_level = j.degrade;
+        rec.hedges = j.hedges;
         rec.chip = inf.chip;
         rec.sim_cycles = inf.out.cycles;
         rec.energy_j = inf.out.energy_j;
@@ -331,16 +457,28 @@ ServeReport Fleet::run(const ArrivalTrace& trace) {
         if (rec.degrade_level > 0) {
           rec.state = JobState::kDegraded;
           ctr.jobs_degraded++;
-        } else if (rec.latency_s <= inf.job.spec.deadline_s) {
+        } else if (rec.latency_s <= j.spec.deadline_s) {
           rec.state = JobState::kMet;
           ctr.jobs_met++;
         } else {
           rec.state = JobState::kLate;
           ctr.jobs_late++;
         }
-        finished[static_cast<std::size_t>(inf.job.spec.id)] = true;
+        finished[id] = true;
         remaining--;
         makespan = std::max(makespan, inf.finish_s);
+        if (inf.is_hedge) ctr.hedge_wins++;
+        // First success wins: every sibling attempt is cut short at this
+        // instant (the retire sweep restarts, so they release their chips
+        // within the same instant). Launch order breaks exact ties —
+        // running[] preserves it, and the original launches first.
+        for (Inflight& r : running) {
+          if (r.job_id == inf.job_id) {
+            r.cancelled = true;
+            r.finish_s = inf.finish_s;
+          }
+        }
+        drop_inflight();
         return;
       }
       case AttemptStatus::kChipKilled:
@@ -352,7 +490,16 @@ ServeReport Fleet::run(const ArrivalTrace& trace) {
       case AttemptStatus::kCorrupt: ctr.checksum_failures++; break;
       case AttemptStatus::kUnrecovered: break;
     }
-    requeue(inf);
+    if (inf.is_hedge) ctr.hedge_wasted++;
+    if (j.inflight > 1) {
+      // A sibling attempt is still running and now carries the job alone;
+      // this failure only costs the counters above.
+      drop_inflight();
+      return;
+    }
+    const Pending copy = j;
+    drop_inflight();
+    requeue(copy, inf.chip, inf.finish_s);
   };
 
   // Prefer a different chip than the failed attempt's (migration), then a
@@ -377,15 +524,74 @@ ServeReport Fleet::run(const ArrivalTrace& trace) {
     return best;
   };
 
+  /// Build one dispatch-ready Attempt for job `j` on `chip` (shared by
+  /// the queue dispatch and the hedge launch paths). Increments the job's
+  /// attempt counter; attempts_level is the caller's call — hedges don't
+  /// burn retry budget.
+  const auto make_attempt = [&](Pending& j, int chip, bool is_hedge) {
+    Attempt a;
+    a.job_id = j.spec.id;
+    a.attempt = j.attempts_total;
+    a.chip = chip;
+    a.is_hedge = is_hedge;
+    a.algo = j.spec.algo;
+    a.cores = j.spec.n_cores;
+    const std::size_t pulses =
+        degraded_pulses(j.spec.n_pulses, j.degrade, j.spec.n_cores);
+    a.data = &scene_data(pulses, j.spec.n_range);
+    a.params = sar::test_params(pulses, j.spec.n_range);
+    const CleanRef& ref = clean_ref(SimKey{pulses, j.spec.n_range,
+                                           static_cast<int>(j.spec.algo),
+                                           j.spec.n_cores});
+    a.clean_cycles = ref.cycles;
+    a.clean_energy_j = ref.energy_j;
+    a.clean_checksum = ref.checksum;
+    a.est_service_s = ref.seconds;
+    if (pol.timeout_factor > 0.0) {
+      a.timeout_cycles = static_cast<std::uint64_t>(
+          pol.timeout_factor * static_cast<double>(ref.cycles));
+    }
+    if (cfg_.chaos.enabled()) {
+      a.plan.seed = attempt_seed(cfg_.chaos.seed, a.job_id, a.attempt,
+                                 a.chip);
+      a.plan.dma_corrupt_rate = cfg_.chaos.dma_corrupt_rate;
+      a.plan.dma_drop_rate = cfg_.chaos.dma_drop_rate;
+      a.plan.membits_rate = cfg_.chaos.membits_rate;
+      a.plan.noc_stall_rate = cfg_.chaos.noc_stall_rate;
+      if (cfg_.chaos.chip_kill_rate > 0.0) {
+        SplitMix64 sm(a.plan.seed ^ 0x6368697066616b65ULL);
+        if (u01(sm.next()) < cfg_.chaos.chip_kill_rate) {
+          // Kill cycle uniform in 10..90% of the fault-free makespan:
+          // always mid-job, never so early the dispatch is free.
+          const std::uint64_t lo = std::max<std::uint64_t>(
+              ref.cycles / 10, 1);
+          const std::uint64_t span =
+              std::max<std::uint64_t>(ref.cycles * 8 / 10, 1);
+          a.plan.chip_fail_cycle = lo + sm.next() % span;
+        }
+      }
+    }
+    chip_busy[static_cast<std::size_t>(chip)] = true;
+    rep.chips[static_cast<std::size_t>(chip)].attempts++;
+    ctr.attempts++;
+    j.attempts_total++;
+    return a;
+  };
+
   while (remaining > 0) {
     // 1. Retire every attempt finishing at or before the fleet clock.
     //    Event times are assigned, never accumulated, so the comparison
-    //    is exact.
+    //    is exact. A delivery cancels its sibling attempts *at this
+    //    instant*, which can make an already-scanned entry due — restart
+    //    the sweep after each retirement so cancellations drain within
+    //    the same instant (relative order is preserved, so ties still
+    //    resolve by launch order).
     for (std::size_t i = 0; i < running.size();) {
       if (running[i].finish_s <= now) {
         Inflight inf = running[i];
         running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
         retire(inf);
+        i = 0;
       } else {
         ++i;
       }
@@ -401,17 +607,84 @@ ServeReport Fleet::run(const ArrivalTrace& trace) {
       ++next_arrival;
     }
 
-    // 3. Dispatch released jobs to free chips, oldest release first (job
-    //    id breaks ties) — then run the instant's batch on the worker
-    //    pool in index order (deterministic regardless of host_jobs).
+    // 3. Order the queue. EDF (default): priority class descending, then
+    //    earliest absolute deadline, then job id. FIFO: oldest release
+    //    first, job id breaking ties (PR 8's order, bit-for-bit).
     std::sort(waiting.begin(), waiting.end(),
-              [](const Pending& a, const Pending& b) {
+              [&](const Pending& a, const Pending& b) {
+                if (pol.dispatch == DispatchOrder::kEdf) {
+                  if (a.spec.priority != b.spec.priority)
+                    return a.spec.priority > b.spec.priority;
+                  const double da = a.spec.arrival_s + a.spec.deadline_s;
+                  const double db = b.spec.arrival_s + b.spec.deadline_s;
+                  if (da != db) return da < db;
+                  return a.spec.id < b.spec.id;
+                }
                 if (a.release_s != b.release_s)
                   return a.release_s < b.release_s;
                 return a.spec.id < b.spec.id;
               });
+
+    // 4. Admission control: virtually pack the released queue (in
+    //    dispatch order) onto the chips' estimated free times using the
+    //    memoized clean makespans, and shed the jobs that are already
+    //    doomed — estimated finish past arrival + deadline_factor x
+    //    deadline — when their priority class is sheddable. Non-sheddable
+    //    doomed jobs still reserve their slot (they will run).
+    if (pol.shed.enabled) {
+      std::vector<double> free_at;
+      for (int c = 0; c < cfg_.n_chips; ++c) {
+        const ChipStatus& cs = rep.chips[static_cast<std::size_t>(c)];
+        if (cs.health == ChipHealth::kFailed) continue;
+        double t = now;
+        for (const Inflight& r : running) {
+          if (r.chip == c) t = std::max(t, r.start_s + r.est_service_s);
+        }
+        free_at.push_back(t);
+      }
+      for (std::size_t i = 0; i < waiting.size() && !free_at.empty();) {
+        Pending& j = waiting[i];
+        if (j.release_s > now) {
+          ++i;
+          continue;
+        }
+        const double svc = clean_service_s(j.spec, j.degrade);
+        auto slot = std::min_element(free_at.begin(), free_at.end());
+        const double est_finish = std::max(*slot, now) + svc;
+        const double doom_line =
+            j.spec.arrival_s + pol.shed.deadline_factor * j.spec.deadline_s;
+        if (est_finish > doom_line &&
+            j.spec.priority <= pol.shed.max_shed_priority) {
+          const auto id = static_cast<std::size_t>(j.spec.id);
+          JobRecord& rec = rep.jobs[id];
+          rec.spec = j.spec;
+          rec.state = JobState::kShed;
+          rec.start_s = std::max(j.first_dispatch_s, 0.0);
+          rec.finish_s = now;
+          rec.latency_s = now - j.spec.arrival_s;
+          rec.attempts = j.attempts_total;
+          rec.migrations = j.migrations;
+          rec.degrade_level = j.degrade;
+          rec.hedges = j.hedges;
+          rec.chip = -1;
+          fnv_mix(hash, static_cast<std::uint64_t>(j.spec.id));
+          fnv_mix(hash, static_cast<std::uint64_t>(j.attempts_total));
+          fnv_mix(hash, kHashShed);
+          finished[id] = true;
+          remaining--;
+          ctr.jobs_shed++;
+          waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+          *slot = est_finish;
+          ++i;
+        }
+      }
+    }
+
+    // 5. Dispatch released jobs to free chips in queue order, then run
+    //    the instant's batch on the worker pool in index order
+    //    (deterministic regardless of host_jobs).
     std::vector<Attempt> batch;
-    std::vector<Pending> batch_jobs;
     for (std::size_t i = 0; i < waiting.size();) {
       if (waiting[i].release_s > now) {
         ++i;
@@ -427,65 +700,50 @@ ServeReport Fleet::run(const ArrivalTrace& trace) {
         j.migrations++;
         ctr.migrations++;
       }
-      chip_busy[static_cast<std::size_t>(chip)] = true;
-      rep.chips[static_cast<std::size_t>(chip)].attempts++;
-      ctr.attempts++;
-
-      Attempt a;
-      a.job_id = j.spec.id;
-      a.attempt = j.attempts_total;
-      a.chip = chip;
-      a.algo = j.spec.algo;
-      a.cores = j.spec.n_cores;
-      const std::size_t pulses =
-          degraded_pulses(j.spec.n_pulses, j.degrade, j.spec.n_cores);
-      a.data = &scene_data(pulses, j.spec.n_range);
-      a.params = sar::test_params(pulses, j.spec.n_range);
-      const CleanRef& ref = clean_ref(SimKey{pulses, j.spec.n_range,
-                                             static_cast<int>(j.spec.algo),
-                                             j.spec.n_cores});
-      a.clean_cycles = ref.cycles;
-      a.clean_energy_j = ref.energy_j;
-      a.clean_checksum = ref.checksum;
-      if (cfg_.policy.timeout_factor > 0.0) {
-        a.timeout_cycles = static_cast<std::uint64_t>(
-            cfg_.policy.timeout_factor * static_cast<double>(ref.cycles));
-      }
-      if (cfg_.chaos.enabled()) {
-        a.plan.seed = attempt_seed(cfg_.chaos.seed, a.job_id, a.attempt,
-                                   a.chip);
-        a.plan.dma_corrupt_rate = cfg_.chaos.dma_corrupt_rate;
-        a.plan.dma_drop_rate = cfg_.chaos.dma_drop_rate;
-        a.plan.membits_rate = cfg_.chaos.membits_rate;
-        a.plan.noc_stall_rate = cfg_.chaos.noc_stall_rate;
-        if (cfg_.chaos.chip_kill_rate > 0.0) {
-          SplitMix64 sm(a.plan.seed ^ 0x6368697066616b65ULL);
-          if (u01(sm.next()) < cfg_.chaos.chip_kill_rate) {
-            // Kill cycle uniform in 10..90% of the fault-free makespan:
-            // always mid-job, never so early the dispatch is free.
-            const std::uint64_t lo = std::max<std::uint64_t>(
-                ref.cycles / 10, 1);
-            const std::uint64_t span =
-                std::max<std::uint64_t>(ref.cycles * 8 / 10, 1);
-            a.plan.chip_fail_cycle = lo + sm.next() % span;
-          }
-        }
-      }
-      j.attempts_total++;
+      batch.push_back(make_attempt(j, chip, false));
       j.attempts_level++;
-      batch.push_back(a);
-      batch_jobs.push_back(j);
+      j.inflight = 1;
+      j.active_chip = chip;
+      live.emplace(j.spec.id, j);
     }
+
+    // 6. Hedge: for each singly-running, not-yet-hedged job of sufficient
+    //    priority whose deadline slack has dropped below margin_factor x
+    //    its clean service time, launch a duplicate attempt on a free
+    //    chip. Iteration over `live` is in job-id order — deterministic.
+    //    A job already past its deadline is not hedged (a duplicate can
+    //    no longer save the SLO).
+    if (pol.hedge.enabled) {
+      for (auto& [jid, j] : live) {
+        if (j.hedged || j.inflight != 1) continue;
+        if (j.spec.priority < pol.hedge.min_priority) continue;
+        const double abs_deadline = j.spec.arrival_s + j.spec.deadline_s;
+        if (now >= abs_deadline) continue;
+        const double svc = clean_service_s(j.spec, j.degrade);
+        if (abs_deadline - now >= pol.hedge.margin_factor * svc) continue;
+        const int chip = pick_chip(j.active_chip);
+        if (chip < 0) continue;
+        j.hedged = true;
+        j.hedges++;
+        j.inflight++;
+        ctr.hedges_launched++;
+        batch.push_back(make_attempt(j, chip, true));
+      }
+    }
+
     if (!batch.empty()) {
       auto outs = pool.run(batch.size(), [&](std::size_t i) {
         return exec_attempt(batch[i], cfg_.chip);
       });
       for (std::size_t i = 0; i < batch.size(); ++i) {
         Inflight inf;
-        inf.job = batch_jobs[i];
+        inf.job_id = batch[i].job_id;
+        inf.attempts_snapshot = batch[i].attempt + 1;
         inf.chip = batch[i].chip;
+        inf.is_hedge = batch[i].is_hedge;
         inf.start_s = now;
         inf.finish_s = now + cfg_.chip.seconds(outs[i].cycles);
+        inf.est_service_s = batch[i].est_service_s;
         inf.out = outs[i];
         running.push_back(inf);
       }
@@ -521,10 +779,14 @@ ServeReport Fleet::run(const ArrivalTrace& trace) {
     ESARP_REQUIRE(finished[id], "serve: job without terminal state");
   }
 
+  // Latency order statistics and energy-per-image cover *delivered* jobs
+  // only — a shed job has no delivery to measure — while slo_attainment
+  // keeps jobs_total as its denominator, so shedding can never flatter
+  // the SLO.
   std::vector<double> latencies;
   latencies.reserve(rep.jobs.size());
   for (const JobRecord& r : rep.jobs) {
-    latencies.push_back(r.latency_s);
+    if (r.state != JobState::kShed) latencies.push_back(r.latency_s);
     rep.energy_total_j += r.energy_j;
     fnv_mix(hash, static_cast<std::uint64_t>(r.spec.id));
     fnv_mix(hash, static_cast<std::uint64_t>(r.state));
@@ -534,26 +796,32 @@ ServeReport Fleet::run(const ArrivalTrace& trace) {
     fnv_mix(hash, r.image_checksum);
   }
   rep.makespan_s = makespan;
-  rep.latency_p50_s = percentile(latencies, 0.50);
-  rep.latency_p95_s = percentile(latencies, 0.95);
-  rep.latency_p99_s = percentile(latencies, 0.99);
-  rep.latency_max_s = *std::max_element(latencies.begin(), latencies.end());
-  double sum = 0.0;
-  for (const double l : latencies) sum += l;
-  rep.latency_mean_s = sum / static_cast<double>(latencies.size());
+  if (!latencies.empty()) {
+    rep.latency_p50_s = percentile(latencies, 0.50);
+    rep.latency_p95_s = percentile(latencies, 0.95);
+    rep.latency_p99_s = percentile(latencies, 0.99);
+    rep.latency_max_s =
+        *std::max_element(latencies.begin(), latencies.end());
+    double sum = 0.0;
+    for (const double l : latencies) sum += l;
+    rep.latency_mean_s = sum / static_cast<double>(latencies.size());
+  }
   rep.throughput_jobs_per_s =
       makespan > 0.0 ? static_cast<double>(ctr.jobs_total) / makespan : 0.0;
+  const std::uint64_t delivered = ctr.jobs_total - ctr.jobs_shed;
   rep.energy_per_image_j =
-      rep.energy_total_j / static_cast<double>(ctr.jobs_total);
+      delivered > 0 ? rep.energy_total_j / static_cast<double>(delivered)
+                    : 0.0;
   rep.slo_attainment = static_cast<double>(ctr.jobs_met) /
                        static_cast<double>(ctr.jobs_total);
+  rep.shed_model_max_rel_err = shed_model_err;
   rep.schedule_hash = hash;
   return rep;
 }
 
 void fill_serve_manifest(telemetry::RunManifest& m, const FleetConfig& cfg,
                          const ArrivalTrace& trace, const ServeReport& rep) {
-  m.set_schema("esarp-serve-manifest/1");
+  m.set_schema("esarp-serve-manifest/2");
   m.add_chip("rows", cfg.chip.rows);
   m.add_chip("cols", cfg.chip.cols);
   m.add_chip("clock_hz", cfg.chip.clock_hz);
@@ -571,6 +839,29 @@ void fill_serve_manifest(telemetry::RunManifest& m, const FleetConfig& cfg,
   m.add_workload("max_degrade", cfg.policy.max_degrade);
   m.add_workload("backoff_base_s", cfg.policy.backoff_base_s);
   m.add_workload("timeout_factor", cfg.policy.timeout_factor);
+  m.add_workload("dispatch_edf",
+                 cfg.policy.dispatch == DispatchOrder::kEdf ? 1.0 : 0.0);
+  m.add_workload("shed_enabled", cfg.policy.shed.enabled ? 1.0 : 0.0);
+  m.add_workload("shed_deadline_factor", cfg.policy.shed.deadline_factor);
+  m.add_workload("shed_max_priority",
+                 static_cast<int>(cfg.policy.shed.max_shed_priority));
+  m.add_workload("hedge_enabled", cfg.policy.hedge.enabled ? 1.0 : 0.0);
+  m.add_workload("hedge_margin_factor", cfg.policy.hedge.margin_factor);
+  m.add_workload("hedge_min_priority",
+                 static_cast<int>(cfg.policy.hedge.min_priority));
+  m.add_workload("probation_clean_limit",
+                 cfg.policy.probation_clean_limit);
+  std::uint64_t n_low = 0;
+  std::uint64_t n_normal = 0;
+  std::uint64_t n_high = 0;
+  for (const JobSpec& j : trace.jobs) {
+    if (j.priority == Priority::kLow) n_low++;
+    else if (j.priority == Priority::kHigh) n_high++;
+    else n_normal++;
+  }
+  m.add_workload("n_priority_low", static_cast<double>(n_low));
+  m.add_workload("n_priority_normal", static_cast<double>(n_normal));
+  m.add_workload("n_priority_high", static_cast<double>(n_high));
 
   const ServeCounters& c = rep.counters;
   m.add_result("jobs_total", static_cast<double>(c.jobs_total));
@@ -590,6 +881,14 @@ void fill_serve_manifest(telemetry::RunManifest& m, const FleetConfig& cfg,
   m.add_result("faults_detected", static_cast<double>(c.faults_detected));
   m.add_result("faults_recovered",
                static_cast<double>(c.faults_recovered));
+  m.add_result("jobs_shed", static_cast<double>(c.jobs_shed));
+  m.add_result("hedges_launched", static_cast<double>(c.hedges_launched));
+  m.add_result("hedge_wins", static_cast<double>(c.hedge_wins));
+  m.add_result("hedge_wasted", static_cast<double>(c.hedge_wasted));
+  m.add_result("hedge_cancelled", static_cast<double>(c.hedge_cancelled));
+  m.add_result("chip_probations", static_cast<double>(c.chip_probations));
+  m.add_result("chip_recoveries", static_cast<double>(c.chip_recoveries));
+  m.add_result("shed_model_max_rel_err", rep.shed_model_max_rel_err);
   m.add_result("latency_p50_s", rep.latency_p50_s);
   m.add_result("latency_p95_s", rep.latency_p95_s);
   m.add_result("latency_p99_s", rep.latency_p99_s);
@@ -623,6 +922,12 @@ void fill_serve_metrics(telemetry::MetricsRegistry& reg,
   reg.counter("serve.jobs_met").add(c.jobs_met);
   reg.counter("serve.jobs_late").add(c.jobs_late);
   reg.counter("serve.jobs_degraded").add(c.jobs_degraded);
+  reg.counter("serve.jobs_shed").add(c.jobs_shed);
+  reg.counter("serve.hedges_launched").add(c.hedges_launched);
+  reg.counter("serve.hedge_wins").add(c.hedge_wins);
+  reg.counter("serve.hedge_wasted").add(c.hedge_wasted);
+  reg.counter("serve.chip_probations").add(c.chip_probations);
+  reg.counter("serve.chip_recoveries").add(c.chip_recoveries);
   reg.counter("serve.attempts").add(c.attempts);
   reg.counter("serve.retries").add(c.retries);
   reg.counter("serve.migrations").add(c.migrations);
@@ -640,6 +945,8 @@ void fill_serve_metrics(telemetry::MetricsRegistry& reg,
     };
     reg.counter(lbl("serve.chip.attempts")).add(cs.attempts);
     reg.counter(lbl("serve.chip.jobs_completed")).add(cs.jobs_completed);
+    reg.counter(lbl("serve.chip.probations")).add(cs.probations);
+    reg.counter(lbl("serve.chip.recoveries")).add(cs.recoveries);
     reg.gauge(lbl("serve.chip.busy_s")).set(cs.busy_s);
     reg.gauge(lbl("serve.chip.health"))
         .set(static_cast<double>(static_cast<int>(cs.health)));

@@ -4,20 +4,28 @@
 //
 // Design in one paragraph: the fleet clock is a discrete-event loop over
 // {arrival, attempt-completion, retry-release} instants. At each instant
-// ready jobs are dispatched to free chips (healthy before degraded, both
-// in id order), each dispatch runs one whole job on one simulated chip
-// under a per-attempt fault plan derived deterministically from
-// (campaign seed, job id, attempt, chip), and each attempt is bounded by
-// a watchdog (timeout_factor x the memoized fault-free makespan) and
-// verified by an FNV checksum against the fault-free image — the
-// whole-job generalization of the per-transfer retry/verify loop in
+// ready jobs are dispatched to free chips — earliest absolute deadline
+// first within descending priority class by default (DispatchOrder::kEdf;
+// kFifo restores release-order) — each dispatch runs one whole job on one
+// simulated chip under a per-attempt fault plan derived deterministically
+// from (campaign seed, job id, attempt, chip), and each attempt is
+// bounded by a watchdog (timeout_factor x the memoized fault-free
+// makespan) and verified by an FNV checksum against the fault-free image
+// — the whole-job generalization of the per-transfer retry/verify loop in
 // src/epiphany/resilient.hpp. Failed attempts (chip fail-stop, timeout,
 // checksum mismatch, unrecovered faults) re-enter the queue with
 // exponential backoff; after max_attempts at one quality level the job
 // degrades (aperture halved -> one fewer FFBP merge level) instead of
-// being dropped. A job is lost only by aborting the entire campaign with
-// fault::FaultUnrecovered (exit code 5) — zero-lost-jobs is an invariant,
-// not a metric.
+// being dropped. Overload control layers on top: ShedPolicy estimates
+// each queued job's wait from the memoized clean makespans and retires
+// already-doomed sheddable jobs with an explicit JobState::kShed record;
+// HedgePolicy duplicates a running attempt onto a free chip when the
+// job's deadline is near (first success wins, the loser is cancelled and
+// accounted); probation lets a kDegraded chip earn back kHealthy after N
+// consecutive clean attempts. A job is lost only by aborting the entire
+// campaign with fault::FaultUnrecovered (exit code 5) — zero-lost-jobs
+// is an invariant, not a metric, and a shed is an explicit terminal
+// record, never a silent drop.
 //
 // Determinism contract: every scheduling decision, fault roll and
 // simulated outcome is a pure function of (trace, FleetConfig). Attempts
@@ -61,16 +69,80 @@ struct ChaosPlan {
   }
 };
 
-/// Robustness policy: retry budget, backoff shape, degradation ladder.
+enum class ChipHealth : std::uint8_t { kHealthy, kDegraded, kFailed };
+
+[[nodiscard]] constexpr const char* to_string(ChipHealth h) {
+  switch (h) {
+    case ChipHealth::kHealthy: return "healthy";
+    case ChipHealth::kDegraded: return "degraded";
+    case ChipHealth::kFailed: return "failed";
+  }
+  return "?";
+}
+
+/// Queue discipline for released jobs competing for free chips.
+enum class DispatchOrder : std::uint8_t {
+  kEdf,  ///< priority class descending, then earliest absolute deadline
+         ///< (arrival_s + deadline_s), then job id — the default
+  kFifo, ///< release time, then job id (PR 8's original order)
+};
+
+[[nodiscard]] constexpr const char* to_string(DispatchOrder d) {
+  switch (d) {
+    case DispatchOrder::kEdf: return "edf";
+    case DispatchOrder::kFifo: return "fifo";
+  }
+  return "?";
+}
+
+/// Admission control: at every scheduling instant the fleet estimates
+/// each queued job's finish time from the memoized clean makespans
+/// (virtually packing the queue onto the chips' estimated free times, in
+/// dispatch order) and sheds jobs that are already doomed — estimated
+/// finish past deadline_factor x the absolute deadline — if their
+/// priority class is at or below max_shed_priority. Every shed is an
+/// explicit JobState::kShed terminal record and a jobs_shed count.
+struct ShedPolicy {
+  bool enabled = false;
+  double deadline_factor = 1.0; ///< doomed when est_finish > factor x abs
+                                ///< deadline; > 1 sheds later, < 1 earlier
+  Priority max_shed_priority = Priority::kLow; ///< classes <= this shed
+};
+
+/// Hedged attempts: when a running job's remaining deadline budget drops
+/// below margin_factor x its clean service time and a chip is free, a
+/// duplicate attempt launches there (once per job lifetime). The first
+/// successful attempt wins — ties resolve by launch order, original
+/// first — and every sibling attempt is cancelled at the win instant and
+/// counted (hedge_wasted); a hedge that delivers counts hedge_wins.
+struct HedgePolicy {
+  bool enabled = false;
+  double margin_factor = 2.0; ///< hedge when deadline slack < factor x
+                              ///< clean service time
+  Priority min_priority = Priority::kNormal; ///< classes >= this hedge
+};
+
+/// Robustness policy: retry budget, backoff shape, degradation ladder,
+/// plus the overload-control layer (dispatch order, shedding, hedging,
+/// chip probation).
 struct ServePolicy {
   int max_attempts = 3;     ///< dispatches per quality level before degrading
   int max_degrade = 2;      ///< aperture halvings before the campaign aborts
   double backoff_base_s = 100e-6; ///< retry n is released base * 2^n after
                                   ///< the failed attempt finishes
   double timeout_factor = 8.0;    ///< per-attempt watchdog, x clean makespan
-  /// Cumulative detected faults on one chip before its health drops to
-  /// kDegraded (it then only takes jobs when no healthy chip is free).
+  /// Detected faults on one chip (since its last recovery) before its
+  /// health drops to kDegraded (it then only takes jobs when no healthy
+  /// chip is free).
   std::uint64_t health_fault_limit = 64;
+  DispatchOrder dispatch = DispatchOrder::kEdf;
+  ShedPolicy shed;
+  HedgePolicy hedge;
+  /// Chip probation: a kDegraded chip earns back kHealthy after this many
+  /// consecutive clean attempts (successful, zero detected faults); any
+  /// failed attempt or detected fault resets the streak. 0 disables
+  /// recovery (PR 8 behavior: degraded is forever).
+  int probation_clean_limit = 0;
 };
 
 struct FleetConfig {
@@ -83,26 +155,28 @@ struct FleetConfig {
   /// instant (host::SweepRunner; <= 0 picks hardware_concurrency). Has no
   /// effect on results — only on host wall time.
   int host_jobs = 1;
+  /// Starting health per chip (tests use this to pin degraded-chip
+  /// routing). Empty = all healthy; entries must be kHealthy or
+  /// kDegraded, and the size must equal n_chips when non-empty.
+  std::vector<ChipHealth> initial_health;
 };
 
-enum class ChipHealth : std::uint8_t { kHealthy, kDegraded, kFailed };
-
-[[nodiscard]] constexpr const char* to_string(ChipHealth h) {
-  switch (h) {
-    case ChipHealth::kHealthy: return "healthy";
-    case ChipHealth::kDegraded: return "degraded";
-    case ChipHealth::kFailed: return "failed";
-  }
-  return "?";
-}
-
 /// Per-chip health and utilization, fed by per-attempt FaultSummary and
-/// watchdog outcomes.
+/// watchdog outcomes, plus the probation circuit-breaker counters.
 struct ChipStatus {
   ChipHealth health = ChipHealth::kHealthy;
   std::uint64_t attempts = 0;       ///< dispatches onto this chip
   std::uint64_t jobs_completed = 0; ///< successful attempts
-  std::uint64_t faults_detected = 0; ///< cumulative, drives kDegraded
+  std::uint64_t faults_detected = 0; ///< cumulative over the campaign
+  /// Detected faults since the last recovery — this window (not the
+  /// cumulative count) trips the health_fault_limit circuit breaker.
+  /// Identical to faults_detected while probation is disabled.
+  std::uint64_t fault_window = 0;
+  /// Consecutive clean attempts while on probation (kDegraded); reaching
+  /// probation_clean_limit restores kHealthy.
+  int consecutive_clean = 0;
+  std::uint64_t probations = 0; ///< health drops kHealthy -> kDegraded
+  std::uint64_t recoveries = 0; ///< probations served: kDegraded -> kHealthy
   double busy_s = 0.0;    ///< simulated seconds spent executing attempts
   double energy_j = 0.0;  ///< simulated energy of completed attempts
   double failed_at_s = -1.0; ///< fleet time of the fail-stop (-1 = alive)
@@ -125,6 +199,13 @@ struct ServeCounters {
   std::uint64_t faults_injected = 0;
   std::uint64_t faults_detected = 0;
   std::uint64_t faults_recovered = 0;
+  std::uint64_t jobs_shed = 0;        ///< admission-control terminations
+  std::uint64_t hedges_launched = 0;  ///< duplicate attempts started
+  std::uint64_t hedge_wins = 0;       ///< hedge attempt delivered the job
+  std::uint64_t hedge_wasted = 0;     ///< hedge cancelled or beaten
+  std::uint64_t hedge_cancelled = 0;  ///< attempts cut short by a winner
+  std::uint64_t chip_probations = 0;  ///< kHealthy -> kDegraded transitions
+  std::uint64_t chip_recoveries = 0;  ///< kDegraded -> kHealthy transitions
 };
 
 struct ServeReport {
@@ -132,6 +213,8 @@ struct ServeReport {
   std::vector<ChipStatus> chips;
   ServeCounters counters;
   double makespan_s = 0.0; ///< last completion (fleet clock)
+  /// Latency order statistics over *delivered* jobs (shed jobs have no
+  /// delivery latency); all zero when every job was shed.
   double latency_p50_s = 0.0;
   double latency_p95_s = 0.0;
   double latency_p99_s = 0.0;
@@ -139,9 +222,15 @@ struct ServeReport {
   double latency_max_s = 0.0;
   double throughput_jobs_per_s = 0.0; ///< jobs_total / makespan_s
   double energy_total_j = 0.0;        ///< winning attempts only
-  double energy_per_image_j = 0.0;
-  /// Fraction of jobs delivered full-quality within their deadline.
+  double energy_per_image_j = 0.0;    ///< over delivered images only
+  /// Fraction of jobs delivered full-quality within their deadline
+  /// (denominator is jobs_total: shed jobs count against the SLO).
   double slo_attainment = 0.0;
+  /// Worst relative error of the analytic cost model (src/analysis)
+  /// against the memoized clean makespans that admission control packs
+  /// with — the cross-check that the wait estimator is trustworthy. Only
+  /// computed when shedding is enabled; 0 otherwise.
+  double shed_model_max_rel_err = 0.0;
   /// FNV-1a over every job's terminal record and every attempt outcome —
   /// the campaign-level reproducibility witness (equal seeds, equal hash).
   std::uint64_t schedule_hash = 0;
@@ -149,6 +238,12 @@ struct ServeReport {
 
 /// Nearest-rank percentile (q in (0, 1]) of an unsorted sample.
 [[nodiscard]] double percentile(std::vector<double> xs, double q);
+
+/// Exponential-backoff release delay for retry number `attempts_total`
+/// (1-based count of dispatches so far): base * 2^(attempts_total - 1),
+/// with the shift clamped at 20 so pathological retry streaks cannot
+/// overflow the doubling (attempts_total > 21 all wait base * 2^20).
+[[nodiscard]] double backoff_delay_s(double base_s, int attempts_total);
 
 class Fleet {
 public:
@@ -166,6 +261,9 @@ private:
     double seconds = 0.0;
     double energy_j = 0.0;
     std::uint64_t checksum = 0;
+    /// |analytic makespan - simulated| / simulated, filled lazily by
+    /// model_rel_err() for the shed-policy cross-check (-1 = not yet).
+    double model_rel_err = -1.0;
   };
   struct SimKey {
     std::size_t pulses, range;
@@ -175,6 +273,9 @@ private:
 
   const Array2D<cf32>& scene_data(std::size_t pulses, std::size_t range);
   const CleanRef& clean_ref(const SimKey& key);
+  /// Cross-check one memoized clean makespan against the src/analysis
+  /// cost model; returns (and caches) the relative cycle error.
+  double model_rel_err(const SimKey& key);
 
   FleetConfig cfg_;
   std::map<std::pair<std::size_t, std::size_t>, Array2D<cf32>> data_cache_;
@@ -182,7 +283,7 @@ private:
 };
 
 /// Fill `m` with the campaign's chip/workload/results sections and tag it
-/// "esarp-serve-manifest/1" (full key list in docs/serving.md). Adds no
+/// "esarp-serve-manifest/2" (full key list in docs/serving.md). Adds no
 /// wall-clock values: same-seed manifests are byte-identical.
 void fill_serve_manifest(telemetry::RunManifest& m, const FleetConfig& cfg,
                          const ArrivalTrace& trace, const ServeReport& rep);

@@ -33,6 +33,33 @@ enum class Algo : std::uint8_t {
   throw std::invalid_argument("unknown algorithm: " + s);
 }
 
+/// Per-job priority class. Ordered: a higher class is dispatched first
+/// under EDF, is hedged first, and is shed last (ShedPolicy sheds classes
+/// at or below its max_shed_priority). Carried in "esarp-arrival-trace/2";
+/// v1 traces default every job to kNormal.
+enum class Priority : std::uint8_t {
+  kLow = 0,
+  kNormal = 1,
+  kHigh = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(Priority p) {
+  switch (p) {
+    case Priority::kLow: return "low";
+    case Priority::kNormal: return "normal";
+    case Priority::kHigh: return "high";
+  }
+  return "?";
+}
+
+/// Parse "low" / "normal" / "high"; throws std::invalid_argument otherwise.
+[[nodiscard]] inline Priority priority_from_string(const std::string& s) {
+  if (s == "low") return Priority::kLow;
+  if (s == "normal") return Priority::kNormal;
+  if (s == "high") return Priority::kHigh;
+  throw std::invalid_argument("unknown priority: " + s);
+}
+
 /// One image-formation request in an arrival trace.
 struct JobSpec {
   int id = 0;
@@ -42,6 +69,7 @@ struct JobSpec {
   Algo algo = Algo::kFfbp;
   int n_cores = 16;
   double deadline_s = 0.05; ///< latency budget relative to arrival_s
+  Priority priority = Priority::kNormal;
 };
 
 /// Terminal state of one served job.
@@ -49,6 +77,9 @@ enum class JobState : std::uint8_t {
   kMet,      ///< full-quality image delivered within the deadline
   kLate,     ///< full-quality image, past the deadline (queueing/retries)
   kDegraded, ///< reduced-quality image (aperture halved per degrade level)
+  kShed,     ///< admission control retired the job before completion: the
+             ///< wait estimate proved it already doomed and its priority
+             ///< class was sheddable. Explicitly counted — never silent.
 };
 
 [[nodiscard]] constexpr const char* to_string(JobState s) {
@@ -56,11 +87,14 @@ enum class JobState : std::uint8_t {
     case JobState::kMet: return "met";
     case JobState::kLate: return "late";
     case JobState::kDegraded: return "degraded";
+    case JobState::kShed: return "shed";
   }
   return "?";
 }
 
-/// Everything the fleet records about one completed job.
+/// Everything the fleet records about one completed job. A kShed record
+/// keeps chip = -1, zero cycles/energy/checksum, and finish_s = the shed
+/// instant — the explicit tombstone admission control leaves behind.
 struct JobRecord {
   JobSpec spec;
   JobState state = JobState::kMet;
@@ -70,6 +104,7 @@ struct JobRecord {
   int attempts = 1;        ///< dispatches, including the successful one
   int migrations = 0;      ///< dispatches onto a different chip than before
   int degrade_level = 0;   ///< aperture halvings applied (0 = full quality)
+  int hedges = 0;          ///< duplicate attempts launched near the deadline
   int chip = -1;           ///< chip that delivered the image
   std::uint64_t sim_cycles = 0; ///< chip cycles of the winning attempt
   double energy_j = 0.0;        ///< chip energy of the winning attempt

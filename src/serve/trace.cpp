@@ -12,11 +12,39 @@ namespace esarp::serve {
 
 namespace {
 
-constexpr const char* kTraceSchema = "esarp-arrival-trace/1";
+constexpr const char* kTraceSchemaV1 = "esarp-arrival-trace/1";
+constexpr const char* kTraceSchemaV2 = "esarp-arrival-trace/2";
 
 /// Exponential inter-arrival sample at mean 1/rate (inverse transform).
 [[nodiscard]] double exp_sample(Rng& rng, double rate_hz) {
   return -std::log(1.0 - rng.uniform()) / rate_hz;
+}
+
+/// Per-job priority draw on a stream independent of the arrival Rng (a
+/// SplitMix64 finalizer over seed and id), so the mix fractions never
+/// shift any arrival time of the same seed.
+[[nodiscard]] Priority roll_priority(std::uint64_t seed, int id,
+                                     double frac_low, double frac_high) {
+  if (frac_low <= 0.0 && frac_high <= 0.0) return Priority::kNormal;
+  SplitMix64 sm(seed ^ 0x7072696f72697479ULL /* "priority" */ ^
+                (static_cast<std::uint64_t>(static_cast<unsigned>(id))
+                 << 17));
+  const double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  if (u < frac_low) return Priority::kLow;
+  if (u < frac_low + frac_high) return Priority::kHigh;
+  return Priority::kNormal;
+}
+
+/// Per-job deadline scale on the same arrival-independent stream family
+/// as roll_priority (different key), uniform in [1 - jitter, 1 + jitter].
+[[nodiscard]] double roll_deadline_scale(std::uint64_t seed, int id,
+                                         double jitter) {
+  if (jitter <= 0.0) return 1.0;
+  SplitMix64 sm(seed ^ 0x646561646c696e65ULL /* "deadline" */ ^
+                (static_cast<std::uint64_t>(static_cast<unsigned>(id))
+                 << 17));
+  const double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  return 1.0 - jitter + 2.0 * jitter * u;
 }
 
 } // namespace
@@ -25,6 +53,9 @@ ArrivalTrace make_trace(const TraceParams& p) {
   ESARP_EXPECTS(p.n_jobs >= 1);
   ESARP_EXPECTS(p.rate_hz > 0.0);
   ESARP_EXPECTS(!p.bursty || p.burst_mean >= 1.0);
+  ESARP_EXPECTS(p.frac_low >= 0.0 && p.frac_high >= 0.0 &&
+                p.frac_low + p.frac_high <= 1.0);
+  ESARP_EXPECTS(p.deadline_jitter >= 0.0 && p.deadline_jitter < 1.0);
 
   ArrivalTrace t;
   t.seed = p.seed;
@@ -45,6 +76,9 @@ ArrivalTrace make_trace(const TraceParams& p) {
       JobSpec j = proto;
       j.id = static_cast<int>(t.jobs.size());
       j.arrival_s = now;
+      j.priority = roll_priority(p.seed, j.id, p.frac_low, p.frac_high);
+      j.deadline_s =
+          p.deadline_s * roll_deadline_scale(p.seed, j.id, p.deadline_jitter);
       t.jobs.push_back(j);
       continue;
     }
@@ -58,6 +92,9 @@ ArrivalTrace make_trace(const TraceParams& p) {
       JobSpec j = proto;
       j.id = static_cast<int>(t.jobs.size());
       j.arrival_s = now;
+      j.priority = roll_priority(p.seed, j.id, p.frac_low, p.frac_high);
+      j.deadline_s =
+          p.deadline_s * roll_deadline_scale(p.seed, j.id, p.deadline_jitter);
       t.jobs.push_back(j);
     }
   }
@@ -74,7 +111,7 @@ void save_trace(const std::filesystem::path& path, const ArrivalTrace& t) {
     ESARP_REQUIRE(f.good(), "cannot open " + tmp.string() + " for writing");
     JsonWriter w(f);
     w.begin_object();
-    w.kv("schema", kTraceSchema);
+    w.kv("schema", kTraceSchemaV2);
     w.kv("seed", t.seed);
     w.key("jobs");
     w.begin_array();
@@ -87,6 +124,7 @@ void save_trace(const std::filesystem::path& path, const ArrivalTrace& t) {
       w.kv("algo", to_string(j.algo));
       w.kv("n_cores", j.n_cores);
       w.kv("deadline_s", j.deadline_s);
+      w.kv("priority", to_string(j.priority));
       w.end_object();
     }
     w.end_array();
@@ -100,9 +138,14 @@ void save_trace(const std::filesystem::path& path, const ArrivalTrace& t) {
 ArrivalTrace load_trace(const std::filesystem::path& path) {
   const JsonValue doc = load_json_file(path);
   const JsonValue* schema = doc.find("schema");
-  ESARP_REQUIRE(schema != nullptr && schema->is_string() &&
-                    schema->as_string() == kTraceSchema,
-                path.string() + ": missing or unknown trace \"schema\"");
+  ESARP_REQUIRE(schema != nullptr && schema->is_string(),
+                path.string() + ": missing trace \"schema\"");
+  const std::string& got = schema->as_string();
+  const bool v2 = got == kTraceSchemaV2;
+  ESARP_REQUIRE(v2 || got == kTraceSchemaV1,
+                path.string() + ": unsupported trace schema \"" + got +
+                    "\" (supported: " + kTraceSchemaV1 + ", " +
+                    kTraceSchemaV2 + ")");
   const JsonValue* seed = doc.find("seed");
   ESARP_REQUIRE(seed != nullptr && seed->is_number(),
                 path.string() + ": missing \"seed\"");
@@ -132,6 +175,19 @@ ArrivalTrace load_trace(const std::filesystem::path& path) {
     ESARP_REQUIRE(algo != nullptr && algo->is_string(),
                   path.string() + ": job missing \"algo\"");
     j.algo = algo_from_string(algo->as_string());
+    // v2 carries a per-job priority class; v1 jobs default to normal. A
+    // v1 file that happens to carry the field is accepted leniently.
+    const JsonValue* prio = e.find("priority");
+    if (v2) {
+      ESARP_REQUIRE(prio != nullptr && prio->is_string(),
+                    path.string() + ": job missing \"priority\" (required " +
+                        "by " + kTraceSchemaV2 + ")");
+    }
+    if (prio != nullptr) {
+      ESARP_REQUIRE(prio->is_string(),
+                    path.string() + ": job \"priority\" must be a string");
+      j.priority = priority_from_string(prio->as_string());
+    }
     ESARP_REQUIRE(j.arrival_s >= prev_arrival,
                   path.string() + ": jobs not sorted by arrival_s");
     prev_arrival = j.arrival_s;

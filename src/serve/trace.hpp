@@ -5,8 +5,10 @@
 // latency studies care about — a Poisson process (memoryless steady load)
 // and a bursty process (Poisson bursts with geometric sizes, arrivals
 // inside a burst landing at the same instant so the queue actually
-// builds). Traces round-trip through JSON ("esarp-arrival-trace/1") so CI
-// can pin one file and replay it forever.
+// builds). Traces round-trip through JSON ("esarp-arrival-trace/2", which
+// adds a per-job "priority" class; v1 files still load with every job
+// defaulting to normal priority) so CI can pin one file and replay it
+// forever.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +33,20 @@ struct TraceParams {
   Algo algo = Algo::kFfbp;
   int n_cores = 16;
   double deadline_s = 0.05;
+  /// Priority mix: each job independently draws low with frac_low, high
+  /// with frac_high, normal otherwise. The draw comes from a SplitMix64
+  /// stream keyed on (seed, job id) that is independent of the arrival
+  /// process, so (frac_low, frac_high) never perturb arrival times — a
+  /// v2 trace with an all-normal mix has byte-identical arrivals to the
+  /// v1 trace of the same seed. Requires frac_low + frac_high <= 1.
+  double frac_low = 0.0;
+  double frac_high = 0.0;
+  /// Per-job deadline spread: job i's deadline is deadline_s scaled by a
+  /// uniform factor in [1 - jitter, 1 + jitter], drawn from the same
+  /// arrival-independent per-job stream as the priority class. 0 keeps
+  /// the uniform deadline. Heterogeneous deadlines are what make EDF
+  /// dispatch meaningfully different from FIFO. Requires [0, 1).
+  double deadline_jitter = 0.0;
 };
 
 struct ArrivalTrace {
@@ -42,11 +58,14 @@ struct ArrivalTrace {
 /// function of the parameters — same params, same trace, byte for byte.
 [[nodiscard]] ArrivalTrace make_trace(const TraceParams& p);
 
-/// Write the trace as "esarp-arrival-trace/1" JSON (atomic tmp + rename).
+/// Write the trace as "esarp-arrival-trace/2" JSON (atomic tmp + rename).
 void save_trace(const std::filesystem::path& path, const ArrivalTrace& t);
 
-/// Load a trace written by save_trace (or hand-authored to the schema).
-/// Throws ContractViolation on schema/shape errors.
+/// Load a trace written by save_trace (or hand-authored to either
+/// supported schema): "esarp-arrival-trace/2" carries per-job "priority",
+/// "esarp-arrival-trace/1" defaults every job to normal. Any other schema
+/// is rejected with the file path and both supported schemas named in the
+/// error. Throws ContractViolation on schema/shape errors.
 [[nodiscard]] ArrivalTrace load_trace(const std::filesystem::path& path);
 
 } // namespace esarp::serve

@@ -129,6 +129,95 @@ TEST(ArrivalTraceGen, LoadRejectsWrongSchema) {
   std::filesystem::remove(path);
 }
 
+TEST(ArrivalTraceGen, UnknownSchemaErrorNamesPathAndSupportedVersions) {
+  // The rejection must tell the user what file broke and what the loader
+  // actually speaks — both supported schema strings, verbatim.
+  const auto path = temp_file("esarp_test_future_trace.json");
+  std::ofstream(path)
+      << R"({"schema":"esarp-arrival-trace/9","seed":1,"jobs":[]})";
+  try {
+    (void)serve::load_trace(path);
+    FAIL() << "future schema must not load";
+  } catch (const ContractViolation& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(path.string()), std::string::npos) << msg;
+    EXPECT_NE(msg.find("esarp-arrival-trace/9"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("esarp-arrival-trace/1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("esarp-arrival-trace/2"), std::string::npos) << msg;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ArrivalTraceGen, PriorityMixAndJitterLeaveArrivalsUntouched) {
+  // The per-job priority and deadline draws come from streams independent
+  // of the arrival Rng, so turning them on reshapes classes and deadlines
+  // without moving a single arrival — v2 stays replay-compatible with v1.
+  TraceParams plain = small_trace_params();
+  plain.n_jobs = 32;
+  TraceParams mixed = plain;
+  mixed.frac_low = 0.3;
+  mixed.frac_high = 0.2;
+  mixed.deadline_jitter = 0.5;
+  const ArrivalTrace a = serve::make_trace(plain);
+  const ArrivalTrace b = serve::make_trace(mixed);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  bool class_spread = false;
+  bool deadline_spread = false;
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].arrival_s, b.jobs[i].arrival_s);
+    EXPECT_EQ(a.jobs[i].priority, serve::Priority::kNormal);
+    class_spread =
+        class_spread || b.jobs[i].priority != serve::Priority::kNormal;
+    deadline_spread =
+        deadline_spread || b.jobs[i].deadline_s != a.jobs[i].deadline_s;
+    EXPECT_GE(b.jobs[i].deadline_s, plain.deadline_s * 0.5);
+    EXPECT_LE(b.jobs[i].deadline_s, plain.deadline_s * 1.5);
+  }
+  EXPECT_TRUE(class_spread);
+  EXPECT_TRUE(deadline_spread);
+}
+
+TEST(ArrivalTraceGen, V2RoundTripKeepsPrioritiesAndDeadlines) {
+  TraceParams p = small_trace_params();
+  p.n_jobs = 16;
+  p.frac_low = 0.4;
+  p.frac_high = 0.3;
+  p.deadline_jitter = 0.6;
+  const ArrivalTrace t = serve::make_trace(p);
+  const auto path = temp_file("esarp_test_trace_v2.json");
+  serve::save_trace(path, t);
+  const ArrivalTrace back = serve::load_trace(path);
+  ASSERT_EQ(back.jobs.size(), t.jobs.size());
+  for (std::size_t i = 0; i < t.jobs.size(); ++i) {
+    EXPECT_EQ(back.jobs[i].priority, t.jobs[i].priority);
+    EXPECT_EQ(back.jobs[i].deadline_s, t.jobs[i].deadline_s);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ArrivalTraceGen, V1TracesLoadWithEveryJobNormal) {
+  // A v1 file has no "priority" field; the loader defaults every job to
+  // the normal class so pre-overload traces replay under the new fleet.
+  const auto path = temp_file("esarp_test_trace_v1.json");
+  std::ofstream(path) << R"({
+    "schema": "esarp-arrival-trace/1",
+    "seed": 3,
+    "jobs": [
+      {"id": 0, "arrival_s": 0.0, "n_pulses": 32, "n_range": 65,
+       "algo": "ffbp", "n_cores": 16, "deadline_s": 0.01},
+      {"id": 1, "arrival_s": 0.001, "n_pulses": 32, "n_range": 65,
+       "algo": "gbp", "n_cores": 16, "deadline_s": 0.02,
+       "priority": "high"}
+    ]
+  })";
+  const ArrivalTrace t = serve::load_trace(path);
+  ASSERT_EQ(t.jobs.size(), 2u);
+  EXPECT_EQ(t.jobs[0].priority, serve::Priority::kNormal);
+  // A v1 file that happens to carry the field is accepted leniently.
+  EXPECT_EQ(t.jobs[1].priority, serve::Priority::kHigh);
+  std::filesystem::remove(path);
+}
+
 TEST(ServeMath, NearestRankPercentile) {
   std::vector<double> xs = {5.0, 1.0, 4.0, 2.0, 3.0};
   EXPECT_DOUBLE_EQ(serve::percentile(xs, 0.5), 3.0);
@@ -278,6 +367,277 @@ TEST(FleetServe, PersistentCorruptionExhaustsTheDegradationLadder) {
   EXPECT_THROW((void)fleet.run(trace), fault::FaultUnrecovered);
 }
 
+// --- Overload control -------------------------------------------------
+
+using serve::Priority;
+
+/// One hand-built job of the memoized 32x65/16-core shape (clean service
+/// ~98 us on the default chip) — the unit tests pin scheduling decisions
+/// with deadlines expressed in multiples of that service time.
+serve::JobSpec job_at(int id, double arrival_s, double deadline_s,
+                      Priority prio = Priority::kNormal) {
+  serve::JobSpec j;
+  j.id = id;
+  j.arrival_s = arrival_s;
+  j.n_pulses = 32;
+  j.n_range = 65;
+  j.n_cores = 16;
+  j.deadline_s = deadline_s;
+  j.priority = prio;
+  return j;
+}
+
+TEST(FleetServe, BackoffShiftClampsPastTwentyDoublings) {
+  const double base = 100e-6;
+  EXPECT_DOUBLE_EQ(serve::backoff_delay_s(base, 1), base);
+  EXPECT_DOUBLE_EQ(serve::backoff_delay_s(base, 2), base * 2.0);
+  EXPECT_DOUBLE_EQ(serve::backoff_delay_s(base, 5), base * 16.0);
+  const double ceiling = base * static_cast<double>(1u << 20);
+  EXPECT_DOUBLE_EQ(serve::backoff_delay_s(base, 21), ceiling);
+  // Pathological retry streaks saturate instead of overflowing.
+  EXPECT_DOUBLE_EQ(serve::backoff_delay_s(base, 22), ceiling);
+  EXPECT_DOUBLE_EQ(serve::backoff_delay_s(base, 1000), ceiling);
+}
+
+TEST(FleetServe, EdfServesUrgentDeadlinesFirst) {
+  // Four same-instant jobs on one chip, two tight deadlines (1.5x / 2.5x
+  // the ~98 us service time) interleaved with two loose ones. EDF runs
+  // the tight pair first and meets everything; FIFO runs in id order and
+  // blows both tight deadlines.
+  ArrivalTrace t;
+  t.seed = 1;
+  t.jobs = {job_at(0, 0.0, 0.01), job_at(1, 0.0, 0.00015),
+            job_at(2, 0.0, 0.01), job_at(3, 0.0, 0.00025)};
+  FleetConfig cfg = small_fleet(1);
+  cfg.policy.dispatch = serve::DispatchOrder::kEdf;
+  const ServeReport edf = Fleet(cfg).run(t);
+  EXPECT_EQ(edf.counters.jobs_met, 4u);
+  cfg.policy.dispatch = serve::DispatchOrder::kFifo;
+  const ServeReport fifo = Fleet(cfg).run(t);
+  EXPECT_EQ(fifo.counters.jobs_met, 2u);
+  EXPECT_EQ(fifo.counters.jobs_late, 2u);
+  EXPECT_EQ(fifo.jobs[1].state, JobState::kLate);
+  EXPECT_EQ(fifo.jobs[3].state, JobState::kLate);
+}
+
+TEST(FleetServe, HighPriorityClassJumpsTheEdfQueue) {
+  // Same deadline everywhere: the high-priority job is served first even
+  // though its id sorts last.
+  ArrivalTrace t;
+  t.seed = 1;
+  t.jobs = {job_at(0, 0.0, 0.01), job_at(1, 0.0, 0.01),
+            job_at(2, 0.0, 0.01), job_at(3, 0.0, 0.01, Priority::kHigh)};
+  FleetConfig cfg = small_fleet(1);
+  const ServeReport rep = Fleet(cfg).run(t);
+  for (int id = 0; id < 3; ++id)
+    EXPECT_LT(rep.jobs[3].latency_s, rep.jobs[id].latency_s) << id;
+}
+
+TEST(FleetServe, EdfEqualsFifoOnUniformCleanTraces) {
+  // With one deadline and one priority class EDF degenerates to FIFO, so
+  // the default dispatch reproduces the legacy clean schedule bit for bit
+  // (the PR 8 back-compat property the CI serve-smoke job pins).
+  const ArrivalTrace trace = serve::make_trace(small_trace_params());
+  FleetConfig cfg = small_fleet(2);
+  cfg.policy.dispatch = serve::DispatchOrder::kEdf;
+  const std::uint64_t edf = Fleet(cfg).run(trace).schedule_hash;
+  cfg.policy.dispatch = serve::DispatchOrder::kFifo;
+  EXPECT_EQ(Fleet(cfg).run(trace).schedule_hash, edf);
+}
+
+TEST(FleetServe, ShedRetiresDoomedJobsExplicitly) {
+  // Six same-instant low-priority jobs, one chip, deadline ~2.5 service
+  // times: two can make it, the other four are doomed the moment they
+  // queue. Admission control retires exactly those four with explicit
+  // kShed tombstones — never a silent drop.
+  ArrivalTrace t;
+  t.seed = 1;
+  for (int i = 0; i < 6; ++i)
+    t.jobs.push_back(job_at(i, 0.0, 0.00025, Priority::kLow));
+  FleetConfig cfg = small_fleet(1);
+  cfg.policy.shed.enabled = true;
+  const ServeReport rep = Fleet(cfg).run(t);
+  EXPECT_EQ(rep.counters.jobs_met, 2u);
+  EXPECT_EQ(rep.counters.jobs_late, 0u);
+  EXPECT_EQ(rep.counters.jobs_shed, 4u);
+  EXPECT_EQ(rep.counters.jobs_lost, 0u);
+  EXPECT_EQ(rep.counters.jobs_met + rep.counters.jobs_late +
+                rep.counters.jobs_degraded + rep.counters.jobs_shed,
+            rep.counters.jobs_total);
+  std::size_t shed_records = 0;
+  for (const auto& rec : rep.jobs) {
+    if (rec.state != JobState::kShed) continue;
+    ++shed_records;
+    EXPECT_EQ(rec.chip, -1);
+    EXPECT_EQ(rec.attempts, 0); // retired before any dispatch
+    EXPECT_EQ(rec.sim_cycles, 0u);
+    EXPECT_EQ(rec.image_checksum, 0u);
+    EXPECT_GE(rec.finish_s, rec.spec.arrival_s);
+  }
+  EXPECT_EQ(shed_records, rep.counters.jobs_shed);
+  // The analytic cost model cross-checks the wait estimator; the memoized
+  // makespans and the model must roughly agree for shedding to be sane.
+  EXPECT_GT(rep.shed_model_max_rel_err, 0.0);
+  EXPECT_LT(rep.shed_model_max_rel_err, 0.25);
+
+  // Same trace without shedding: the doomed jobs run anyway and go late.
+  cfg.policy.shed.enabled = false;
+  const ServeReport noshed = Fleet(cfg).run(t);
+  EXPECT_EQ(noshed.counters.jobs_met, 2u);
+  EXPECT_EQ(noshed.counters.jobs_late, 4u);
+  EXPECT_EQ(noshed.counters.jobs_shed, 0u);
+  EXPECT_DOUBLE_EQ(noshed.shed_model_max_rel_err, 0.0);
+}
+
+TEST(FleetServe, ShedRespectsThePriorityFence) {
+  // Normal-priority jobs sit above max_shed_priority = kLow, so the same
+  // doomed queue runs to completion (late) instead of shedding.
+  ArrivalTrace t;
+  t.seed = 1;
+  for (int i = 0; i < 6; ++i)
+    t.jobs.push_back(job_at(i, 0.0, 0.00025, Priority::kNormal));
+  FleetConfig cfg = small_fleet(1);
+  cfg.policy.shed.enabled = true;
+  ASSERT_EQ(cfg.policy.shed.max_shed_priority, Priority::kLow);
+  const ServeReport rep = Fleet(cfg).run(t);
+  EXPECT_EQ(rep.counters.jobs_shed, 0u);
+  EXPECT_EQ(rep.counters.jobs_late, 4u);
+  // Raising the fence to normal sheds them.
+  cfg.policy.shed.max_shed_priority = Priority::kNormal;
+  EXPECT_EQ(Fleet(cfg).run(t).counters.jobs_shed, 4u);
+}
+
+TEST(FleetServe, HedgesAreAccountedAndDeterministic) {
+  // A huge margin factor hedges every job that finds a second chip free.
+  // On a clean fleet the original always delivers first (launch order
+  // breaks the same-instant tie), so every hedge is cancelled and counted
+  // wasted — and the whole campaign stays bit-reproducible.
+  TraceParams p = small_trace_params();
+  const ArrivalTrace trace = serve::make_trace(p);
+  FleetConfig cfg = small_fleet(2);
+  cfg.policy.hedge.enabled = true;
+  cfg.policy.hedge.margin_factor = 1e6;
+  const ServeReport a = Fleet(cfg).run(trace);
+  const ServeReport b = Fleet(cfg).run(trace);
+  EXPECT_EQ(a.schedule_hash, b.schedule_hash);
+  EXPECT_GE(a.counters.hedges_launched, 1u);
+  EXPECT_EQ(a.counters.hedge_wins, 0u);
+  EXPECT_EQ(a.counters.hedge_wins + a.counters.hedge_wasted,
+            a.counters.hedges_launched);
+  EXPECT_EQ(a.counters.hedge_cancelled, a.counters.hedge_wasted);
+  EXPECT_EQ(a.counters.jobs_lost, 0u);
+  std::uint64_t per_job_hedges = 0;
+  for (const auto& rec : a.jobs) {
+    EXPECT_LE(rec.hedges, 1); // once per job lifetime
+    per_job_hedges += static_cast<std::uint64_t>(rec.hedges);
+  }
+  EXPECT_EQ(per_job_hedges, a.counters.hedges_launched);
+}
+
+TEST(FleetServe, HedgeWinsWhenTheOriginalChipDies) {
+  // Under chip-kill chaos a hedge can outlive its original: scan seeds
+  // (deterministically) for a campaign where that happens and check the
+  // win is accounted and the job still delivered exactly once.
+  TraceParams p = small_trace_params();
+  p.n_jobs = 8;
+  const ArrivalTrace trace = serve::make_trace(p);
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 20 && !found; ++seed) {
+    FleetConfig cfg = small_fleet(3);
+    cfg.chaos.seed = seed;
+    cfg.chaos.chip_kill_rate = 0.4;
+    cfg.policy.hedge.enabled = true;
+    cfg.policy.hedge.margin_factor = 1e6;
+    try {
+      const ServeReport rep = Fleet(cfg).run(trace);
+      EXPECT_EQ(rep.counters.hedge_wins + rep.counters.hedge_wasted,
+                rep.counters.hedges_launched);
+      EXPECT_EQ(rep.counters.jobs_lost, 0u);
+      if (rep.counters.hedge_wins == 0) continue;
+      found = true;
+    } catch (const fault::FaultUnrecovered&) {
+      // This seed killed the whole fleet — legal, keep scanning.
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FleetServe, DegradedChipsOnlyTakeOverflow) {
+  // Sequential load: every attempt lands on the healthy chip and the
+  // pre-degraded one stays idle. Burst load: the degraded chip is still
+  // better than queueing, so it takes the overflow.
+  FleetConfig cfg = small_fleet(2);
+  cfg.initial_health = {ChipHealth::kHealthy, ChipHealth::kDegraded};
+
+  ArrivalTrace spread;
+  spread.seed = 1;
+  for (int i = 0; i < 4; ++i)
+    spread.jobs.push_back(job_at(i, i * 0.001, 0.01));
+  const ServeReport seq = Fleet(cfg).run(spread);
+  EXPECT_EQ(seq.chips[0].attempts, 4u);
+  EXPECT_EQ(seq.chips[1].attempts, 0u);
+  EXPECT_EQ(seq.chips[1].health, ChipHealth::kDegraded);
+
+  ArrivalTrace burst;
+  burst.seed = 1;
+  for (int i = 0; i < 4; ++i)
+    burst.jobs.push_back(job_at(i, 0.0, 0.01));
+  const ServeReport par = Fleet(cfg).run(burst);
+  EXPECT_GE(par.chips[1].attempts, 1u);
+}
+
+TEST(FleetServe, ProbationRestoresDegradedChips) {
+  // A pre-degraded chip earns back kHealthy after probation_clean_limit
+  // consecutive clean attempts; with probation disabled (the PR 8
+  // default) degraded is forever.
+  FleetConfig cfg = small_fleet(1);
+  cfg.initial_health = {ChipHealth::kDegraded};
+  ArrivalTrace t;
+  t.seed = 1;
+  for (int i = 0; i < 5; ++i)
+    t.jobs.push_back(job_at(i, i * 0.001, 0.01));
+
+  const ServeReport frozen = Fleet(cfg).run(t);
+  EXPECT_EQ(frozen.chips[0].health, ChipHealth::kDegraded);
+  EXPECT_EQ(frozen.counters.chip_recoveries, 0u);
+
+  cfg.policy.probation_clean_limit = 3;
+  const ServeReport rep = Fleet(cfg).run(t);
+  EXPECT_EQ(rep.chips[0].health, ChipHealth::kHealthy);
+  EXPECT_EQ(rep.chips[0].recoveries, 1u);
+  EXPECT_EQ(rep.counters.chip_recoveries, 1u);
+  EXPECT_EQ(rep.counters.jobs_met, 5u);
+}
+
+TEST(FleetServe, OverloadPoliciesKeepHostThreadInvariance) {
+  // Everything on at once — EDF, shedding, hedging, probation, chaos —
+  // and the schedule hash still must not depend on host parallelism.
+  TraceParams p = small_trace_params();
+  p.n_jobs = 16;
+  p.bursty = true;
+  p.burst_mean = 4.0;
+  p.rate_hz = 40000.0;
+  p.deadline_s = 0.0005;
+  p.frac_low = 0.3;
+  p.frac_high = 0.2;
+  p.deadline_jitter = 0.5;
+  const ArrivalTrace trace = serve::make_trace(p);
+  FleetConfig cfg = small_fleet(4);
+  cfg.chaos.seed = 7;
+  cfg.chaos.chip_kill_rate = 0.1;
+  cfg.policy.shed.enabled = true;
+  cfg.policy.hedge.enabled = true;
+  cfg.policy.probation_clean_limit = 2;
+  const ServeReport seq = Fleet(cfg).run(trace);
+  cfg.host_jobs = 4;
+  const ServeReport par = Fleet(cfg).run(trace);
+  EXPECT_EQ(par.schedule_hash, seq.schedule_hash);
+  EXPECT_EQ(seq.counters.jobs_met + seq.counters.jobs_late +
+                seq.counters.jobs_degraded + seq.counters.jobs_shed,
+            seq.counters.jobs_total);
+  EXPECT_EQ(seq.counters.jobs_lost, 0u);
+}
+
 // --- Manifest -------------------------------------------------------------
 
 TEST(ServeManifest, CarriesTheServeSchemaAndComparesClean) {
@@ -290,13 +650,16 @@ TEST(ServeManifest, CarriesTheServeSchemaAndComparesClean) {
   m.write(os);
   const JsonValue doc = parse_json(os.str());
   ASSERT_NE(doc.find("schema"), nullptr);
-  EXPECT_EQ(doc.find("schema")->as_string(), "esarp-serve-manifest/1");
+  EXPECT_EQ(doc.find("schema")->as_string(), "esarp-serve-manifest/2");
   const JsonValue* results = doc.find("results");
   ASSERT_NE(results, nullptr);
   for (const char* key :
        {"jobs_total", "jobs_lost", "latency_p99_s", "slo_attainment",
         "throughput_jobs_per_s", "energy_per_image_j", "retries",
-        "migrations", "degradations", "chip_kills", "schedule_hash_lo"}) {
+        "migrations", "degradations", "chip_kills", "schedule_hash_lo",
+        "jobs_shed", "hedges_launched", "hedge_wins", "hedge_wasted",
+        "hedge_cancelled", "chip_probations", "chip_recoveries",
+        "shed_model_max_rel_err"}) {
     EXPECT_NE(results->find(key), nullptr) << key;
   }
   // compare_manifests accepts the serve schema and a self-compare is

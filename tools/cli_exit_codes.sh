@@ -55,6 +55,31 @@ expect 0 "$esarp" serve --gen poisson --jobs-count 4 --chips 2 \
 expect 2 "$esarp" serve
 expect 2 "$esarp" serve --gen no-such-process
 
+# Malformed generator and policy knobs are usage errors (exit 2), never
+# contract aborts: the values are validated before any fleet is built.
+expect 2 "$esarp" serve --gen poisson --jobs-count 0
+expect 2 "$esarp" serve --gen poisson --jobs-count 4 --rate 0
+expect 2 "$esarp" serve --gen poisson --jobs-count 4 --rate abc
+expect 2 "$esarp" serve --gen poisson --jobs-count 4 --rate 2000 --pulses 0
+expect 2 "$esarp" serve --gen bursty --jobs-count 4 --rate 2000 \
+  --burst-mean 0.5
+expect 2 "$esarp" serve --gen poisson --jobs-count 4 --rate 2000 \
+  --deadline 0
+expect 2 "$esarp" serve --gen poisson --jobs-count 4 --rate 2000 \
+  --priority-mix 0.5,0.5
+expect 2 "$esarp" serve --gen poisson --jobs-count 4 --rate 2000 \
+  --deadline-jitter 1.5
+expect 2 "$esarp" serve --gen poisson --jobs-count 4 --rate 2000 \
+  --dispatch no-such-order
+expect 2 "$esarp" serve --gen poisson --jobs-count 4 --rate 2000 \
+  --shed --shed-factor 0
+expect 2 "$esarp" serve --gen poisson --jobs-count 4 --rate 2000 \
+  --shed --shed-priority urgent
+expect 2 "$esarp" serve --gen poisson --jobs-count 4 --rate 2000 \
+  --hedge --hedge-margin -1
+expect 2 "$esarp" serve --gen poisson --jobs-count 4 --rate 2000 \
+  --probation -1
+
 # Every dispatch fail-stops its chip: the whole fleet dies with jobs
 # outstanding and the campaign aborts -> FaultUnrecovered.
 expect 5 "$esarp" serve --gen poisson --jobs-count 4 --chips 2 \

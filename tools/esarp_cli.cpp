@@ -24,9 +24,11 @@
 // `lint` statically analyzes the shipped mappings without running the
 // scheduler (docs/static-analysis.md). `serve` replays an arrival trace
 // through the multi-chip fleet runtime and writes an
-// esarp-serve-manifest/1 (docs/serving.md); a fleet that cannot finish
-// every job (all chips dead, or a job out of retries at max degradation)
-// exits 5 like any other unrecovered fault.
+// esarp-serve-manifest/2 (docs/serving.md); overload control (EDF
+// dispatch, admission shedding, hedged attempts, chip probation) is
+// configured per campaign. A fleet that cannot finish every job (all
+// chips dead, or a job out of retries at max degradation) exits 5 like
+// any other unrecovered fault.
 //
 // Exit codes (stable, scripted against by CI):
 //   0  success
@@ -162,12 +164,18 @@ int usage() {
       "  esarp serve    --trace t.json | --gen poisson|bursty\n"
       "                 [--jobs-count N] [--rate HZ] [--burst-mean K]\n"
       "                 [--pulses N] [--range M] [--cores N]\n"
-      "                 [--algo ffbp|gbp] [--deadline S] [--trace-out f]\n"
+      "                 [--algo ffbp|gbp] [--deadline S]\n"
+      "                 [--priority-mix L,N,H] [--deadline-jitter J]\n"
+      "                 [--trace-out f]\n"
       "                 [--chips N] [--seed S] [--chip-kill R]\n"
       "                 [--dma-corrupt R] [--dma-drop R] [--noc-stall R]\n"
       "                 [--membits R] [--retry-max N] [--degrade-max N]\n"
       "                 [--backoff S] [--timeout-factor F] [--jobs N]\n"
-      "                 [--metrics m.json]\n";
+      "                 [--dispatch edf|fifo] [--shed] [--shed-factor F]\n"
+      "                 [--shed-priority low|normal|high] [--hedge]\n"
+      "                 [--hedge-margin F] [--hedge-priority low|normal|"
+      "high]\n"
+      "                 [--probation N] [--metrics m.json]\n";
   return kExitUsage;
 }
 
@@ -868,42 +876,127 @@ int cmd_lint(const Args& args) {
 /// a fleet chaos campaign, and report latency percentiles / SLO
 /// attainment / energy-per-image. Deterministic: same trace + seed =>
 /// byte-identical --metrics manifest.
+/// Usage error with a serve-specific message: all generator and policy
+/// knobs are validated here with exit 2 — a bad flag value must never
+/// reach an ESARP_EXPECTS contract abort (exit 4) or std::stod (exit 1).
+int serve_usage_error(const std::string& msg) {
+  std::cerr << "serve: " << msg << "\n";
+  return usage();
+}
+
 int cmd_serve(const Args& args) {
   const std::string trace_path = args.str("trace");
   const std::string gen = args.str("gen");
   if (args.has("trace") && trace_path.empty()) return usage();
   if (trace_path.empty() && gen.empty()) {
-    std::cerr << "serve: need an input trace (--trace f.json) or a "
-                 "generator (--gen poisson|bursty)\n";
-    return usage();
+    return serve_usage_error("need an input trace (--trace f.json) or a "
+                             "generator (--gen poisson|bursty)");
   }
 
   serve::ArrivalTrace trace;
-  if (!trace_path.empty()) {
-    trace = serve::load_trace(trace_path);
-  } else {
-    serve::TraceParams tp;
-    if (gen == "bursty") {
-      tp.bursty = true;
-    } else if (gen != "poisson") {
-      std::cerr << "unknown --gen: " << gen << " (want poisson|bursty)\n";
-      return usage();
+  serve::FleetConfig fc;
+  try {
+    if (trace_path.empty()) {
+      serve::TraceParams tp;
+      if (gen == "bursty") {
+        tp.bursty = true;
+      } else if (gen != "poisson") {
+        return serve_usage_error("unknown --gen: " + gen +
+                                 " (want poisson|bursty)");
+      }
+      const long n_jobs = args.num("jobs-count", 16);
+      if (n_jobs < 1)
+        return serve_usage_error("--jobs-count must be >= 1");
+      tp.rate_hz = args.real("rate", 400.0);
+      if (tp.rate_hz <= 0.0)
+        return serve_usage_error("--rate must be > 0");
+      tp.burst_mean = args.real("burst-mean", 4.0);
+      if (tp.bursty && tp.burst_mean < 1.0)
+        return serve_usage_error("--burst-mean must be >= 1");
+      const long pulses = args.num("pulses", 64);
+      const long range = args.num("range", 101);
+      const long cores = args.num("cores", 16);
+      if (pulses < 1 || range < 1 || cores < 1)
+        return serve_usage_error("--pulses/--range/--cores must be >= 1");
+      tp.n_jobs = static_cast<std::size_t>(n_jobs);
+      tp.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+      tp.n_pulses = static_cast<std::size_t>(pulses);
+      tp.n_range = static_cast<std::size_t>(range);
+      tp.n_cores = static_cast<int>(cores);
+      tp.algo = serve::algo_from_string(args.str("algo", "ffbp"));
+      tp.deadline_s = args.real("deadline", 0.01);
+      if (tp.deadline_s <= 0.0)
+        return serve_usage_error("--deadline must be > 0");
+      if (args.has("priority-mix")) {
+        // "L,N,H" weights (normalized); e.g. --priority-mix 0.3,0.5,0.2
+        const std::string mix = args.str("priority-mix");
+        double w[3] = {0.0, 0.0, 0.0};
+        std::istringstream ss(mix);
+        std::string part;
+        int n = 0;
+        while (std::getline(ss, part, ',') && n < 3) w[n++] = std::stod(part);
+        const double total = w[0] + w[1] + w[2];
+        if (n != 3 || w[0] < 0.0 || w[1] < 0.0 || w[2] < 0.0 || total <= 0.0)
+          return serve_usage_error(
+              "--priority-mix wants three non-negative comma-separated "
+              "weights low,normal,high (e.g. 0.3,0.5,0.2)");
+        tp.frac_low = w[0] / total;
+        tp.frac_high = w[2] / total;
+      }
+      tp.deadline_jitter = args.real("deadline-jitter", 0.0);
+      if (tp.deadline_jitter < 0.0 || tp.deadline_jitter >= 1.0)
+        return serve_usage_error("--deadline-jitter must be in [0, 1)");
+      trace = serve::make_trace(tp);
     }
-    const long n_jobs = args.num("jobs-count", 16);
-    tp.rate_hz = args.real("rate", 400.0);
-    tp.burst_mean = args.real("burst-mean", 4.0);
-    if (n_jobs < 1 || tp.rate_hz <= 0.0 || tp.burst_mean < 1.0)
-      return usage();
-    tp.n_jobs = static_cast<std::size_t>(n_jobs);
-    tp.seed = static_cast<std::uint64_t>(args.num("seed", 1));
-    tp.n_pulses = static_cast<std::size_t>(args.num("pulses", 64));
-    tp.n_range = static_cast<std::size_t>(args.num("range", 101));
-    tp.n_cores = static_cast<int>(args.num("cores", 16));
-    tp.algo = serve::algo_from_string(args.str("algo", "ffbp"));
-    tp.deadline_s = args.real("deadline", 0.01);
-    if (tp.deadline_s <= 0.0) return usage();
-    trace = serve::make_trace(tp);
+
+    fc.n_chips = static_cast<int>(args.num("chips", 4));
+    fc.host_jobs = static_cast<int>(args.num("jobs", 1));
+    fc.chaos.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+    fc.chaos.chip_kill_rate = args.real("chip-kill", 0.0);
+    fc.chaos.dma_corrupt_rate = args.real("dma-corrupt", 0.0);
+    fc.chaos.dma_drop_rate = args.real("dma-drop", 0.0);
+    fc.chaos.membits_rate = args.real("membits", 0.0);
+    fc.chaos.noc_stall_rate = args.real("noc-stall", 0.0);
+    fc.policy.max_attempts = static_cast<int>(args.num("retry-max", 3));
+    fc.policy.max_degrade = static_cast<int>(args.num("degrade-max", 2));
+    fc.policy.backoff_base_s = args.real("backoff", 100e-6);
+    fc.policy.timeout_factor = args.real("timeout-factor", 8.0);
+
+    const std::string dispatch = args.str("dispatch", "edf");
+    if (dispatch == "fifo") {
+      fc.policy.dispatch = serve::DispatchOrder::kFifo;
+    } else if (dispatch != "edf") {
+      return serve_usage_error("unknown --dispatch: " + dispatch +
+                               " (want edf|fifo)");
+    }
+    fc.policy.shed.enabled = args.has("shed");
+    fc.policy.shed.deadline_factor = args.real("shed-factor", 1.0);
+    if (fc.policy.shed.deadline_factor <= 0.0)
+      return serve_usage_error("--shed-factor must be > 0");
+    if (args.has("shed-priority")) {
+      fc.policy.shed.max_shed_priority =
+          serve::priority_from_string(args.str("shed-priority"));
+    }
+    fc.policy.hedge.enabled = args.has("hedge");
+    fc.policy.hedge.margin_factor = args.real("hedge-margin", 2.0);
+    if (fc.policy.hedge.margin_factor <= 0.0)
+      return serve_usage_error("--hedge-margin must be > 0");
+    if (args.has("hedge-priority")) {
+      fc.policy.hedge.min_priority =
+          serve::priority_from_string(args.str("hedge-priority"));
+    }
+    fc.policy.probation_clean_limit =
+        static_cast<int>(args.num("probation", 0));
+    if (fc.policy.probation_clean_limit < 0)
+      return serve_usage_error("--probation must be >= 0");
+  } catch (const std::invalid_argument& e) {
+    return serve_usage_error(std::string("bad flag value: ") + e.what());
+  } catch (const std::out_of_range& e) {
+    return serve_usage_error(std::string("flag value out of range: ") +
+                             e.what());
   }
+  if (!trace_path.empty()) trace = serve::load_trace(trace_path);
+
   const std::string trace_out = args.str("trace-out");
   if (args.has("trace-out") && trace_out.empty()) return usage();
   if (!trace_out.empty()) {
@@ -912,24 +1005,16 @@ int cmd_serve(const Args& args) {
               << trace.jobs.size() << " jobs)\n";
   }
 
-  serve::FleetConfig fc;
-  fc.n_chips = static_cast<int>(args.num("chips", 4));
-  fc.host_jobs = static_cast<int>(args.num("jobs", 1));
-  fc.chaos.seed = static_cast<std::uint64_t>(args.num("seed", 1));
-  fc.chaos.chip_kill_rate = args.real("chip-kill", 0.0);
-  fc.chaos.dma_corrupt_rate = args.real("dma-corrupt", 0.0);
-  fc.chaos.dma_drop_rate = args.real("dma-drop", 0.0);
-  fc.chaos.membits_rate = args.real("membits", 0.0);
-  fc.chaos.noc_stall_rate = args.real("noc-stall", 0.0);
-  fc.policy.max_attempts = static_cast<int>(args.num("retry-max", 3));
-  fc.policy.max_degrade = static_cast<int>(args.num("degrade-max", 2));
-  fc.policy.backoff_base_s = args.real("backoff", 100e-6);
-  fc.policy.timeout_factor = args.real("timeout-factor", 8.0);
-  if (fc.n_chips < 1 || fc.policy.max_attempts < 1 ||
-      fc.policy.max_degrade < 0 || fc.policy.backoff_base_s < 0.0 ||
-      fc.policy.timeout_factor < 0.0) {
-    return usage();
-  }
+  if (fc.n_chips < 1)
+    return serve_usage_error("--chips must be >= 1");
+  if (fc.policy.max_attempts < 1)
+    return serve_usage_error("--retry-max must be >= 1");
+  if (fc.policy.max_degrade < 0)
+    return serve_usage_error("--degrade-max must be >= 0");
+  if (fc.policy.backoff_base_s < 0.0)
+    return serve_usage_error("--backoff must be >= 0");
+  if (fc.policy.timeout_factor < 0.0)
+    return serve_usage_error("--timeout-factor must be >= 0");
 
   std::cerr << "serving " << trace.jobs.size() << " job(s) on "
             << fc.n_chips << " chip(s)"
@@ -942,9 +1027,10 @@ int cmd_serve(const Args& args) {
   Table t("serve campaign (" + std::to_string(fc.n_chips) +
           " chips, seed " + std::to_string(fc.chaos.seed) + ")");
   t.header({"Metric", "Value"});
-  t.row({"jobs met / late / degraded",
+  t.row({"jobs met / late / degraded / shed",
          std::to_string(c.jobs_met) + " / " + std::to_string(c.jobs_late) +
-             " / " + std::to_string(c.jobs_degraded)});
+             " / " + std::to_string(c.jobs_degraded) + " / " +
+             std::to_string(c.jobs_shed)});
   t.row({"jobs lost", std::to_string(c.jobs_lost)});
   t.row({"SLO attainment", Table::num(rep.slo_attainment * 100.0, 1) + " %"});
   t.row({"latency p50 / p95 / p99",
@@ -962,6 +1048,17 @@ int cmd_serve(const Args& args) {
   t.row({"chip kills / timeouts / checksum fails",
          std::to_string(c.chip_kills) + " / " + std::to_string(c.timeouts) +
              " / " + std::to_string(c.checksum_failures)});
+  if (fc.policy.hedge.enabled) {
+    t.row({"hedges launched / wins / wasted",
+           std::to_string(c.hedges_launched) + " / " +
+               std::to_string(c.hedge_wins) + " / " +
+               std::to_string(c.hedge_wasted)});
+  }
+  if (fc.policy.probation_clean_limit > 0) {
+    t.row({"chip probations / recoveries",
+           std::to_string(c.chip_probations) + " / " +
+               std::to_string(c.chip_recoveries)});
+  }
   t.row({"fleet makespan", format_seconds(rep.makespan_s)});
   std::size_t alive = 0;
   for (const serve::ChipStatus& cs : rep.chips)
